@@ -1,0 +1,54 @@
+"""E10 -- Fig. 10: regularization effect of the approximated GELU.
+
+Regenerates the derivative-vs-input profile of the exact and
+approximated GELU and verifies the quantization-error claims of
+Eqs. 15-17.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.approx import (derivative_profile, gelu_error_propagation,
+                          softmax_error_bound, softmax_error_empirical)
+
+
+def build_profile():
+    return derivative_profile(np.linspace(-6, 6, 25))
+
+
+def test_fig10_gelu_derivative(benchmark):
+    x, exact, approx = benchmark(build_profile)
+    rows = [(f"{xi:+.1f}", f"{e:+.3f}", f"{a:+.3f}")
+            for xi, e, a in zip(x[::4], exact[::4], approx[::4])]
+    print_table("Fig. 10: GELU derivative (exact vs approximated)",
+                ["x", "dA_orig/dx", "dA_aprx/dx"], rows)
+    # The approximated derivative never reaches 1; the exact one does.
+    assert np.abs(approx).max() < 1.0
+    assert np.abs(exact).max() > 1.0
+
+
+def test_fig10_error_shrinks_through_gelu(benchmark):
+    x = np.linspace(-8, 8, 1000)
+
+    def propagated():
+        return gelu_error_propagation(x, input_error=0.02)
+
+    out_err = benchmark(propagated)
+    print(f"\nmax propagated error {out_err.max():.5f} "
+          f"(input error 0.02)")
+    assert out_err.max() < 0.02
+
+
+def test_softmax_error_regularization(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64,))
+
+    def both():
+        return (softmax_error_empirical(x, 0, 1e-3, approx=True),
+                softmax_error_empirical(x, 0, 1e-3, approx=False))
+
+    approx_err, exact_err = benchmark(both)
+    print(f"\nsoftmax total output error: approx {approx_err:.2e} vs "
+          f"exact {exact_err:.2e}")
+    assert approx_err < exact_err

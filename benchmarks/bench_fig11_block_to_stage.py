@@ -1,0 +1,51 @@
+"""E11 -- Fig. 11: accuracy / token sparsity after block-to-stage training.
+
+Regenerates the per-insertion trace of Algorithm 1: for each block the
+selector was inserted before, the accepted keep ratio and the accuracy
+after fine-tuning -- showing front blocks resist pruning (the reason
+insertion stops before the first blocks).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import fresh_copy, print_table
+from repro.core import (BlockToStageTrainer, LatencySparsityTable,
+                        TrainConfig)
+
+
+def test_fig11_insertion_trace(benchmark, trained_backbone, bench_data):
+    train, val = bench_data
+
+    def run():
+        table = LatencySparsityTable(
+            {0.5: 0.62, 0.6: 0.70, 0.7: 0.78, 0.8: 0.86, 0.9: 0.94,
+             1.0: 1.0})
+        trainer = BlockToStageTrainer(
+            fresh_copy(trained_backbone),
+            (train.images[:160], train.labels[:160]),
+            (val.images, val.labels),
+            table,
+            TrainConfig(epochs=1, batch_size=32, lr=5e-4,
+                        lambda_distill=0.0),
+            min_block=2, ratio_grid=(0.8, 0.6, 0.4),
+            rng=np.random.default_rng(8))
+        return trainer.run(latency_limit=4.6, accuracy_drop=0.25)
+
+    model, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(f"before block {t.block}", f"{t.keep_ratio:.2f}",
+             f"{1.0 - t.keep_ratio:.2f}", f"{t.accuracy:.3f}",
+             f"{t.latency_ms:.2f}") for t in report.traces]
+    print_table("Fig. 11: block-to-stage insertion trace",
+                ["Insertion", "keep ratio", "token sparsity",
+                 "accuracy", "model latency (ms)"], rows)
+    print(f"baseline accuracy: {report.baseline_accuracy:.3f}; "
+          f"final: {report.final_accuracy:.3f} at "
+          f"{report.final_latency_ms:.2f} ms "
+          f"(stages {report.stage_boundaries})")
+    # Structure checks: latency never increases as insertions proceed,
+    # and the final model meets the structural constraints.
+    latencies = [t.latency_ms for t in report.traces]
+    assert all(b <= a + 1e-9 for a, b in zip(latencies, latencies[1:]))
+    assert report.final_accuracy >= report.baseline_accuracy - 0.30
+    assert min(report.stage_boundaries) >= 2   # protected front blocks

@@ -1,0 +1,59 @@
+"""E13 -- Fig. 13: energy efficiency of HeatViT vs TX2 CPU/GPU.
+
+Regenerates the normalized speedup bars and the FPS/W comparison, plus
+the pruning/quantization improvement breakdown.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.hardware import compare_platforms, speedup_breakdown
+from repro.vit import DEIT_BASE, DEIT_SMALL, DEIT_TINY, LVVIT_SMALL, StagePlan
+
+PLAN_RATIOS = (0.70, 0.39, 0.21)
+MODELS = [DEIT_TINY, DEIT_SMALL, LVVIT_SMALL, DEIT_BASE]
+
+
+def run_comparison(config):
+    plan = StagePlan.canonical(config.depth, PLAN_RATIOS)
+    return compare_platforms(config, plan)
+
+
+@pytest.mark.parametrize("config", MODELS, ids=lambda c: c.name)
+def test_fig13_platforms(benchmark, config):
+    results = benchmark(run_comparison, config)
+    rows = [(r.platform, "pruned" if r.pruned else "dense",
+             f"{r.fps:.2f}", f"{r.power_w:.2f}",
+             f"{r.speedup_vs_cpu_dense:.1f}x",
+             f"{r.energy_efficiency:.3f}") for r in results]
+    print_table(f"Fig. 13 ({config.name})",
+                ["Platform", "Mode", "FPS", "Power(W)",
+                 "Speedup vs CPU", "FPS/W"], rows)
+    by_key = {(r.platform, r.pruned): r for r in results}
+    fpga = by_key[("FPGA-HeatViT", True)]
+    gpu_pruned = by_key[("TX2-GPU", True)]
+    cpu_pruned = by_key[("TX2-CPU", True)]
+    # Orderings of the figure.
+    assert (fpga.speedup_vs_cpu_dense
+            > by_key[("TX2-GPU", False)].speedup_vs_cpu_dense
+            > by_key[("TX2-CPU", True)].speedup_vs_cpu_dense
+            >= 1.0)
+    # Energy-efficiency wins (paper: 3.0-4.7x over GPU, 242-719x CPU).
+    assert fpga.energy_efficiency / gpu_pruned.energy_efficiency > 1.5
+    assert fpga.energy_efficiency / cpu_pruned.energy_efficiency > 50
+
+
+def test_fig13_breakdown(benchmark):
+    def all_breakdowns():
+        return {c.name: speedup_breakdown(
+            c, StagePlan.canonical(c.depth, PLAN_RATIOS)) for c in MODELS}
+
+    breakdowns = benchmark(all_breakdowns)
+    rows = [(name, f"{b['pruning']:.2f}x", f"{b['quantization']:.2f}x",
+             f"{b['total']:.2f}x") for name, b in breakdowns.items()]
+    print_table("Fig. 13 improvement breakdown",
+                ["Model", "Token pruning", "8-bit quant", "Total"], rows)
+    for b in breakdowns.values():
+        # Paper: pruning 1.82x-2.58x, quantization ~1.90x.
+        assert 1.3 < b["pruning"] < 2.9
+        assert 1.5 < b["quantization"] < 2.6

@@ -1,0 +1,125 @@
+"""E1 -- Fig. 2: accuracy vs GMACs trade-off against pruning baselines.
+
+At paper scale this is the ImageNet comparison table (HeatViT-T0 ...
+HeatViT-LV-M1); here we regenerate the *shape* of the comparison on the
+synthetic task and small backbone: HeatViT (adaptive + packager) against
+static top-k pruning, EViT-style fusion, head pruning, and token-channel
+pruning at matched compute budgets.
+
+Also reprints the paper's own model-zoo GMAC numbers from the analytic
+complexity model (checked in bench_table2/bench_table6).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, fresh_copy, print_table
+from repro.baselines import (ChannelPrunedViT, EViTStyleModel,
+                             HeadPrunedViT, StaticTokenPruningViT,
+                             rank_channels_by_importance,
+                             rank_heads_by_importance)
+from repro.core import HeatViT, TrainConfig, train_heatvit
+from repro.vit import StagePlan, model_gmacs, pruned_model_gmacs
+
+RATIOS = (0.7, 0.5, 0.35)
+
+
+def build_tradeoff(trained_backbone, bench_data):
+    train, val = bench_data
+    config = BENCH_CONFIG
+    depth = config.depth
+    plan = StagePlan.canonical(depth, RATIOS)
+    boundaries = dict(zip(plan.boundaries, plan.keep_ratios))
+    rows = []
+
+    dense_acc = trained_backbone.accuracy(val.images, val.labels)
+    rows.append(("dense backbone", f"{model_gmacs(config):.4f}",
+                 f"{dense_acc:.3f}"))
+
+    # HeatViT: fine-tune selectors (frozen backbone copy for fairness).
+    heat = HeatViT(fresh_copy(trained_backbone), boundaries,
+                   rng=np.random.default_rng(1))
+    train_heatvit(heat, train.images, train.labels,
+                  TrainConfig(epochs=10, batch_size=32, lr=2e-3,
+                              lambda_distill=0.5, lambda_ratio=2.0,
+                              lambda_confidence=4.0, seed=0),
+                  teacher=trained_backbone)
+    heat.eval()
+    heat_acc = heat.accuracy(val.images, val.labels, pruned=True)
+    heat_gmacs = float(heat.measured_gmacs(val.images[:24]).mean())
+    rows.append(("HeatViT (adaptive+package)", f"{heat_gmacs:.4f}",
+                 f"{heat_acc:.3f}"))
+
+    # Adaptive without the packager (IA-RED2/Evo-ViT style discard).
+    discard = HeatViT(fresh_copy(trained_backbone), boundaries,
+                      rng=np.random.default_rng(1), use_packager=False)
+    discard.load_state_dict(heat.state_dict())
+    discard.eval()
+    discard_acc = discard.accuracy(val.images, val.labels, pruned=True)
+    rows.append(("adaptive discard (no package)", f"{heat_gmacs:.4f}",
+                 f"{discard_acc:.3f}"))
+
+    # Static top-k and EViT-style fusion at the same plan.
+    static = StaticTokenPruningViT(trained_backbone, plan)
+    rows.append(("static top-k", f"{static.gmacs():.4f}",
+                 f"{static.accuracy(val.images, val.labels):.3f}"))
+    evit = EViTStyleModel(trained_backbone, plan)
+    rows.append(("EViT-style fusion", f"{evit.gmacs():.4f}",
+                 f"{evit.accuracy(val.images, val.labels):.3f}"))
+
+    # Head pruning at a few budgets.
+    ranking = rank_heads_by_importance(trained_backbone, val.images[:32])
+    for count in (4, 8):
+        pruned = HeadPrunedViT(trained_backbone, ranking[:count])
+        rows.append((f"head pruning ({count} heads)",
+                     f"{pruned.gmacs():.4f}",
+                     f"{pruned.accuracy(val.images, val.labels):.3f}"))
+
+    # Token-channel pruning.
+    channels = rank_channels_by_importance(trained_backbone)
+    for fraction in (0.25, 0.5):
+        count = int(fraction * BENCH_CONFIG.embed_dim)
+        pruned = ChannelPrunedViT(trained_backbone, channels[:count])
+        rows.append((f"channel pruning ({fraction:.0%})",
+                     f"{pruned.gmacs():.4f}",
+                     f"{pruned.accuracy(val.images, val.labels):.3f}"))
+    return rows, dense_acc, heat_acc, discard_acc
+
+
+def test_fig2_tradeoff(benchmark, trained_backbone, bench_data):
+    rows, dense_acc, heat_acc, discard_acc = benchmark.pedantic(
+        build_tradeoff, args=(trained_backbone, bench_data),
+        rounds=1, iterations=1)
+    print_table("Fig. 2: accuracy vs GMACs (synthetic scale)",
+                ["Method", "GMACs", "Top-1"], rows)
+    # Headline shapes: HeatViT stays close to the dense baseline...
+    assert heat_acc > dense_acc - 0.15
+    # ...and the packager never hurts relative to plain discarding.
+    assert heat_acc >= discard_acc - 0.05
+    # Pruned GMACs are genuinely below dense.
+    assert float(rows[1][1]) < float(rows[0][1])
+
+
+def test_fig2_paper_model_zoo(benchmark):
+    """Reprint the paper's headline HeatViT model zoo (analytic)."""
+    from repro.vit import DEIT_BASE, DEIT_SMALL, DEIT_TINY
+
+    def zoo():
+        entries = []
+        for config, ratios, name, paper in [
+                (DEIT_TINY, (0.70, 0.39, 0.21), "HeatViT-T2-like", 0.75),
+                (DEIT_TINY, (0.85, 0.79, 0.51), "HeatViT-T-mid", 1.00),
+                (DEIT_TINY, (0.76, 0.70, 0.41), "HeatViT-T1-like", 0.90),
+                (DEIT_SMALL, (0.90, 0.84, 0.61), "HeatViT-S3", 3.86),
+                (DEIT_SMALL, (0.42, 0.21, 0.13), "HeatViT-S-agg", 2.02),
+                (DEIT_BASE, (0.70, 0.39, 0.21), "HeatViT-B-mid", 10.11)]:
+            plan = StagePlan.canonical(config.depth, ratios)
+            entries.append((name, pruned_model_gmacs(config, plan), paper))
+        return entries
+
+    entries = benchmark(zoo)
+    print_table("Fig. 2 model zoo GMACs (analytic vs paper)",
+                ["Model", "ours", "paper"],
+                [(n, f"{g:.2f}", p) for n, g, p in entries])
+    for _, ours, paper in entries:
+        assert ours == pytest.approx(paper, rel=0.12)

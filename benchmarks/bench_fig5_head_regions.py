@@ -1,0 +1,73 @@
+"""E8 -- Fig. 5: information regions detected by each attention head.
+
+The paper visualizes the CLS token's attention per head and observes
+each head attends to *different* image regions -- the motivation for
+the multi-head token classifier.  We regenerate the per-head CLS
+attention maps for every block, quantify head diversity (pairwise
+total-variation distance between the heads' attention distributions),
+and measure how much attention mass lands on ground-truth object
+tokens.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, print_table
+from repro import nn
+from repro.data import patch_object_fraction
+
+
+def head_attention_stats(trained_backbone, bench_data):
+    _, val = bench_data
+    images = val.images[:32]
+    with nn.no_grad():
+        trained_backbone(images)
+    heads = trained_backbone.config.num_heads
+    per_block = []
+    for block in trained_backbone.blocks:
+        cls_attn = block.attn.cls_attention()[:, :, 1:]     # (B, h, N)
+        cls_attn = cls_attn / cls_attn.sum(-1, keepdims=True)
+        distances = []
+        for i in range(heads):
+            for j in range(i + 1, heads):
+                tv = 0.5 * np.abs(cls_attn[:, i]
+                                  - cls_attn[:, j]).sum(-1)
+                distances.append(float(tv.mean()))
+        per_block.append((cls_attn, np.array(distances)))
+    coverage = patch_object_fraction(val.masks[:32],
+                                     BENCH_CONFIG.patch_size)
+    return per_block, coverage
+
+
+def test_fig5_head_diversity(benchmark, trained_backbone, bench_data):
+    per_block, coverage = benchmark.pedantic(
+        head_attention_stats, args=(trained_backbone, bench_data),
+        rounds=1, iterations=1)
+    rows = [(f"block {i}",
+             " / ".join(f"{d:.3f}" for d in distances))
+            for i, (_, distances) in enumerate(per_block)]
+    print_table("Fig. 5: pairwise head TV distance per block",
+                ["Block", "head-pair TV distances"], rows)
+    # Pick the most head-diverse block (the paper hand-picks heads of
+    # a pretrained DeiT-T; head specialization depth varies by model).
+    best_index = int(np.argmax([d.mean() for _, d in per_block]))
+    _, distances = per_block[best_index]
+    uniform_mass = coverage.mean()
+    # Object alignment peaks at a *different* (semantic, later) block
+    # than raw head diversity (which is positional in early blocks) --
+    # report per-block alignment and check the best one.
+    alignment_by_block = []
+    for attn, _ in per_block:
+        alignment_by_block.append(max(
+            (attn[:, h] * coverage).sum(-1).mean()
+            for h in range(attn.shape[1])))
+    best_align = int(np.argmax(alignment_by_block))
+    print(f"most diverse block: {best_index} "
+          f"(mean TV {distances.mean():.3f}); best object alignment at "
+          f"block {best_align}: {alignment_by_block[best_align]:.3f} "
+          f"(uniform would be {uniform_mass:.3f})")
+    # Headline claims: heads genuinely attend to different regions...
+    assert distances.mean() > 0.05
+    # ...and in at least one block, some head concentrates on the
+    # object region more than uniform attention would.
+    assert max(alignment_by_block) > uniform_mass

@@ -1,0 +1,32 @@
+"""E9 -- Fig. 6: CKA between the final CLS token and per-block tokens.
+
+Regenerates the depth profile of linear-CKA similarity that motivates
+pruning later blocks first (tokens are encoded poorly in front blocks).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.vit import cls_token_cka_profile
+
+
+def test_fig6_cka_profile(benchmark, trained_backbone, bench_data):
+    _, val = bench_data
+
+    def profile():
+        return cls_token_cka_profile(trained_backbone, val.images[:48])
+
+    values = benchmark.pedantic(profile, rounds=1, iterations=1)
+    depth = trained_backbone.config.depth
+    rows = [(f"block {i}", f"{values[i]:.3f}") for i in range(depth)]
+    print_table("Fig. 6: CKA(final CLS, block tokens)",
+                ["Block", "CKA"], rows)
+    # Weak-to-strong tendency: the last block is the most similar, and
+    # the back half dominates the front half on average.
+    series = [values[i] for i in range(depth)]
+    front = np.mean(series[:depth // 2])
+    back = np.mean(series[depth // 2:])
+    assert series[-1] >= max(series[:depth // 2])
+    assert back >= front
+    assert all(0.0 <= v <= 1.0 for v in series)

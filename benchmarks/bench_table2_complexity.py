@@ -1,0 +1,48 @@
+"""E2 -- Table II: computational complexity of one ViT block.
+
+Regenerates the six-row MAC breakdown and the closed-form total for the
+paper's backbones, and checks the dense-model GMACs against the numbers
+the paper reports (Table VI GMACs column).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.vit import (DEIT_BASE, DEIT_SMALL, DEIT_TINY, LVVIT_MEDIUM,
+                       LVVIT_SMALL, block_layer_costs, block_macs,
+                       model_gmacs)
+
+PAPER_DENSE_GMACS = {"DeiT-T": 1.30, "DeiT-S": 4.60, "DeiT-B": 17.60,
+                     "LV-ViT-S": 6.55}
+
+
+def build_table2(config):
+    rows = block_layer_costs(config.num_tokens, config.embed_dim,
+                             config.num_heads, config.mlp_hidden_dim)
+    return [(r.index, r.module, r.computation, r.input_size,
+             r.output_size, f"{r.macs:,}") for r in rows]
+
+
+def test_table2_rows(benchmark):
+    rows = benchmark(build_table2, DEIT_SMALL)
+    print_table("Table II (DeiT-S, N=197)",
+                ["#", "Module", "Computation", "Input", "Output", "MACs"],
+                rows)
+    total = block_macs(197, 384, 6, 4 * 384)
+    n, d = 197, 384
+    assert total == 4 * n * d * d + 2 * n * n * d + 8 * n * d * d
+
+
+@pytest.mark.parametrize("config", [DEIT_TINY, DEIT_SMALL, DEIT_BASE,
+                                    LVVIT_SMALL, LVVIT_MEDIUM],
+                         ids=lambda c: c.name)
+def test_dense_gmacs_vs_paper(benchmark, config):
+    gmacs = benchmark(model_gmacs, config)
+    paper = PAPER_DENSE_GMACS.get(config.name)
+    print(f"\n{config.name}: measured {gmacs:.2f} GMACs"
+          + (f" (paper: {paper})" if paper else " (paper: n/a)"))
+    if paper is not None:
+        # LV-ViT backbones add a 4-layer convolutional patch stem that
+        # the Table II encoder-only model ignores (~7% of total MACs).
+        tolerance = 0.08 if config.name.startswith("LV") else 0.06
+        assert gmacs == pytest.approx(paper, rel=tolerance)

@@ -1,0 +1,60 @@
+"""E3 -- Table III: FPGA resources for nonlinear functions.
+
+Regenerates the approx-vs-original FF/LUT/DSP comparison from the
+analytic resource model and checks it against the paper's measured
+synthesis results.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.hardware import PAPER_TABLE3, nonlinear_unit_table
+
+
+def build_table3():
+    table = nonlinear_unit_table()
+    rows = []
+    for fn in ("GELU", "Sigmoid", "Softmax"):
+        ours, paper = table[fn], PAPER_TABLE3[fn]
+        for kind in ("approx", "orig"):
+            rows.append((
+                fn, kind,
+                ours[kind].ff, paper[kind].ff,
+                ours[kind].lut, paper[kind].lut,
+                ours[kind].dsp, paper[kind].dsp))
+    return rows
+
+
+def test_table3_resources(benchmark):
+    rows = benchmark(build_table3)
+    print_table(
+        "Table III: nonlinear function units (ours vs paper)",
+        ["Fn", "Impl", "FF", "FF(paper)", "LUT", "LUT(paper)",
+         "DSP", "DSP(paper)"],
+        rows)
+    table = nonlinear_unit_table()
+    # The headline claim: 1.5x-572x improvement from approximation.
+    for fn in table:
+        approx, orig = table[fn]["approx"], table[fn]["orig"]
+        assert orig.lut > approx.lut
+        assert orig.ff > approx.ff
+    gelu_gain = table["GELU"]["orig"].lut / table["GELU"]["approx"].lut
+    assert gelu_gain > 100     # paper: up to 572x for GELU
+
+
+def test_table3_matches_paper_within_2x(benchmark):
+    def deltas():
+        out = []
+        table = nonlinear_unit_table()
+        for fn in table:
+            for kind in ("approx", "orig"):
+                for attr in ("ff", "lut"):
+                    ours = getattr(table[fn][kind], attr)
+                    paper = getattr(PAPER_TABLE3[fn][kind], attr)
+                    out.append(ours / paper)
+        return out
+
+    ratios = benchmark(deltas)
+    print("\nmodel/paper resource ratios:",
+          [f"{r:.2f}" for r in ratios])
+    assert all(0.3 < r < 2.5 for r in ratios)

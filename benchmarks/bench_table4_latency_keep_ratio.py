@@ -1,0 +1,36 @@
+"""E4 -- Table IV: one-block latency vs token keep ratio on ZCU102.
+
+Regenerates the latency-sparsity table from the accelerator simulator
+and compares it with the paper's measured values for DeiT-T / DeiT-S.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.hardware import PAPER_TABLE4, build_latency_table
+from repro.vit import DEIT_SMALL, DEIT_TINY
+
+RATIOS = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5)
+
+
+@pytest.mark.parametrize("name,config", [("DeiT-T", DEIT_TINY),
+                                         ("DeiT-S", DEIT_SMALL)])
+def test_table4_block_latency(benchmark, name, config):
+    table = benchmark(build_latency_table, config, RATIOS)
+    rows = [(ratio,
+             f"{table.latency(ratio):.3f}",
+             f"{PAPER_TABLE4[name][ratio]:.3f}")
+            for ratio in RATIOS]
+    print_table(f"Table IV ({name}): ms per block",
+                ["Keep ratio", "simulated", "paper"], rows)
+    # Monotone in the keep ratio...
+    latencies = [table.latency(r) for r in RATIOS]
+    assert all(a > b for a, b in zip(latencies, latencies[1:]))
+    # ...absolute values within 50% of measured silicon...
+    for ratio in RATIOS:
+        assert table.latency(ratio) == pytest.approx(
+            PAPER_TABLE4[name][ratio], rel=0.5)
+    # ...and the *relative* saving from pruning matches tightly.
+    ours = table.latency(0.5) / table.latency(1.0)
+    paper = PAPER_TABLE4[name][0.5] / PAPER_TABLE4[name][1.0]
+    assert ours == pytest.approx(paper, abs=0.12)

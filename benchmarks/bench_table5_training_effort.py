@@ -1,0 +1,65 @@
+"""E5 -- Table V: training effort for different backbones.
+
+Reprints the paper's epoch budget per backbone (an input to the method,
+encoded in the configs) and *measures* the claim that the block-to-stage
+pipeline costs no more than training from scratch, using the small-scale
+trainer.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, fresh_copy, print_table
+from repro.core import (BlockToStageTrainer, LatencySparsityTable,
+                        TrainConfig)
+from repro.vit import (DEIT_BASE, DEIT_SMALL, DEIT_TINY, LVVIT_MEDIUM,
+                       LVVIT_SMALL)
+
+
+def test_table5_epoch_budgets(benchmark):
+    def build():
+        return [(c.name, c.num_heads, c.embed_dim, c.depth,
+                 c.baseline_epochs, c.heatvit_epochs)
+                for c in (DEIT_TINY, DEIT_SMALL, DEIT_BASE, LVVIT_SMALL,
+                          LVVIT_MEDIUM)]
+
+    rows = benchmark(build)
+    print_table("Table V: training effort",
+                ["Model", "#Heads", "Embed", "Depth",
+                 "Baseline epochs", "HeatViT epochs"], rows)
+    for _, _, _, _, baseline, ours in rows:
+        assert ours <= baseline          # "roughly 90% of from-scratch"
+        assert ours / baseline >= 0.85
+
+
+def test_table5_pipeline_effort_measured(benchmark, trained_backbone,
+                                         bench_data):
+    """Run Algorithm 1 at small scale and count epochs actually spent;
+    the pipeline must stay within the from-scratch budget (25 epochs at
+    this scale)."""
+    train, val = bench_data
+
+    def run():
+        table = LatencySparsityTable(
+            {0.5: 0.62, 0.6: 0.70, 0.7: 0.78, 0.8: 0.86, 0.9: 0.94,
+             1.0: 1.0})
+        trainer = BlockToStageTrainer(
+            fresh_copy(trained_backbone),
+            (train.images[:160], train.labels[:160]),
+            (val.images, val.labels),
+            table,
+            TrainConfig(epochs=1, batch_size=32, lr=5e-4,
+                        lambda_distill=0.0),
+            min_block=2, ratio_grid=(0.7, 0.5),
+            rng=np.random.default_rng(6))
+        model, report = trainer.run(latency_limit=5.3,
+                                    accuracy_drop=0.30)
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nepochs spent by block-to-stage pipeline: "
+          f"{report.epochs_spent} (from-scratch budget: 25)")
+    print(f"stages: {report.stage_boundaries} "
+          f"ratios: {tuple(round(r, 2) for r in report.stage_keep_ratios)}")
+    assert report.epochs_spent <= 25
+    assert report.epochs_spent > 0

@@ -1,0 +1,68 @@
+"""E6 -- Table VI: hardware results under different pruning settings.
+
+Regenerates the full table -- resource utilization, power, FPS
+(acceleration rate), and energy efficiency -- for the baseline (16-bit,
+dense) and HeatViT (8-bit, token selector) designs of every backbone,
+at the paper's three keep-ratio settings.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.hardware import ViTAcceleratorSim, baseline_design, heatvit_design
+from repro.vit import (DEIT_BASE, DEIT_SMALL, DEIT_TINY, LVVIT_SMALL,
+                       StagePlan, pruned_model_gmacs, model_gmacs)
+
+SETTINGS = [(0.90, 0.84, 0.61), (0.70, 0.39, 0.21), (0.42, 0.21, 0.13)]
+MODELS = [DEIT_TINY, DEIT_SMALL, LVVIT_SMALL, DEIT_BASE]
+# Paper Table VI total speedups (final rows per model).
+PAPER_TOTAL_SPEEDUP = {"DeiT-T": 3.46, "DeiT-S": 4.22, "LV-ViT-S": 4.59,
+                       "DeiT-B": 4.89}
+
+
+def simulate_model(config):
+    base = ViTAcceleratorSim(config, baseline_design(config)).simulate()
+    heat = ViTAcceleratorSim(config, heatvit_design(config))
+    rows = [("baseline", "1/1/1", f"{model_gmacs(config):.2f}", 16,
+             base.resources["dsp"],
+             f"{base.resources['lut'] / 1000:.1f}k",
+             base.resources["bram36"], f"{base.power_w:.2f}",
+             f"{base.fps:.1f}", "1.00x",
+             f"{base.energy_efficiency:.2f}")]
+    reports = []
+    for ratios in SETTINGS:
+        plan = StagePlan.canonical(config.depth, ratios)
+        report = heat.simulate(plan)
+        reports.append(report)
+        rows.append((
+            "HeatViT", "/".join(f"{r:.2f}" for r in ratios),
+            f"{pruned_model_gmacs(config, plan):.2f}", 8,
+            report.resources["dsp"],
+            f"{report.resources['lut'] / 1000:.1f}k",
+            report.resources["bram36"], f"{report.power_w:.2f}",
+            f"{report.fps:.1f}",
+            f"{report.speedup_over(base):.2f}x",
+            f"{report.energy_efficiency:.2f}"))
+    return rows, base, reports
+
+
+@pytest.mark.parametrize("config", MODELS, ids=lambda c: c.name)
+def test_table6(benchmark, config):
+    rows, base, reports = benchmark(simulate_model, config)
+    print_table(
+        f"Table VI ({config.name})",
+        ["Design", "Keep 1/2/3", "GMACs", "bits", "DSP", "LUT",
+         "BRAM36", "Power(W)", "FPS", "Speedup", "FPS/W"],
+        rows)
+    paper_speedup = PAPER_TOTAL_SPEEDUP[config.name]
+    best = max(r.speedup_over(base) for r in reports)
+    print(f"best speedup {best:.2f}x (paper: {paper_speedup}x)")
+    # Shape checks: aggressive pruning is fastest, speedups in band.
+    fps = [r.fps for r in reports]
+    assert fps[0] < fps[1] < fps[2]
+    assert best == pytest.approx(paper_speedup, rel=0.45)
+    # Resource overhead of the token selector stays trivial.
+    for report in reports:
+        dsp_points = (report.utilization["dsp"]
+                      - base.utilization["dsp"]) * 100
+        assert dsp_points < 20

@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+Accuracy experiments (Figs. 2, 4, 5, 6, 11, 12) share one trained
+small-scale backbone so the whole ``pytest benchmarks/`` run stays in
+the minutes range.  Hardware experiments (Tables III, IV, VI; Figs. 10,
+13) use the analytical simulator at full paper scale and need no
+training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainConfig, train_backbone
+from repro.data import SyntheticConfig, generate_dataset
+from repro.vit import VisionTransformer, ViTConfig
+
+# Small-scale stand-in for DeiT-T: a 6x6 patch grid (36 patches) so the
+# three-stage pruning pipeline has room to act, while the whole bench
+# suite stays in the minutes range.
+BENCH_CONFIG = ViTConfig(name="bench-vit", image_size=24, patch_size=4,
+                         embed_dim=36, depth=6, num_heads=3,
+                         num_classes=4)
+
+DATA_CONFIG = SyntheticConfig(image_size=24, num_classes=4,
+                              noise_std=0.08,
+                              object_scale_range=(0.25, 0.7),
+                              center_jitter=0.3)
+
+
+@pytest.fixture(scope="session")
+def bench_data():
+    rng = np.random.default_rng(2023)
+    data = generate_dataset(DATA_CONFIG, 440, rng)
+    return data.split(train_fraction=0.85, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="session")
+def trained_backbone(bench_data):
+    """A backbone trained well above chance (shared by all benches)."""
+    train, val = bench_data
+    model = VisionTransformer(BENCH_CONFIG, rng=np.random.default_rng(7))
+    config = TrainConfig(epochs=25, batch_size=32, lr=2.5e-3,
+                         weight_decay=0.01, seed=0)
+    train_backbone(model, train.images, train.labels, config)
+    model.eval()
+    accuracy = model.accuracy(val.images, val.labels)
+    print(f"\n[bench setup] backbone val accuracy: {accuracy:.3f}")
+    return model
+
+
+def fresh_copy(backbone):
+    """Clone a backbone so destructive experiments stay isolated."""
+    copy = VisionTransformer(backbone.config, rng=np.random.default_rng(0))
+    copy.load_state_dict(backbone.state_dict())
+    copy.eval()
+    return copy
+
+
+def print_table(title, headers, rows):
+    """Uniform fixed-width table output for every benchmark."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,75 @@
+"""Algorithm 1 end to end: latency-aware block-to-stage training.
+
+Builds the latency-sparsity table from the FPGA simulator, trains a
+backbone, then runs the paper's Algorithm 1: insert token selectors
+back-to-front, lower keep ratios under the accuracy budget until the
+latency target is met, and consolidate similar selectors into stages.
+
+Takes a couple of minutes.  Usage::
+
+    python examples/block_to_stage.py
+"""
+
+import numpy as np
+
+from repro.core import (BlockToStageTrainer, TrainConfig, train_backbone)
+from repro.data import SyntheticConfig, generate_dataset
+from repro.hardware import build_latency_table
+from repro.vit import VisionTransformer, ViTConfig
+
+
+def main():
+    config = ViTConfig(name="b2s-demo", image_size=24, patch_size=4,
+                       embed_dim=36, depth=6, num_heads=3, num_classes=4)
+    data_config = SyntheticConfig(image_size=24, num_classes=4,
+                                  noise_std=0.08,
+                                  object_scale_range=(0.25, 0.7),
+                                  center_jitter=0.3)
+    data = generate_dataset(data_config, 440, np.random.default_rng(2023))
+    train, val = data.split(train_fraction=0.85,
+                            rng=np.random.default_rng(0))
+
+    backbone = VisionTransformer(config, rng=np.random.default_rng(7))
+    print("training backbone ...")
+    train_backbone(backbone, train.images, train.labels,
+                   TrainConfig(epochs=25, batch_size=32, lr=2.5e-3,
+                               weight_decay=0.01, seed=0))
+    backbone.eval()
+
+    # The latency-sparsity table comes straight from the FPGA simulator
+    # (at paper scale this is measured on the board -- Table IV).
+    table = build_latency_table(config)
+    print("latency-sparsity table (ms per block):")
+    for ratio, latency in table.items():
+        print(f"  keep {ratio:.1f} -> {latency:.4f} ms")
+    dense_latency = table.model_latency([1.0] * config.depth)
+    target = 0.8 * dense_latency
+    print(f"dense model: {dense_latency:.3f} ms; target: {target:.3f} ms")
+
+    trainer = BlockToStageTrainer(
+        backbone,
+        (train.images, train.labels),
+        (val.images, val.labels),
+        table,
+        TrainConfig(epochs=1, batch_size=32, lr=5e-4,
+                    lambda_distill=0.0),
+        min_block=2, ratio_grid=(0.8, 0.6, 0.4),
+        rng=np.random.default_rng(1))
+    print("\nrunning Algorithm 1 ...")
+    model, report = trainer.run(latency_limit=target, accuracy_drop=0.05)
+
+    print(f"\nbaseline accuracy : {report.baseline_accuracy:.3f}")
+    for trace in report.traces:
+        print(f"insert before block {trace.block}: keep "
+              f"{trace.keep_ratio:.2f} -> accuracy {trace.accuracy:.3f}, "
+              f"latency {trace.latency_ms:.3f} ms")
+    print(f"consolidated stages: boundaries {report.stage_boundaries}, "
+          f"keep ratios "
+          f"{tuple(round(r, 2) for r in report.stage_keep_ratios)}")
+    print(f"final accuracy    : {report.final_accuracy:.3f} at "
+          f"{report.final_latency_ms:.3f} ms "
+          f"({report.epochs_spent} fine-tuning epochs spent)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""FPGA deployment study: quantize a model and size the accelerator.
+
+Walks the hardware side of the paper without any hardware:
+
+1. 8-bit quantization + polynomial nonlinear approximations on a model;
+2. tiling design-space search for the ZCU102 GEMM engine;
+3. full accelerator reports (latency, FPS, resources, power, FPS/W) for
+   the 16-bit dense baseline vs the 8-bit token-pruned HeatViT design;
+4. the FPGA-vs-Jetson-TX2 comparison of Fig. 13.
+
+Usage::
+
+    python examples/fpga_deployment.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.hardware import (ViTAcceleratorSim, baseline_design,
+                            compare_platforms, heatvit_design,
+                            search_tiling, speedup_breakdown)
+from repro.quant import count_quantized_modules, quantize_model
+from repro.vit import DEIT_TINY, StagePlan, VisionTransformer, ViTConfig
+
+
+def quantization_demo():
+    print("=== 8-bit quantization + approximations (functional) ===")
+    config = ViTConfig(name="demo", image_size=16, patch_size=4,
+                       embed_dim=24, depth=2, num_heads=3, num_classes=4)
+    model = VisionTransformer(config, rng=np.random.default_rng(0))
+    model.eval()
+    images = np.random.default_rng(1).normal(size=(4, 3, 16, 16))
+    with nn.no_grad():
+        reference = model(images).data
+    swapped = quantize_model(model, bits=8, approx_nonlinear=True)
+    with nn.no_grad():
+        quantized = model(images).data
+    drift = np.abs(quantized - reference).max() / np.abs(reference).max()
+    print(f"swapped {swapped} modules "
+          f"({count_quantized_modules(model)} quantized GEMMs); "
+          f"max relative logit drift {drift:.3f}\n")
+
+
+def accelerator_demo():
+    config = DEIT_TINY
+    plan = StagePlan.canonical(config.depth, (0.70, 0.39, 0.21))
+
+    print(f"=== Tiling design-space search ({config.name}, 8-bit) ===")
+    for choice in search_tiling(config, bitwidth=8, top_k=3):
+        print(f"Ti={choice.ti:3d} To={choice.to:3d} Th={choice.th:2d} "
+              f"-> {choice.latency_ms:7.2f} ms  "
+              f"(DSP {choice.utilization['dsp']:.0%}, "
+              f"BRAM {choice.utilization['bram36']:.0%})")
+
+    print(f"\n=== Accelerator reports ({config.name}) ===")
+    base = ViTAcceleratorSim(config, baseline_design(config)).simulate()
+    heat = ViTAcceleratorSim(config,
+                             heatvit_design(config)).simulate(plan)
+    for label, report in (("16-bit dense baseline", base),
+                          ("8-bit HeatViT (0.70/0.39/0.21)", heat)):
+        res = report.resources
+        print(f"{label}:")
+        print(f"  {report.fps:6.1f} FPS @ {report.power_w:.2f} W "
+              f"-> {report.energy_efficiency:.2f} FPS/W")
+        print(f"  DSP {res['dsp']} ({report.utilization['dsp']:.0%}), "
+              f"LUT {res['lut'] / 1000:.1f}k "
+              f"({report.utilization['lut']:.0%}), "
+              f"BRAM36 {res['bram36']} "
+              f"({report.utilization['bram36']:.0%})")
+    print(f"total speedup: {heat.speedup_over(base):.2f}x "
+          f"(paper: 3.46x for DeiT-T)")
+    breakdown = speedup_breakdown(config, plan)
+    print(f"breakdown: pruning {breakdown['pruning']:.2f}x x "
+          f"quantization {breakdown['quantization']:.2f}x\n")
+
+    print(f"=== Fig. 13: vs Jetson TX2 ({config.name}) ===")
+    for result in compare_platforms(config, plan):
+        mode = "pruned" if result.pruned else "dense "
+        print(f"{result.platform:14s} {mode} "
+              f"{result.fps:10.2f} FPS  "
+              f"{result.speedup_vs_cpu_dense:8.1f}x vs CPU  "
+              f"{result.energy_efficiency:8.3f} FPS/W")
+
+
+def main():
+    quantization_demo()
+    accelerator_demo()
+
+
+if __name__ == "__main__":
+    main()

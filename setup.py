@@ -1,0 +1,9 @@
+"""Setup shim; metadata lives in pyproject.toml.
+
+The sandbox lacks the `wheel` package, so PEP 660 editable installs fail;
+`pip install -e . --no-build-isolation --no-use-pep517` (or plain
+`python setup.py develop`) uses this shim instead.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""HeatViT reproduction: hardware-efficient adaptive token pruning for ViTs.
+
+Subpackages
+-----------
+``repro.nn``        autodiff tensors, layers, optimizers (PyTorch substitute)
+``repro.vit``       ViT backbones, analytical complexity (Table II), CKA
+``repro.core``      the HeatViT token selector and training strategy
+``repro.approx``    polynomial approximations of nonlinear functions
+``repro.quant``     8-bit fixed-point quantization
+``repro.hardware``  ZCU102 FPGA accelerator simulator + TX2 comparisons
+``repro.baselines`` competing pruning methods (static, EViT-style, ...)
+``repro.data``      synthetic cluttered-object dataset
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,121 @@
+"""Polynomial approximations of ViT nonlinear functions (paper Sec. V-D).
+
+These are the hardware-friendly replacements for GELU, Softmax, and
+Sigmoid that avoid the Vitis HLS math library's expensive ``exp``/``erf``
+cores (Table III).  The GELU and Softmax approximations carry explicit
+regularization factors ``delta1``/``delta2`` (< 1) that *shrink* the
+function's derivative and therefore damp quantization-error propagation
+(Sec. V-E); pass ``delta=1.0`` for a pure I-BERT-style approximation.
+
+All functions are plain numpy (they model fixed-function hardware, not
+trainable layers) and are vectorized elementwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ERF_A", "ERF_B", "DEFAULT_DELTA1", "DEFAULT_DELTA2",
+    "erf_approx", "gelu_approx", "exp_approx", "softmax_approx",
+    "sigmoid_plan", "gelu_exact", "softmax_exact", "sigmoid_exact",
+]
+
+# Second-order erf fit constants (Eq. 11, from I-BERT).
+ERF_A = -0.2888
+ERF_B = -1.769
+# Regularization factors used throughout the paper's experiments.
+DEFAULT_DELTA1 = 0.5
+DEFAULT_DELTA2 = 0.5
+
+# exp(p) fit on p in (-ln2, 0] (Eq. 14).
+_EXP_C0 = 0.3585
+_EXP_C1 = 1.353
+_EXP_C2 = 0.344
+
+_LN2 = np.log(2.0)
+
+
+def erf_approx(x, delta1=DEFAULT_DELTA1):
+    """``L_erf`` (Eq. 11): sign(x) * d1 * [a*(min(|x|,-b)+b)^2 + 1].
+
+    The clip at ``|x| = -b = 1.769`` saturates the polynomial exactly
+    where the true erf saturates; ``delta1 < 1`` then shrinks the whole
+    output range as the quantization-error regularizer.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    clipped = np.minimum(np.abs(x), -ERF_B)
+    poly = ERF_A * (clipped + ERF_B) ** 2 + 1.0
+    return np.sign(x) * delta1 * poly
+
+
+def gelu_approx(x, delta1=DEFAULT_DELTA1):
+    """``GELU_aprx`` (Eq. 12): x/2 * (1 + L_erf(x / sqrt(2)))."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + erf_approx(x / np.sqrt(2.0), delta1=delta1))
+
+
+def exp_approx(x):
+    """Shift-based exp for non-positive inputs (Eqs. 13-14 machinery).
+
+    Decompose ``x = (-ln 2) * z + p`` with integer ``z >= 0`` and
+    ``p in (-ln2, 0]``; then ``exp(x) = exp(p) >> z`` where ``exp(p)`` is
+    the second-order fit of Eq. 14.  On the FPGA the ``>> z`` is a free
+    barrel shift; here it is ``* 2.0 ** -z``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if np.any(x > 1e-9):
+        raise ValueError("exp_approx expects non-positive inputs "
+                         "(apply the max-subtraction first)")
+    x = np.minimum(x, 0.0)
+    z = np.floor(-x / _LN2)
+    p = x + z * _LN2                      # p in (-ln2, 0]
+    exp_p = _EXP_C0 * (p + _EXP_C1) ** 2 + _EXP_C2
+    return exp_p * np.exp2(-z)
+
+
+def softmax_approx(x, axis=-1, delta2=DEFAULT_DELTA2):
+    """``Softmax_aprx`` (Eq. 13): d2 * exp~(x - max) / sum exp~(x - max).
+
+    The max subtraction guarantees non-positive inputs for
+    :func:`exp_approx`; ``delta2 < 1`` scales the output distribution so
+    downstream quantization error shrinks (Eq. 17).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exps = exp_approx(shifted)
+    return delta2 * exps / exps.sum(axis=axis, keepdims=True)
+
+
+def sigmoid_plan(x):
+    """PLAN piecewise-linear sigmoid (Tsmots et al., used in Sec. V-D).
+
+    Exact on the breakpoints' plateaus, within ~2e-2 of the true sigmoid
+    everywhere; only adders/shifters on hardware.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    ax = np.abs(x)
+    y = np.where(ax >= 5.0, 1.0,
+                 np.where(ax >= 2.375, 0.03125 * ax + 0.84375,
+                          np.where(ax >= 1.0, 0.125 * ax + 0.625,
+                                   0.25 * ax + 0.5)))
+    return np.where(x >= 0.0, y, 1.0 - y)
+
+
+# ----------------------------------------------------------------------
+# Exact references (numpy) for error measurements
+# ----------------------------------------------------------------------
+def gelu_exact(x):
+    from scipy import special
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + special.erf(x / np.sqrt(2.0)))
+
+
+def softmax_exact(x, axis=-1):
+    from scipy import special
+    return special.softmax(np.asarray(x, dtype=np.float64), axis=axis)
+
+
+def sigmoid_exact(x):
+    from scipy import special
+    return special.expit(np.asarray(x, dtype=np.float64))

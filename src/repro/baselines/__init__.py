@@ -1,0 +1,16 @@
+"""Competing pruning methods used as comparison points (Fig. 2, Table I)."""
+
+from repro.baselines.structural_pruning import (ChannelPrunedViT,
+                                                HeadPrunedViT,
+                                                channel_pruned_gmacs,
+                                                head_pruned_gmacs,
+                                                rank_channels_by_importance,
+                                                rank_heads_by_importance)
+from repro.baselines.token_pruning import EViTStyleModel, StaticTokenPruningViT
+
+__all__ = [
+    "StaticTokenPruningViT", "EViTStyleModel",
+    "HeadPrunedViT", "ChannelPrunedViT",
+    "head_pruned_gmacs", "channel_pruned_gmacs",
+    "rank_heads_by_importance", "rank_channels_by_importance",
+]

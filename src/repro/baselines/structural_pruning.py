@@ -1,0 +1,196 @@
+"""Structural pruning baselines: attention heads and token channels.
+
+The paper (Sec. II-B) contrasts token pruning with the two weight-side
+structured alternatives and argues both are less efficient:
+
+* **Head pruning** (S2ViTE/VTP-like) removes entire attention heads;
+  the heads contribute < 43% of total compute, capping the reachable
+  reduction, and accuracy falls quickly.
+* **Token-channel pruning** (UP-DeiT/UVC-like) removes embedding
+  dimensions uniformly across tokens, which is hard to push far without
+  accuracy collapse.
+
+Both are implemented as mask wrappers over a trained backbone so the
+accuracy-vs-GMACs trade-off can be swept without retraining
+infrastructure; GMAC accounting mirrors Table II with the reduced
+``h`` / ``D`` dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.vit.complexity import block_macs
+
+__all__ = ["HeadPrunedViT", "ChannelPrunedViT", "head_pruned_gmacs",
+           "channel_pruned_gmacs", "rank_heads_by_importance",
+           "rank_channels_by_importance"]
+
+
+def rank_heads_by_importance(backbone, images):
+    """Rank (block, head) pairs by mean CLS attention mass (ascending).
+
+    Heads whose class token attends weakly to patches are pruned first.
+    """
+    with nn.no_grad():
+        backbone.forward(images)
+    importance = []
+    for block_index, block in enumerate(backbone.blocks):
+        cls_attn = block.attn.cls_attention()     # (B, h, N)
+        per_head = cls_attn[:, :, 1:].mean(axis=(0, 2))
+        for head_index, value in enumerate(per_head):
+            importance.append(((block_index, head_index), float(value)))
+    importance.sort(key=lambda item: item[1])
+    return [pair for pair, _ in importance]
+
+
+def rank_channels_by_importance(backbone):
+    """Rank embedding channels by the L1 norm of all weights that read
+    them (ascending -- weakest channels first)."""
+    dim = backbone.config.embed_dim
+    norms = np.zeros(dim)
+    for block in backbone.blocks:
+        norms += np.abs(block.attn.qkv.weight.data).sum(axis=1)
+        norms += np.abs(block.mlp.fc1.weight.data).sum(axis=1)
+    return list(np.argsort(norms))
+
+
+class HeadPrunedViT(nn.Module):
+    """Backbone with a set of attention heads masked to zero output."""
+
+    def __init__(self, backbone, pruned_heads):
+        super().__init__()
+        self.backbone = backbone
+        self.config = backbone.config
+        self.pruned_heads = set(map(tuple, pruned_heads))
+        bad = [p for p in self.pruned_heads
+               if not (0 <= p[0] < self.config.depth
+                       and 0 <= p[1] < self.config.num_heads)]
+        if bad:
+            raise ValueError(f"invalid head ids: {bad}")
+
+    def forward(self, images):
+        config = self.config
+        with nn.no_grad():
+            x = self.backbone.embed(images)
+            for block_index, block in enumerate(self.backbone.blocks):
+                pruned = [h for (b, h) in self.pruned_heads
+                          if b == block_index]
+                if not pruned:
+                    x = block(x)
+                    continue
+                x = x + self._masked_attention(block, x, pruned)
+                x = x + block.mlp(block.norm2(x))
+            x = self.backbone.norm(x)
+            return self.backbone.head(x[:, 0, :])
+
+    @staticmethod
+    def _masked_attention(block, x, pruned_heads):
+        """Run MSA with the given heads' outputs zeroed."""
+        attn = block.attn
+        normed = block.norm1(x)
+        batch, tokens, dim = normed.shape
+        qkv = attn.qkv(normed)
+        qkv = qkv.reshape(batch, tokens, 3, attn.num_heads, attn.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        from repro.nn import functional as F
+        scores = (q @ k.swapaxes(-1, -2)) * attn.scale
+        weights = F.softmax(scores, axis=-1)
+        out = weights @ v                              # (B, h, N, d)
+        mask = np.ones((1, attn.num_heads, 1, 1))
+        mask[0, pruned_heads] = 0.0
+        out = out * Tensor(mask)
+        out = out.transpose(0, 2, 1, 3).reshape(batch, tokens, dim)
+        return attn.proj(out)
+
+    def accuracy(self, images, labels, batch_size=64):
+        return _masked_accuracy(self, images, labels, batch_size)
+
+    def gmacs(self):
+        return head_pruned_gmacs(self.config, len(self.pruned_heads))
+
+
+class ChannelPrunedViT(nn.Module):
+    """Backbone with the weakest embedding channels zeroed everywhere."""
+
+    def __init__(self, backbone, pruned_channels):
+        super().__init__()
+        self.backbone = backbone
+        self.config = backbone.config
+        self.pruned_channels = sorted(set(int(c) for c in pruned_channels))
+        if any(c < 0 or c >= self.config.embed_dim
+               for c in self.pruned_channels):
+            raise ValueError("channel index out of range")
+        mask = np.ones(self.config.embed_dim)
+        mask[self.pruned_channels] = 0.0
+        self._mask = mask
+
+    def forward(self, images):
+        with nn.no_grad():
+            x = self.backbone.embed(images) * Tensor(self._mask)
+            for block in self.backbone.blocks:
+                x = block(x) * Tensor(self._mask)
+            x = self.backbone.norm(x)
+            return self.backbone.head(x[:, 0, :])
+
+    def accuracy(self, images, labels, batch_size=64):
+        return _masked_accuracy(self, images, labels, batch_size)
+
+    def gmacs(self):
+        return channel_pruned_gmacs(self.config,
+                                    len(self.pruned_channels))
+
+
+def _masked_accuracy(model, images, labels, batch_size):
+    labels = np.asarray(labels)
+    correct = 0
+    for start in range(0, len(labels), batch_size):
+        logits = model.forward(images[start:start + batch_size])
+        preds = logits.data.argmax(axis=-1)
+        correct += int((preds == labels[start:start + batch_size]).sum())
+    return correct / len(labels)
+
+
+def head_pruned_gmacs(config, total_pruned_heads):
+    """GMACs when ``total_pruned_heads`` heads are removed model-wide.
+
+    Pruned heads skip their share of the QKV transform, the attention
+    GEMMs, and the projection; the FFN is untouched -- which is exactly
+    why head pruning saturates (< 43% of compute is in the heads).
+    """
+    per_block_pruned = total_pruned_heads / config.depth
+    n = config.num_tokens
+    d_attn = config.head_dim
+    keep_h = config.num_heads - per_block_pruned
+    attn_macs = (4 * n * config.embed_dim * d_attn * keep_h
+                 + 2 * n * n * d_attn * keep_h)
+    ffn_macs = 2 * n * config.embed_dim * config.mlp_hidden_dim
+    total = config.depth * (attn_macs + ffn_macs)
+    patch_dim = config.in_channels * config.patch_size ** 2
+    total += config.num_patches * patch_dim * config.embed_dim
+    total += config.embed_dim * config.num_classes
+    return total / 1e9
+
+
+def channel_pruned_gmacs(config, pruned_channels):
+    """GMACs when ``pruned_channels`` embedding dims are removed."""
+    keep = config.embed_dim - pruned_channels
+    scale = keep / config.embed_dim
+    n = config.num_tokens
+    # Dch shrinks; head sub-dims shrink proportionally.
+    per_block = block_macs(n, config.embed_dim, config.num_heads,
+                           config.mlp_hidden_dim)
+    # Linear layers scale ~quadratically (both fan-in and fan-out),
+    # attention GEMMs linearly in the head dim.
+    linear_part = (4 * n * config.embed_dim ** 2
+                   + 2 * n * config.embed_dim * config.mlp_hidden_dim)
+    attn_part = 2 * n * n * config.embed_dim
+    pruned_block = linear_part * scale ** 2 + attn_part * scale
+    total = config.depth * pruned_block
+    patch_dim = config.in_channels * config.patch_size ** 2
+    total += config.num_patches * patch_dim * config.embed_dim * scale
+    total += config.embed_dim * scale * config.num_classes
+    return total / 1e9

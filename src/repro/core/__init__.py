@@ -1,0 +1,31 @@
+"""HeatViT core: adaptive token selector, model wrapper, training strategy."""
+
+from repro.core.ablations import (SingleHeadTokenClassifier,
+                                  UniformHeadSelector,
+                                  make_single_head_factory)
+from repro.core.heatvit import HeatViT, PruningRecord
+from repro.core.latency import (LatencySparsityTable, confidence_loss,
+                                latency_sparsity_loss, paper_latency_table,
+                                ratios_for_latency_budget)
+from repro.core.selector import (AttentionBranch, ConvTokenClassifier,
+                                 MultiHeadTokenClassifier, SelectorOutput,
+                                 TokenSelector)
+from repro.core.training import (BlockToStageTrainer, EpochStats,
+                                 InsertionTrace, TrainConfig, TrainingReport,
+                                 consolidate_stages, heatvit_loss,
+                                 iterate_minibatches, train_backbone,
+                                 train_heatvit)
+
+__all__ = [
+    "HeatViT", "PruningRecord",
+    "TokenSelector", "MultiHeadTokenClassifier", "ConvTokenClassifier",
+    "AttentionBranch", "SelectorOutput",
+    "LatencySparsityTable", "paper_latency_table", "latency_sparsity_loss",
+    "confidence_loss", "ratios_for_latency_budget",
+    "TrainConfig", "EpochStats", "train_backbone", "train_heatvit",
+    "heatvit_loss", "iterate_minibatches",
+    "BlockToStageTrainer", "InsertionTrace", "TrainingReport",
+    "consolidate_stages",
+    "SingleHeadTokenClassifier", "UniformHeadSelector",
+    "make_single_head_factory",
+]

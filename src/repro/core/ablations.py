@@ -1,0 +1,102 @@
+"""Selector ablation variants isolating HeatViT's design choices.
+
+The paper's token selector differs from prior adaptive pruners
+(DynamicViT, IA-RED2) in two ways: per-head token scoring (Sec. IV-A)
+and the attention-based head-importance branch (Eqs. 6-8).  These
+variants remove one ingredient at a time so their contribution can be
+measured (the Fig. 12-style ablations referenced in DESIGN.md):
+
+* :class:`SingleHeadTokenClassifier` -- scores tokens from the full
+  embedding at once (DynamicViT-style predictor), ignoring per-head
+  redundancy.
+* :class:`UniformHeadSelector` -- keeps the multi-head classifier but
+  replaces the learned head weighting with a uniform average.
+
+Both plug into :class:`repro.core.HeatViT` via ``classifier_factory`` /
+direct construction and keep the ``(B, h, N, 2)`` interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.core.selector import TokenSelector
+
+__all__ = ["SingleHeadTokenClassifier", "UniformHeadSelector",
+           "make_single_head_factory"]
+
+
+class SingleHeadTokenClassifier(nn.Module):
+    """DynamicViT-style predictor: one MLP over the whole embedding.
+
+    Local feature from ``Linear(D, D/2)``, global from masked average
+    pooling, then a classifier MLP to keep/prune scores.  The result is
+    broadcast across heads so it can stand in for the multi-head
+    classifier inside :class:`TokenSelector`.
+    """
+
+    def __init__(self, embed_dim, num_heads, activation=None, rng=None):
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        act = nn.GELU if activation is None else activation
+        feat = max(embed_dim // 2, 2)
+        self.feature_mlp = nn.Sequential(
+            nn.Linear(embed_dim, feat, rng=rng, weight_init="kaiming"),
+            act())
+        self.classifier_mlp = nn.Sequential(
+            nn.Linear(2 * feat, feat, rng=rng, weight_init="kaiming"),
+            act(),
+            nn.Linear(feat, max(feat // 2, 2), rng=rng,
+                      weight_init="kaiming"), act(),
+            nn.Linear(max(feat // 2, 2), 2, rng=rng,
+                      weight_init="kaiming"))
+
+    def forward(self, x, mask=None):
+        x = Tensor.ensure(x)
+        batch, tokens, _ = x.shape
+        local = self.feature_mlp(x)                       # (B, N, f)
+        if mask is None:
+            global_feat = local.mean(axis=1, keepdims=True)
+        else:
+            m = Tensor.ensure(mask).reshape(batch, tokens, 1)
+            global_feat = ((local * m).sum(axis=1, keepdims=True)
+                           / (m.sum(axis=1, keepdims=True) + 1e-8))
+        global_feat = global_feat + Tensor(
+            np.zeros((batch, tokens, local.shape[-1])))
+        combined = Tensor.concatenate([local, global_feat], axis=-1)
+        probs = F.softmax(self.classifier_mlp(combined), axis=-1)
+        probs = probs.reshape(batch, 1, tokens, 2)
+        return probs + Tensor(
+            np.zeros((batch, self.num_heads, tokens, 2)))
+
+
+class UniformHeadSelector(TokenSelector):
+    """Multi-head classifier with the attention branch ablated.
+
+    Head scores are averaged uniformly instead of weighted by the
+    learned head importance (Eq. 8 with ``a_i = const``).
+    """
+
+    def token_scores(self, patch_tokens, mask=None):
+        patch_tokens = self.norm(Tensor.ensure(patch_tokens))
+        per_head = self.classifier(patch_tokens, mask=mask)
+        scores = per_head.mean(axis=1)                    # (B, N, 2)
+        batch, tokens, _ = scores.shape
+        uniform = Tensor(np.full((batch, tokens, self.num_heads),
+                                 1.0 / self.num_heads))
+        return scores, uniform
+
+
+def make_single_head_factory(embed_dim, num_heads, activation=None):
+    """``classifier_factory`` for :class:`repro.core.HeatViT` that swaps
+    in the DynamicViT-style single-head classifier."""
+
+    def factory(rng):
+        return SingleHeadTokenClassifier(embed_dim, num_heads,
+                                         activation=activation, rng=rng)
+
+    return factory

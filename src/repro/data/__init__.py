@@ -1,0 +1,18 @@
+"""Synthetic data substrate (ImageNet substitute; see DESIGN.md)."""
+
+from repro.data.transforms import (Compose, add_gaussian_noise,
+                                   color_jitter, random_crop_pad,
+                                   random_horizontal_flip,
+                                   random_vertical_flip,
+                                   standard_augmentation)
+from repro.data.synthetic import (NUM_COLORS, NUM_SHAPES, SyntheticConfig,
+                                  SyntheticDataset, generate_dataset,
+                                  patch_object_fraction)
+
+__all__ = [
+    "SyntheticConfig", "SyntheticDataset", "generate_dataset",
+    "patch_object_fraction", "NUM_SHAPES", "NUM_COLORS",
+    "Compose", "random_horizontal_flip", "random_vertical_flip",
+    "random_crop_pad", "color_jitter", "add_gaussian_noise",
+    "standard_augmentation",
+]

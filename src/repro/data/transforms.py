@@ -1,0 +1,88 @@
+"""Lightweight data augmentations for training on the synthetic set.
+
+DeiT's recipe leans heavily on augmentation; at our scale a small set
+(flips, crops with padding, brightness/contrast jitter, Gaussian noise)
+is enough to regularize the little backbones without external deps.
+All transforms take/return ``(B, C, H, W)`` float arrays and an
+explicit ``rng`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_horizontal_flip", "random_vertical_flip",
+           "random_crop_pad", "color_jitter", "add_gaussian_noise",
+           "Compose", "standard_augmentation"]
+
+
+def _check_batch(images):
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ValueError(f"expected (B, C, H, W), got {images.shape}")
+    return images
+
+
+def random_horizontal_flip(images, rng, probability=0.5):
+    images = _check_batch(images).copy()
+    flips = rng.uniform(size=len(images)) < probability
+    images[flips] = images[flips, :, :, ::-1]
+    return images
+
+
+def random_vertical_flip(images, rng, probability=0.5):
+    images = _check_batch(images).copy()
+    flips = rng.uniform(size=len(images)) < probability
+    images[flips] = images[flips, :, ::-1, :]
+    return images
+
+
+def random_crop_pad(images, rng, padding=2):
+    """Pad reflectively by ``padding`` and crop back at a random offset."""
+    images = _check_batch(images)
+    batch, channels, height, width = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding),
+                             (padding, padding)), mode="reflect")
+    out = np.empty_like(images)
+    offsets = rng.integers(0, 2 * padding + 1, size=(batch, 2))
+    for index in range(batch):
+        dy, dx = offsets[index]
+        out[index] = padded[index, :, dy:dy + height, dx:dx + width]
+    return out
+
+
+def color_jitter(images, rng, brightness=0.2, contrast=0.2):
+    """Per-image random brightness shift and contrast scale."""
+    images = _check_batch(images)
+    batch = len(images)
+    shift = rng.uniform(-brightness, brightness, size=(batch, 1, 1, 1))
+    scale = 1.0 + rng.uniform(-contrast, contrast, size=(batch, 1, 1, 1))
+    mean = images.mean(axis=(2, 3), keepdims=True)
+    return (images - mean) * scale + mean + shift
+
+
+def add_gaussian_noise(images, rng, std=0.02):
+    images = _check_batch(images)
+    return images + rng.normal(scale=std, size=images.shape)
+
+
+class Compose:
+    """Apply a sequence of ``fn(images, rng)`` transforms."""
+
+    def __init__(self, transforms):
+        self.transforms = list(transforms)
+
+    def __call__(self, images, rng):
+        for transform in self.transforms:
+            images = transform(images, rng)
+        return images
+
+
+def standard_augmentation(padding=2, noise_std=0.02):
+    """The default training augmentation pipeline."""
+    return Compose([
+        random_horizontal_flip,
+        lambda imgs, rng: random_crop_pad(imgs, rng, padding=padding),
+        color_jitter,
+        lambda imgs, rng: add_gaussian_noise(imgs, rng, std=noise_std),
+    ])

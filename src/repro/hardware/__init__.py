@@ -1,0 +1,40 @@
+"""FPGA accelerator simulator + CPU/GPU comparison models."""
+
+from repro.hardware.accelerator import (AcceleratorDesign, AcceleratorReport,
+                                        ViTAcceleratorSim, baseline_design,
+                                        heatvit_design)
+from repro.hardware.comparison import (PlatformResult, compare_platforms,
+                                       speedup_breakdown)
+from repro.hardware.device import (BRAM36_BYTES, TX2_CPU, TX2_GPU, ZCU102,
+                                   FPGASpec, ProcessorSpec)
+from repro.hardware.gemm import GemmShape, TiledGemmEngine
+from repro.hardware.latency_table import (PAPER_TABLE4, block_latency_ms,
+                                          build_latency_table)
+from repro.hardware.resources import (PAPER_TABLE3, ResourceCount,
+                                      approx_gelu_unit, approx_sigmoid_unit,
+                                      approx_softmax_unit, buffer_brams,
+                                      gemm_engine_resources,
+                                      nonlinear_unit_table, original_unit,
+                                      selector_control)
+from repro.hardware.schedule import (LayerTraceEntry, format_trace,
+                                     trace_schedule, utilization_summary)
+from repro.hardware.selector_flow import FlowResult, TokenSelectionFlow
+from repro.hardware.tiling import TilingChoice, search_tiling
+
+__all__ = [
+    "FPGASpec", "ProcessorSpec", "ZCU102", "TX2_CPU", "TX2_GPU",
+    "BRAM36_BYTES",
+    "GemmShape", "TiledGemmEngine",
+    "AcceleratorDesign", "AcceleratorReport", "ViTAcceleratorSim",
+    "baseline_design", "heatvit_design",
+    "ResourceCount", "nonlinear_unit_table", "original_unit",
+    "approx_gelu_unit", "approx_softmax_unit", "approx_sigmoid_unit",
+    "gemm_engine_resources", "buffer_brams", "selector_control",
+    "PAPER_TABLE3", "PAPER_TABLE4",
+    "build_latency_table", "block_latency_ms",
+    "TokenSelectionFlow", "FlowResult",
+    "TilingChoice", "search_tiling",
+    "PlatformResult", "compare_platforms", "speedup_breakdown",
+    "LayerTraceEntry", "trace_schedule", "format_trace",
+    "utilization_summary",
+]

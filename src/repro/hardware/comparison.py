@@ -1,0 +1,92 @@
+"""FPGA vs Jetson TX2 CPU/GPU comparison (paper Sec. VII-C1, Fig. 13).
+
+The TX2 processors are modeled with calibrated sustained throughputs
+(:mod:`repro.hardware.device`); token pruning accelerates them by the
+GMAC reduction (MSA and FFN shrink with the token count), while the
+8-bit path exists only on the FPGA ("TX2 CPU/GPU does not support
+low-bit computation").
+
+All speedups are normalized against the original (dense, FP32) model on
+the TX2 CPU, matching the figure's normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.accelerator import (ViTAcceleratorSim, baseline_design,
+                                        heatvit_design)
+from repro.hardware.device import TX2_CPU, TX2_GPU, ZCU102
+from repro.vit.complexity import model_gmacs, pruned_model_gmacs
+
+__all__ = ["PlatformResult", "compare_platforms", "speedup_breakdown"]
+
+
+@dataclass
+class PlatformResult:
+    """One bar of Fig. 13."""
+
+    platform: str
+    pruned: bool
+    fps: float
+    power_w: float
+    speedup_vs_cpu_dense: float
+    energy_efficiency: float
+
+
+def compare_platforms(config, stage_plan, device=ZCU102):
+    """Fig. 13 data for one backbone: CPU/GPU (dense + pruned), FPGA
+    baseline (16-bit dense), and the full HeatViT FPGA design."""
+    dense_gmacs = model_gmacs(config)
+    pruned_gmacs = pruned_model_gmacs(config, stage_plan)
+
+    cpu_dense_fps = TX2_CPU.fps(dense_gmacs)
+    results = [
+        PlatformResult("TX2-CPU", False, cpu_dense_fps, TX2_CPU.power_w,
+                       1.0, cpu_dense_fps / TX2_CPU.power_w),
+        PlatformResult("TX2-CPU", True, TX2_CPU.fps(pruned_gmacs),
+                       TX2_CPU.power_w,
+                       TX2_CPU.fps(pruned_gmacs) / cpu_dense_fps,
+                       TX2_CPU.fps(pruned_gmacs) / TX2_CPU.power_w),
+        PlatformResult("TX2-GPU", False, TX2_GPU.fps(dense_gmacs),
+                       TX2_GPU.power_w,
+                       TX2_GPU.fps(dense_gmacs) / cpu_dense_fps,
+                       TX2_GPU.fps(dense_gmacs) / TX2_GPU.power_w),
+        PlatformResult("TX2-GPU", True, TX2_GPU.fps(pruned_gmacs),
+                       TX2_GPU.power_w,
+                       TX2_GPU.fps(pruned_gmacs) / cpu_dense_fps,
+                       TX2_GPU.fps(pruned_gmacs) / TX2_GPU.power_w),
+    ]
+
+    base_report = ViTAcceleratorSim(config, baseline_design(config),
+                                    device=device).simulate()
+    results.append(PlatformResult(
+        "FPGA-baseline", False, base_report.fps, base_report.power_w,
+        base_report.fps / cpu_dense_fps, base_report.energy_efficiency))
+
+    heat_report = ViTAcceleratorSim(config, heatvit_design(config),
+                                    device=device).simulate(stage_plan)
+    results.append(PlatformResult(
+        "FPGA-HeatViT", True, heat_report.fps, heat_report.power_w,
+        heat_report.fps / cpu_dense_fps, heat_report.energy_efficiency))
+    return results
+
+
+def speedup_breakdown(config, stage_plan, device=ZCU102):
+    """Decompose the FPGA speedup into pruning and quantization parts.
+
+    Returns ``{'pruning': x, 'quantization': y, 'total': x*y}`` relative
+    to the 16-bit dense FPGA baseline, the Fig. 13 breakdown.
+    """
+    base = ViTAcceleratorSim(config, baseline_design(config),
+                             device=device).simulate()
+    heat_sim = ViTAcceleratorSim(config, heatvit_design(config),
+                                 device=device)
+    dense8 = heat_sim.simulate()
+    pruned8 = heat_sim.simulate(stage_plan)
+    quant_speedup = dense8.speedup_over(base)
+    pruning_speedup = pruned8.latency_ms and (dense8.latency_ms
+                                              / pruned8.latency_ms)
+    return {"pruning": pruning_speedup,
+            "quantization": quant_speedup,
+            "total": pruned8.speedup_over(base)}

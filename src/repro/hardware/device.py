@@ -1,0 +1,97 @@
+"""Hardware platform specifications (paper Sec. VII-A2).
+
+The evaluation platform is a Xilinx ZCU102 (Zynq UltraScale+ MPSoC) at
+150 MHz, plus the Jetson TX2 ARM CPU / Pascal GPU used for the Fig. 13
+comparison.  The numbers here are public datasheet values; TX2 effective
+throughputs are calibrated to the paper's measured baselines (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FPGASpec", "ProcessorSpec", "ZCU102", "TX2_CPU", "TX2_GPU",
+           "BRAM36_BYTES"]
+
+# One BRAM36 block stores 36 Kbit = 4608 bytes.
+BRAM36_BYTES = 4608
+
+
+@dataclass(frozen=True)
+class FPGASpec:
+    """An FPGA device: resource budget + clock + external memory."""
+
+    name: str
+    dsp: int
+    bram36: int
+    lut: int
+    ff: int
+    clock_mhz: float
+    ddr_bandwidth_gbps: float
+
+    @property
+    def cycle_ns(self):
+        return 1000.0 / self.clock_mhz
+
+    @property
+    def ddr_bytes_per_cycle(self):
+        return self.ddr_bandwidth_gbps * 1e9 / (self.clock_mhz * 1e6)
+
+    def utilization(self, used):
+        """Fractions of each resource used by a design.
+
+        ``used`` maps resource name -> count; returns name -> fraction.
+        """
+        budget = {"dsp": self.dsp, "bram36": self.bram36,
+                  "lut": self.lut, "ff": self.ff}
+        result = {}
+        for key, amount in used.items():
+            if key not in budget:
+                raise KeyError(f"unknown resource {key!r}")
+            result[key] = amount / budget[key]
+        return result
+
+    def fits(self, used):
+        return all(frac <= 1.0 for frac in self.utilization(used).values())
+
+
+# Xilinx ZCU102 evaluation board (paper Sec. VII-A2: 2520 DSPs, 912 BRAM
+# blocks, 274.1k LUTs); FF budget is 2x the LUT budget on UltraScale+.
+ZCU102 = FPGASpec(name="ZCU102", dsp=2520, bram36=912, lut=274_100,
+                  ff=548_200, clock_mhz=150.0, ddr_bandwidth_gbps=19.2)
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """A CPU/GPU modeled as effective sustained GMACs/s + power.
+
+    ``effective_gmacs`` is *sustained* throughput on ViT inference (not
+    peak silicon FLOPS) and is calibrated such that the normalized
+    speedups of Fig. 13 are reproduced.
+    """
+
+    name: str
+    effective_gmacs: float
+    power_w: float
+    supports_low_bit: bool = False
+
+    def latency_ms(self, gmacs):
+        return gmacs / self.effective_gmacs * 1e3
+
+    def fps(self, gmacs):
+        return self.effective_gmacs / gmacs
+
+    def energy_efficiency(self, gmacs):
+        """Frames per second per watt."""
+        return self.fps(gmacs) / self.power_w
+
+
+# Jetson TX2: 4-core ARM A57 CPU (paper reports ~4 W under load) and the
+# 256-core Pascal GPU (~12 W).  Effective throughputs calibrated so that
+# the FP32 DeiT-T baseline lands at the paper's normalization anchor
+# (FPGA final design = 1827x the TX2 CPU baseline at 271.2 FPS
+# => CPU baseline ~= 0.148 FPS ~= 0.193 GMACs/s on 1.3 GMACs) and the
+# GPU runs ~680x faster than the CPU.
+TX2_CPU = ProcessorSpec(name="TX2-CPU", effective_gmacs=0.193, power_w=4.0)
+TX2_GPU = ProcessorSpec(name="TX2-GPU", effective_gmacs=131.0, power_w=12.0)

@@ -1,0 +1,44 @@
+"""Build the keep-ratio -> latency table from the simulator (Table IV).
+
+The paper measures one-block latency on the ZCU102 for keep ratios
+1.0 .. 0.5 and feeds the table into the latency-aware training strategy
+(Sec. VI).  :func:`build_latency_table` produces the same artifact from
+the accelerator simulator so the whole pipeline runs without hardware;
+:data:`PAPER_TABLE4` holds the measured values for comparison.
+"""
+
+from __future__ import annotations
+
+from repro.core.latency import LatencySparsityTable
+from repro.hardware.accelerator import ViTAcceleratorSim, baseline_design
+from repro.hardware.device import ZCU102
+from repro.vit.complexity import tokens_after_pruning
+
+__all__ = ["build_latency_table", "block_latency_ms", "PAPER_TABLE4"]
+
+# Table IV of the paper (ms per block, 16-bit blocks on ZCU102).
+PAPER_TABLE4 = {
+    "DeiT-T": {1.0: 1.034, 0.9: 0.945, 0.8: 0.881, 0.7: 0.764,
+               0.6: 0.702, 0.5: 0.636},
+    "DeiT-S": {1.0: 3.161, 0.9: 2.837, 0.8: 2.565, 0.7: 2.255,
+               0.6: 1.973, 0.5: 1.682},
+}
+
+
+def block_latency_ms(config, keep_ratio, design=None, device=ZCU102,
+                     with_selector=False):
+    """Latency of ONE transformer block at a given token keep ratio."""
+    design = baseline_design(config) if design is None else design
+    sim = ViTAcceleratorSim(config, design, device=device)
+    tokens = tokens_after_pruning(config.num_patches, keep_ratio)
+    cycles, cpu_ns = sim.block_cycles(tokens, with_selector=with_selector)
+    return (sum(cycles.values()) * device.cycle_ns + cpu_ns) / 1e6
+
+
+def build_latency_table(config, keep_ratios=(1.0, 0.9, 0.8, 0.7, 0.6, 0.5),
+                        design=None, device=ZCU102):
+    """Simulated latency-sparsity table for Algorithm 1 (Eq. 18)."""
+    entries = {ratio: block_latency_ms(config, ratio, design=design,
+                                       device=device)
+               for ratio in keep_ratios}
+    return LatencySparsityTable(entries)

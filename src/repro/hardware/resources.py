@@ -1,0 +1,275 @@
+"""Analytic FPGA resource model (paper Table III + Table VI columns).
+
+Two layers of modeling:
+
+* **Nonlinear function units** -- the approximated implementations are
+  composed from primitive fixed-point operator costs (adders, DSP
+  multipliers, comparators, barrel shifters, pipeline registers); the
+  original implementations use the Vitis HLS math-library core costs,
+  which we take from the paper's own synthesis measurements (they are
+  vendor-IP properties we cannot re-synthesize without Vitis).
+* **GEMM engine / buffers / control** -- per-MAC datapath glue, ping-pong
+  buffer BRAM counts, and per-head control overheads, calibrated against
+  the baseline design rows of Table VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.hardware.device import BRAM36_BYTES
+
+__all__ = ["ResourceCount", "PRIMITIVES", "HLS_MATH_CORES",
+           "approx_gelu_unit", "approx_softmax_unit", "approx_sigmoid_unit",
+           "original_unit", "nonlinear_unit_table",
+           "gemm_engine_resources", "buffer_brams", "selector_control",
+           "PAPER_TABLE3"]
+
+
+@dataclass(frozen=True)
+class ResourceCount:
+    """FF / LUT / DSP usage of one hardware unit."""
+
+    ff: int = 0
+    lut: int = 0
+    dsp: int = 0
+
+    def __add__(self, other):
+        return ResourceCount(self.ff + other.ff, self.lut + other.lut,
+                             self.dsp + other.dsp)
+
+    def scaled(self, factor):
+        return ResourceCount(int(self.ff * factor), int(self.lut * factor),
+                             int(self.dsp * factor))
+
+
+# ----------------------------------------------------------------------
+# Primitive fixed-point operator costs (16-bit datapath, one pipeline
+# stage each).  LUT counts follow the usual 1-LUT-per-result-bit rule
+# for adders/muxes; multiplies map to DSP48 slices.
+# ----------------------------------------------------------------------
+PRIMITIVES = {
+    "add16": ResourceCount(ff=16, lut=16, dsp=0),
+    "sub16": ResourceCount(ff=16, lut=16, dsp=0),
+    "mult16": ResourceCount(ff=32, lut=0, dsp=1),
+    "mult_const": ResourceCount(ff=32, lut=0, dsp=1),
+    "square16": ResourceCount(ff=32, lut=0, dsp=1),
+    "compare16": ResourceCount(ff=4, lut=16, dsp=0),
+    "mux16": ResourceCount(ff=16, lut=16, dsp=0),
+    "abs_sign": ResourceCount(ff=18, lut=34, dsp=0),
+    "clip16": ResourceCount(ff=20, lut=48, dsp=0),
+    "barrel_shift16": ResourceCount(ff=32, lut=96, dsp=0),
+    "lut_divider": ResourceCount(ff=420, lut=980, dsp=0),
+    "tree_max16": ResourceCount(ff=120, lut=260, dsp=0),
+    "tree_sum16": ResourceCount(ff=150, lut=300, dsp=0),
+    "shift_const": ResourceCount(ff=16, lut=8, dsp=0),
+}
+
+# Vitis HLS math-library core costs (floating point exp/erf/div), as
+# synthesized by the paper's tool flow -- Table III "Orig." columns are
+# direct measurements of these cores plus glue.
+HLS_MATH_CORES = {
+    "erf_float": ResourceCount(ff=187_000, lut=157_500, dsp=132),
+    "exp_float": ResourceCount(ff=640, lut=650, dsp=1),
+    "div_float": ResourceCount(ff=760, lut=800, dsp=0),
+    "float_mult": ResourceCount(ff=140, lut=90, dsp=3),
+    "float_add": ResourceCount(ff=210, lut=220, dsp=2),
+}
+
+# Paper Table III, verbatim, for comparison in the benchmark harness.
+PAPER_TABLE3 = {
+    "GELU": {"approx": ResourceCount(ff=334, lut=438, dsp=4),
+             "orig": ResourceCount(ff=191_116, lut=160_909, dsp=139)},
+    "Sigmoid": {"approx": ResourceCount(ff=1015, lut=1512, dsp=0),
+                "orig": ResourceCount(ff=2334, lut=2333, dsp=3)},
+    "Softmax": {"approx": ResourceCount(ff=1939, lut=2364, dsp=2),
+                "orig": ResourceCount(ff=2464, lut=2476, dsp=3)},
+}
+
+
+def _total(parts):
+    total = ResourceCount()
+    for part in parts:
+        total = total + part
+    return total
+
+
+def approx_gelu_unit():
+    """GELU_aprx (Eq. 12): abs/sign, clip, (x+b)^2 via one squarer, two
+    constant multiplies, adds, and the final x * (.) multiply."""
+    p = PRIMITIVES
+    return _total([
+        p["abs_sign"],            # |x|, sign(x)
+        p["clip16"],              # min(|x|, -b)
+        p["add16"],               # + b
+        p["square16"],            # (.)^2            -> DSP
+        p["mult_const"],          # * a (and delta1 folded in)
+        p["add16"],               # + 1
+        p["mux16"],               # apply sign
+        p["add16"],               # 1 + L_erf
+        p["mult16"],              # x * (.)          -> DSP
+        p["mult_const"],          # * 0.5 (strength-reduced but keep DSP)
+        p["shift_const"],
+    ])
+
+
+def approx_softmax_unit():
+    """Softmax_aprx (Eqs. 13-14): max-subtract, shift-based exp with a
+    second-order polynomial, accumulate, one fixed-point divide."""
+    p = PRIMITIVES
+    return _total([
+        p["tree_max16"],          # running max
+        p["sub16"],               # x - max
+        p["mult_const"],          # z = floor(-x/ln2) via const mult
+        p["add16"],               # p = x + z ln2
+        p["square16"],            # (p + c1)^2       -> DSP
+        p["add16"],
+        p["barrel_shift16"],      # >> z
+        p["tree_sum16"],          # sum of exps
+        p["lut_divider"],         # exp / sum (LUT-based, no DSP)
+        p["mux16"],
+    ])
+
+
+def approx_sigmoid_unit():
+    """PLAN sigmoid: three comparators, shift-add segments, muxes."""
+    p = PRIMITIVES
+    return _total([
+        p["abs_sign"],
+        p["compare16"], p["compare16"], p["compare16"],
+        p["shift_const"], p["shift_const"], p["shift_const"],
+        p["add16"], p["add16"], p["add16"],
+        p["mux16"], p["mux16"], p["mux16"],
+        p["sub16"],               # 1 - y for negative x
+        # PLAN keeps a small breakpoint ROM + wide muxes:
+        ResourceCount(ff=760, lut=1150, dsp=0),
+    ])
+
+
+def original_unit(function):
+    """HLS math-library implementation cost of GELU/Softmax/Sigmoid."""
+    cores = HLS_MATH_CORES
+    if function == "GELU":
+        return _total([cores["erf_float"], cores["float_mult"],
+                       cores["float_add"], cores["float_mult"]])
+    if function == "Softmax":
+        return _total([cores["exp_float"], cores["div_float"],
+                       cores["float_add"], cores["float_add"],
+                       ResourceCount(ff=640, lut=580, dsp=0)])
+    if function == "Sigmoid":
+        return _total([cores["exp_float"], cores["div_float"],
+                       cores["float_add"], ResourceCount(ff=720, lut=660,
+                                                         dsp=0)])
+    raise KeyError(f"unknown nonlinear function {function!r}")
+
+
+def nonlinear_unit_table():
+    """Our analytic version of Table III: {fn: {'approx','orig'}}."""
+    return {
+        "GELU": {"approx": approx_gelu_unit(),
+                 "orig": original_unit("GELU")},
+        "Sigmoid": {"approx": approx_sigmoid_unit(),
+                    "orig": original_unit("Sigmoid")},
+        "Softmax": {"approx": approx_softmax_unit(),
+                    "orig": original_unit("Softmax")},
+    }
+
+
+# ----------------------------------------------------------------------
+# GEMM engine + infrastructure (calibrated against Table VI baselines)
+# ----------------------------------------------------------------------
+# A 16-bit MAC maps to 2 DSP48 slices in the baseline design ([31]'s
+# W8A8-free variant); an 8-bit MAC fits a single slice.
+_DSP_PER_MAC = {16: 2, 8: 1}
+# Datapath glue (operand muxing, accumulator carry logic) per MAC.
+_LUT_PER_MAC = {16: 58, 8: 36}
+_FF_PER_MAC = {16: 64, 8: 40}
+# Shared infrastructure: AXI/DDR controller datapath, address generators.
+_BASE = ResourceCount(ff=38_000, lut=44_000, dsp=60)
+# Per-head control (group sequencing, concat/sum select of Fig. 8b).
+_HEAD_CTRL_LUT = 900
+_HEAD_CTRL_FF = 700
+
+
+def gemm_engine_resources(ti, to, th, bitwidth, use_approx_nonlinear):
+    """Total FF/LUT/DSP of the accelerator datapath.
+
+    Includes the MAC array (``ti*to*th`` MACs), shared infrastructure,
+    per-head control, and one unit each of GELU/Softmax (original or
+    approximated) -- Sigmoid exists only in designs with token selectors
+    and is added by :func:`selector_control`.
+    """
+    if bitwidth not in _DSP_PER_MAC:
+        raise ValueError(f"unsupported bitwidth {bitwidth}")
+    macs = ti * to * th
+    array = ResourceCount(
+        ff=_FF_PER_MAC[bitwidth] * macs,
+        lut=_LUT_PER_MAC[bitwidth] * macs,
+        dsp=_DSP_PER_MAC[bitwidth] * macs)
+    heads = ResourceCount(ff=_HEAD_CTRL_FF * th, lut=_HEAD_CTRL_LUT * th,
+                          dsp=0)
+    table = nonlinear_unit_table()
+    kind = "approx" if use_approx_nonlinear else "orig"
+    # The baseline [31] already avoids the float erf core; model its
+    # nonlinear path as look-up-table units of moderate cost.
+    if use_approx_nonlinear:
+        nonlinear = table["GELU"][kind] + table["Softmax"][kind]
+    else:
+        nonlinear = ResourceCount(ff=7200, lut=8800, dsp=22)
+    return _BASE + array + heads + nonlinear
+
+
+def buffer_brams(max_tokens, head_dim, num_heads, th, ti, to, bitwidth,
+                 mlp_hidden_dim):
+    """Ping-pong on-chip buffer BRAM36 count (Fig. 8a).
+
+    Buffers: input tokens (banked by ``ti`` per active head), weights
+    (``ti x to`` banked), outputs (``to`` banked, 32-bit accumulators),
+    and the attention intermediates (Q/K/V and the NxN score tile) that
+    must be resident *per head group* -- the reason Table VI's BRAM
+    grows with the number of heads.
+    """
+    bytes_per = bitwidth // 8
+    double = 2  # ping-pong
+
+    def banked(total_bytes, banks):
+        per_bank = math.ceil(total_bytes / banks)
+        return banks * max(1, math.ceil(per_bank / BRAM36_BYTES))
+
+    input_buf = banked(max_tokens * ti * bytes_per * double, ti) * th
+    weight_buf = banked(ti * to * bytes_per * double * 64, ti)
+    output_buf = banked(max_tokens * to * 4 * double, to)
+    qkv_buf = banked(max_tokens * head_dim * bytes_per * 3, 3) * num_heads
+    score_buf = banked(max_tokens * max_tokens * bytes_per, 4) * th
+    misc = 24   # instruction / descriptor / token-index buffers
+    return input_buf + weight_buf + output_buf + qkv_buf + score_buf + misc
+
+
+def selector_control(num_heads, bitwidth=8):
+    """Extra logic for the token selection flow (Fig. 9).
+
+    The classifier itself reuses the GEMM engine; what is added is the
+    exponent/sum/divide pipeline, threshold comparators, the packaging
+    accumulator, and index/concat control -- plus one PLAN sigmoid unit
+    for the attention branch.  Returns (ResourceCount, extra_bram36).
+    """
+    p = PRIMITIVES
+    flow = _total([
+        p["mult_const"], p["add16"],          # exponent polynomial
+        p["square16"],
+        p["barrel_shift16"],
+        p["tree_sum16"],                      # Sum of exponents
+        p["lut_divider"],                     # exponent / Sum
+        p["compare16"],                       # threshold at 0.5
+        p["tree_sum16"],                      # Tmp accumulation (packager)
+        p["lut_divider"],                     # package averaging
+        p["mux16"], p["mux16"],               # concat steering
+        ResourceCount(ff=2400, lut=3400, dsp=0),   # index FIFO + control FSM
+    ])
+    flow = flow + approx_sigmoid_unit()
+    per_head = ResourceCount(ff=260 * num_heads, lut=340 * num_heads, dsp=0)
+    # Token-index and score scratch buffers.
+    extra_bram = 6
+    return flow + per_head, extra_bram

@@ -1,0 +1,102 @@
+"""Per-layer execution trace of the accelerator (profiling support).
+
+`ViTAcceleratorSim.simulate` reports whole-model aggregates; this module
+expands the schedule into one entry per executed layer -- cycles,
+MAC-array efficiency, bound (compute vs DDR), and running timestamp --
+the view an FPGA engineer uses to find under-utilized layers (e.g. the
+ragged attention GEMMs that waste tiles after pruning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.accelerator import ViTAcceleratorSim
+
+__all__ = ["LayerTraceEntry", "trace_schedule", "format_trace",
+           "utilization_summary"]
+
+
+@dataclass(frozen=True)
+class LayerTraceEntry:
+    """One executed GEMM workload in the schedule."""
+
+    block: int                 # transformer block index (-1 = embedding)
+    layer: str                 # e.g. "qkv", "qk_t", "sel_feature"
+    tokens: int
+    cycles: int
+    macs: int
+    efficiency: float          # achieved/peak MAC utilization
+    bound: str                 # "compute" or "memory"
+    start_cycle: int
+
+
+def trace_schedule(config, design, stage_plan=None, device=None):
+    """Expand the full model schedule into :class:`LayerTraceEntry` list."""
+    from repro.hardware.device import ZCU102
+    device = ZCU102 if device is None else device
+    sim = ViTAcceleratorSim(config, design, device=device)
+    counts, boundaries = sim.tokens_schedule(stage_plan)
+    entries = []
+    clock = 0
+
+    def push(block, name, tokens, shape):
+        nonlocal clock
+        cycles = sim.engine.latency_cycles(shape)
+        compute = sim.engine.compute_cycles(shape)
+        transfer = sim.engine.transfer_cycles(shape)
+        entries.append(LayerTraceEntry(
+            block=block, layer=name, tokens=tokens, cycles=cycles,
+            macs=shape.macs, efficiency=sim.engine.efficiency(shape),
+            bound="memory" if transfer > compute else "compute",
+            start_cycle=clock))
+        clock += cycles
+
+    from repro.hardware.gemm import GemmShape
+    patch_dim = config.in_channels * config.patch_size ** 2
+    push(-1, "patch_embed", config.num_patches,
+         GemmShape(config.num_patches, patch_dim, config.embed_dim))
+    for block_index in range(config.depth):
+        tokens = counts[block_index]
+        if block_index in boundaries:
+            for name, shape in sim.selector_gemms(tokens):
+                push(block_index, name, tokens, shape)
+        for name, shape in sim.block_gemms(tokens):
+            push(block_index, name, tokens, shape)
+    push(config.depth, "head", 1,
+         GemmShape(1, config.embed_dim, config.num_classes))
+    return entries
+
+
+def format_trace(entries, limit=None):
+    """Render a trace as a fixed-width text table."""
+    rows = entries if limit is None else entries[:limit]
+    lines = [f"{'blk':>4} {'layer':<12} {'tokens':>6} {'cycles':>9} "
+             f"{'eff':>5} {'bound':<7} {'t_start':>10}"]
+    for e in rows:
+        lines.append(
+            f"{e.block:>4} {e.layer:<12} {e.tokens:>6} {e.cycles:>9} "
+            f"{e.efficiency:>5.2f} {e.bound:<7} {e.start_cycle:>10}")
+    return "\n".join(lines)
+
+
+def utilization_summary(entries):
+    """Aggregate stats: overall efficiency, per-layer-kind breakdown,
+    and the fraction of cycles spent memory-bound."""
+    total_cycles = sum(e.cycles for e in entries)
+    total_macs = sum(e.macs for e in entries)
+    by_kind = {}
+    for e in entries:
+        kind = by_kind.setdefault(e.layer, {"cycles": 0, "macs": 0})
+        kind["cycles"] += e.cycles
+        kind["macs"] += e.macs
+    memory_cycles = sum(e.cycles for e in entries if e.bound == "memory")
+    weighted_eff = (sum(e.efficiency * e.cycles for e in entries)
+                    / max(total_cycles, 1))
+    return {
+        "total_cycles": total_cycles,
+        "total_macs": total_macs,
+        "weighted_efficiency": weighted_eff,
+        "memory_bound_fraction": memory_cycles / max(total_cycles, 1),
+        "by_layer": by_kind,
+    }

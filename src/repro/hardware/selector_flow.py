@@ -1,0 +1,100 @@
+"""Functional model of the on-chip token selection flow (paper Fig. 9).
+
+The accelerator implements the final GumbelSoftmax-with-threshold of the
+token selector in three streamed steps:
+
+1. for each token, compute ``exp(x_i)`` (with the Eq. 14 shift-based
+   exponent) and accumulate the sum of exponents;
+2. divide each exponent by the sum and compare against the threshold
+   (0.5) to classify the token as informative or not;
+3. informative tokens are concatenated into the dense output sequence,
+   non-informative ones accumulate into a temporary token ``Tmp`` that
+   is finally averaged and concatenated.
+
+This module executes that flow on (quantized) score data and returns
+both the dense output sequence and cycle counts, so tests can verify it
+matches the algorithmic :class:`repro.core.TokenSelector` decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.polynomial import exp_approx
+
+__all__ = ["TokenSelectionFlow", "FlowResult"]
+
+
+@dataclass
+class FlowResult:
+    """Outcome of the hardware token-selection flow for one image."""
+
+    keep_indices: np.ndarray     # indices of informative tokens
+    output_tokens: np.ndarray    # (K + 1, D): kept tokens + package
+    keep_flags: np.ndarray       # (N,) booleans
+    cycles: int
+
+
+class TokenSelectionFlow:
+    """Streamed token selection with threshold classification.
+
+    Parameters
+    ----------
+    threshold: keep if ``softmax(keep_logit) >= threshold`` (paper: 0.5).
+    use_exp_approx: use the shift-based exponent of Eq. 14 (hardware
+        behaviour) rather than the exact ``exp``.
+    """
+
+    # Per-token pipeline costs for the three steps (exponent, divide +
+    # classify, concat/accumulate) and fixed sequencing overhead.
+    CYCLES_PER_TOKEN = 3
+    FIXED_OVERHEAD = 64
+
+    def __init__(self, threshold=0.5, use_exp_approx=True):
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.threshold = threshold
+        self.use_exp_approx = use_exp_approx
+
+    def run(self, tokens, keep_logits, prune_logits):
+        """Execute the flow for one image.
+
+        ``tokens``: (N, D) token features.  ``keep_logits`` /
+        ``prune_logits``: (N,) classifier outputs *before* the softmax
+        (the flow computes the 2-way softmax itself, Fig. 9 step 1-2).
+        """
+        tokens = np.asarray(tokens, dtype=np.float64)
+        keep_logits = np.asarray(keep_logits, dtype=np.float64)
+        prune_logits = np.asarray(prune_logits, dtype=np.float64)
+        if tokens.ndim != 2:
+            raise ValueError("tokens must be (N, D)")
+        count = tokens.shape[0]
+        if keep_logits.shape != (count,) or prune_logits.shape != (count,):
+            raise ValueError("logit shapes must be (N,)")
+
+        # Step 1: exponents with numerical-stability shift.
+        stacked = np.stack([keep_logits, prune_logits], axis=-1)
+        shifted = stacked - stacked.max(axis=-1, keepdims=True)
+        exp_fn = exp_approx if self.use_exp_approx else np.exp
+        exps = exp_fn(shifted)
+        # Step 2: divide and classify.
+        keep_prob = exps[:, 0] / exps.sum(axis=-1)
+        keep_flags = keep_prob >= self.threshold
+        if not keep_flags.any():
+            keep_flags[int(keep_prob.argmax())] = True
+        # Step 3: concatenate informative tokens; average the rest.
+        keep_indices = np.flatnonzero(keep_flags)
+        kept = tokens[keep_flags]
+        pruned = tokens[~keep_flags]
+        if pruned.shape[0]:
+            weights = keep_prob[~keep_flags]
+            package = ((pruned * weights[:, None]).sum(axis=0)
+                       / max(weights.sum(), 1e-8))
+            output = np.concatenate([kept, package[None]], axis=0)
+        else:
+            output = kept
+        cycles = self.CYCLES_PER_TOKEN * count + self.FIXED_OVERHEAD
+        return FlowResult(keep_indices=keep_indices, output_tokens=output,
+                          keep_flags=keep_flags, cycles=cycles)

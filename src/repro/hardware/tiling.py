@@ -1,0 +1,72 @@
+"""Design-space exploration for the GEMM tiling factors (Sec. V-B2).
+
+"To improve throughput, we optimize parallelism factors including Ti,
+To, and Th ... we will conduct comprehensive FPGA resource modeling for
+available computing and on-chip memory resources."  This module searches
+(Ti, To, Th) under the device DSP/BRAM/LUT budgets to minimize simulated
+model latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.accelerator import AcceleratorDesign, ViTAcceleratorSim
+from repro.hardware.device import ZCU102
+
+__all__ = ["TilingChoice", "search_tiling"]
+
+
+@dataclass(frozen=True)
+class TilingChoice:
+    """One explored design point."""
+
+    ti: int
+    to: int
+    th: int
+    latency_ms: float
+    fps: float
+    utilization: dict
+
+    @property
+    def macs_per_cycle(self):
+        return self.ti * self.to * self.th
+
+
+def search_tiling(config, bitwidth=8, device=ZCU102,
+                  ti_candidates=(4, 8, 16), to_candidates=(8, 16, 32, 64,
+                                                           80, 96, 128),
+                  max_dsp_fraction=0.85, with_token_selector=True,
+                  stage_plan=None, top_k=5):
+    """Exhaustively explore (Ti, To, Th) and rank by simulated latency.
+
+    ``Th`` is fixed to the model's head count (the paper designs one
+    accelerator per head count); Ti and To are swept.  Designs that
+    exceed ``max_dsp_fraction`` of the device DSPs or any other resource
+    budget are discarded.  Returns the ``top_k`` feasible choices, best
+    first.
+    """
+    heads = config.num_heads
+    choices = []
+    for ti in ti_candidates:
+        for to in to_candidates:
+            design = AcceleratorDesign(
+                name=f"search-{config.name}-{ti}x{to}x{heads}",
+                ti=ti, to=to, th=heads, bitwidth=bitwidth,
+                with_token_selector=with_token_selector,
+                use_approx_nonlinear=(bitwidth == 8))
+            sim = ViTAcceleratorSim(config, design, device=device)
+            resources = sim.resource_usage()
+            utilization = device.utilization(resources)
+            if utilization["dsp"] > max_dsp_fraction:
+                continue
+            if not device.fits(resources):
+                continue
+            report = sim.simulate(stage_plan)
+            choices.append(TilingChoice(
+                ti=ti, to=to, th=heads, latency_ms=report.latency_ms,
+                fps=report.fps, utilization=utilization))
+    choices.sort(key=lambda c: c.latency_ms)
+    if not choices:
+        raise ValueError("no feasible tiling under the given budgets")
+    return choices[:top_k]

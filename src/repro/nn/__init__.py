@@ -1,0 +1,27 @@
+"""Neural-network substrate: autodiff tensors, layers, and optimizers.
+
+The paper builds on PyTorch; this package is the from-scratch equivalent
+used by every other subsystem in the reproduction.
+"""
+
+from repro.nn import functional
+from repro.nn.init import (default_rng, kaiming_uniform, trunc_normal,
+                           xavier_uniform)
+from repro.nn.layers import (GELU, Conv2d, Dropout, Hardswish, Identity,
+                             LayerNorm, Linear, ReLU, Sigmoid, Softmax)
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.nn.serialization import (load_checkpoint, load_into,
+                                    save_checkpoint)
+from repro.nn.optim import (SGD, Adam, AdamW, CosineSchedule, Optimizer,
+                            clip_grad_norm)
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled", "functional",
+    "Module", "ModuleList", "Parameter", "Sequential",
+    "Linear", "LayerNorm", "Dropout", "Identity", "Conv2d",
+    "GELU", "ReLU", "Hardswish", "Sigmoid", "Softmax",
+    "Optimizer", "SGD", "Adam", "AdamW", "CosineSchedule", "clip_grad_norm",
+    "default_rng", "trunc_normal", "xavier_uniform", "kaiming_uniform",
+    "save_checkpoint", "load_checkpoint", "load_into",
+]

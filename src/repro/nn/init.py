@@ -1,0 +1,61 @@
+"""Weight initializers (trunc-normal as used by DeiT, Xavier, Kaiming)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "default_rng",
+    "trunc_normal",
+    "xavier_uniform",
+    "kaiming_uniform",
+    "zeros",
+    "ones",
+]
+
+
+def default_rng(seed=None):
+    return np.random.default_rng(seed)
+
+
+def trunc_normal(shape, std=0.02, mean=0.0, rng=None, bound=2.0):
+    """Truncated normal within ``mean ± bound*std`` (DeiT's initializer)."""
+    rng = default_rng() if rng is None else rng
+    out = rng.normal(loc=mean, scale=std, size=shape)
+    low, high = mean - bound * std, mean + bound * std
+    bad = (out < low) | (out > high)
+    while bad.any():
+        out[bad] = rng.normal(loc=mean, scale=std, size=int(bad.sum()))
+        bad = (out < low) | (out > high)
+    return out
+
+
+def xavier_uniform(shape, gain=1.0, rng=None):
+    rng = default_rng() if rng is None else rng
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape, rng=None):
+    rng = default_rng() if rng is None else rng
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape):
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape):
+    return np.ones(shape, dtype=np.float64)
+
+
+def _fans(shape):
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

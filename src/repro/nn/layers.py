@@ -1,0 +1,202 @@
+"""Core layers: Linear, LayerNorm, Dropout, activations, and a small Conv2d.
+
+Linear layers are deliberately the workhorse everywhere (including the
+token selector) because the paper reuses the FPGA GEMM engine for them;
+Conv2d exists only so the Fig. 12 selector-structure ablation can compare
+against a convolution-based selector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "Identity",
+    "GELU",
+    "ReLU",
+    "Hardswish",
+    "Sigmoid",
+    "Softmax",
+    "Conv2d",
+]
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W + b`` (GEMM on the accelerator).
+
+    ``weight_init`` selects the initializer: ``"trunc_normal"`` (DeiT's
+    std=0.02 scheme, right for deep residual backbones) or ``"kaiming"``
+    (fan-in uniform, right for small non-residual MLP heads such as the
+    token selector, where 0.02-scale weights starve gradients).
+    """
+
+    def __init__(self, in_features, out_features, bias=True, rng=None,
+                 weight_init="trunc_normal"):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        if weight_init == "trunc_normal":
+            weights = init.trunc_normal((in_features, out_features),
+                                        std=0.02, rng=rng)
+        elif weight_init == "kaiming":
+            weights = init.kaiming_uniform((in_features, out_features),
+                                           rng=rng)
+        else:
+            raise ValueError(f"unknown weight_init {weight_init!r}")
+        self.weight = Parameter(weights)
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x):
+        x = Tensor.ensure(x)
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self):
+        return (f"Linear(in={self.in_features}, out={self.out_features}, "
+                f"bias={self.bias is not None})")
+
+
+class LayerNorm(Module):
+    """LayerNorm over the last dimension (runs on the ARM CPU in HeatViT)."""
+
+    def __init__(self, normalized_shape, eps=1e-6):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(init.ones(normalized_shape))
+        self.bias = Parameter(init.zeros(normalized_shape))
+
+    def forward(self, x):
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def __repr__(self):
+        return f"LayerNorm({self.normalized_shape}, eps={self.eps})"
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p=0.0, rng=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1): {p}")
+        self.p = p
+        self._rng = np.random.default_rng() if rng is None else rng
+
+    def forward(self, x):
+        if not self.training or self.p == 0.0:
+            return Tensor.ensure(x)
+        x = Tensor.ensure(x)
+        keep = 1.0 - self.p
+        mask = (self._rng.uniform(size=x.shape) < keep) / keep
+        return x * Tensor(mask)
+
+
+class Identity(Module):
+    def forward(self, x):
+        return Tensor.ensure(x)
+
+
+class GELU(Module):
+    def forward(self, x):
+        return F.gelu(x)
+
+
+class ReLU(Module):
+    def forward(self, x):
+        return F.relu(x)
+
+
+class Hardswish(Module):
+    def forward(self, x):
+        return F.hardswish(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x):
+        return F.sigmoid(x)
+
+
+class Softmax(Module):
+    def __init__(self, axis=-1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x):
+        return F.softmax(x, axis=self.axis)
+
+
+class Conv2d(Module):
+    """Minimal 2-D convolution via im2col (stride/padding supported).
+
+    Only used by the convolution-based token selector in the Fig. 12
+    ablation and by the patch-embedding layer (where it degenerates to a
+    strided reshape + GEMM).
+    """
+
+    def __init__(self, in_channels, out_channels, kernel_size, stride=1,
+                 padding=0, bias=True, rng=None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kernel_size if isinstance(kernel_size, tuple)
+                            else (kernel_size, kernel_size))
+        self.stride = stride if isinstance(stride, tuple) else (stride, stride)
+        self.padding = (padding if isinstance(padding, tuple)
+                        else (padding, padding))
+        kh, kw = self.kernel_size
+        fan = in_channels * kh * kw
+        self.weight = Parameter(
+            init.kaiming_uniform((fan, out_channels), rng=rng))
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+
+    def forward(self, x):
+        """x: (B, C, H, W) -> (B, out_channels, H', W')."""
+        x = Tensor.ensure(x)
+        batch, channels, height, width = x.shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        ph, pw = self.padding
+        out_h = (height + 2 * ph - kh) // sh + 1
+        out_w = (width + 2 * pw - kw) // sw + 1
+
+        cols = _im2col(x, kh, kw, sh, sw, ph, pw, out_h, out_w)
+        out = cols @ self.weight          # (B, oh*ow, C*kh*kw) @ -> out_ch
+        if self.bias is not None:
+            out = out + self.bias
+        out = out.reshape(batch, out_h, out_w, self.out_channels)
+        return out.transpose(0, 3, 1, 2)
+
+
+def _im2col(x, kh, kw, sh, sw, ph, pw, out_h, out_w):
+    """Differentiable im2col built from pad + strided gather."""
+    batch, channels, height, width = x.shape
+    if ph or pw:
+        padded_shape = (batch, channels, height + 2 * ph, width + 2 * pw)
+        pad_data = np.zeros(padded_shape)
+
+        def backward(grad):
+            return (grad[:, :, ph:ph + height, pw:pw + width],)
+
+        pad_data[:, :, ph:ph + height, pw:pw + width] = x.data
+        x = Tensor._make(pad_data, (x,), backward, "pad")
+    # Build gather indices once; __getitem__ handles the gradient.
+    rows = (np.arange(out_h) * sh)[:, None] + np.arange(kh)[None, :]
+    cols = (np.arange(out_w) * sw)[:, None] + np.arange(kw)[None, :]
+    # x[:, :, rows, cols] with broadcasting: index arrays shaped
+    # (out_h, 1, kh, 1) and (1, out_w, 1, kw).
+    r_idx = rows[:, None, :, None]
+    c_idx = cols[None, :, None, :]
+    patches = x[:, :, r_idx, c_idx]       # (B, C, oh, ow, kh, kw)
+    patches = patches.transpose(0, 2, 3, 1, 4, 5)
+    return patches.reshape(x.shape[0], out_h * out_w, -1)

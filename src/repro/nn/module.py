@@ -1,0 +1,193 @@
+"""Module/Parameter abstractions, mirroring the familiar torch.nn API.
+
+Modules own named parameters and submodules, support train/eval modes,
+and expose ``state_dict``/``load_state_dict`` for checkpointing the
+multi-stage training pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A Tensor that is registered as trainable state of a Module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+        # Parameters are leaves regardless of the grad-enabled state at
+        # construction time.
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for all neural network modules."""
+
+    def __init__(self):
+        self._parameters = OrderedDict()
+        self._modules = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name, module):
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix=""):
+        for name, param in self._parameters.items():
+            yield (prefix + name, param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix + mod_name + ".")
+
+    def parameters(self):
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_modules(self, prefix=""):
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix + name + ".")
+
+    def modules(self):
+        for _, module in self.named_modules():
+            yield module
+
+    def children(self):
+        return iter(self._modules.values())
+
+    def num_parameters(self):
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Modes and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode=True):
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self):
+        return self.train(False)
+
+    def zero_grad(self):
+        for param in self.parameters():
+            param.grad = None
+
+    def freeze(self):
+        """Stop gradient accumulation into this module's parameters."""
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def unfreeze(self):
+        for param in self.parameters():
+            param.requires_grad = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        return OrderedDict(
+            (name, param.data.copy()) for name, param in self.named_parameters())
+
+    def load_state_dict(self, state):
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}")
+        for name, values in state.items():
+            target = own[name]
+            values = np.asarray(values)
+            if target.data.shape != values.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{target.data.shape} vs {values.shape}")
+            target.data = values.copy()
+
+    # ------------------------------------------------------------------
+    # Calling
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules):
+        super().__init__()
+        self._order = []
+        for i, module in enumerate(modules):
+            name = str(i)
+            self.register_module(name, module)
+            self._order.append(name)
+
+    def __iter__(self):
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self):
+        return len(self._order)
+
+    def __getitem__(self, index):
+        return self._modules[self._order[index]]
+
+    def forward(self, x):
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+
+class ModuleList(Module):
+    """List container that registers its items as submodules."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._order = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module):
+        name = str(len(self._order))
+        self.register_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self):
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self):
+        return len(self._order)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._modules[name] for name in self._order[index]]
+        return self._modules[self._order[index]]

@@ -1,0 +1,141 @@
+"""Optimizers and learning-rate schedules for the training pipeline.
+
+AdamW with a cosine schedule is what DeiT (and therefore the paper's
+fine-tuning recipe) uses; SGD exists for ablations and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "CosineSchedule",
+           "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base optimizer over an iterable of Parameters."""
+
+    def __init__(self, parameters, lr):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self):
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self):
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum and weight decay."""
+
+    def __init__(self, parameters, lr=0.01, momentum=0.0, weight_decay=0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        for param, vel in zip(self.parameters, self._velocity):
+            if param.grad is None or not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                vel *= self.momentum
+                vel += grad
+                grad = vel
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999), eps=1e-8,
+                 weight_decay=0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        self._step += 1
+        bc1 = 1.0 - self.beta1 ** self._step
+        bc2 = 1.0 - self.beta2 ** self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None or not param.requires_grad:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bc1
+            v_hat = v / bc2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat)
+                                                         + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (the DeiT recipe)."""
+
+    def step(self):
+        if self.weight_decay:
+            for param in self.parameters:
+                if param.grad is not None and param.requires_grad:
+                    param.data = param.data * (1.0 - self.lr
+                                               * self.weight_decay)
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super().step()
+        finally:
+            self.weight_decay = decay
+
+
+class CosineSchedule:
+    """Cosine learning-rate decay with linear warmup."""
+
+    def __init__(self, optimizer, base_lr, total_steps, warmup_steps=0,
+                 min_lr=0.0):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = base_lr
+        self.total_steps = total_steps
+        self.warmup_steps = warmup_steps
+        self.min_lr = min_lr
+        self._step = 0
+
+    def current_lr(self):
+        if self._step < self.warmup_steps:
+            return self.base_lr * (self._step + 1) / max(1, self.warmup_steps)
+        progress = ((self._step - self.warmup_steps)
+                    / max(1, self.total_steps - self.warmup_steps))
+        progress = min(progress, 1.0)
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+    def step(self):
+        self.optimizer.lr = self.current_lr()
+        self._step += 1
+        return self.optimizer.lr
+
+
+def clip_grad_norm(parameters, max_norm):
+    """Clip gradients in place to a global L2 norm; returns the norm."""
+    parameters = [p for p in parameters if p.grad is not None]
+    total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for param in parameters:
+            param.grad = param.grad * scale
+    return total

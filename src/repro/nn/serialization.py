@@ -1,0 +1,60 @@
+"""Checkpoint serialization for Modules (``.npz`` based).
+
+Algorithm 1 repeatedly fine-tunes and occasionally restarts from the
+end of a previous step ("Initialize the model and selectors from the
+end of the last Step 1"), so durable checkpoints are part of the
+training substrate.  Checkpoints store the flat ``state_dict`` plus a
+small JSON metadata blob (step counters, keep ratios, anything
+JSON-serializable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint", "load_into"]
+
+_META_KEY = "__checkpoint_metadata__"
+
+
+def save_checkpoint(path, module, metadata=None):
+    """Write ``module.state_dict()`` (+ optional metadata) to ``path``.
+
+    The file is written atomically (temp file + rename) so a crash
+    mid-save never corrupts the previous checkpoint.
+    """
+    state = module.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name collides with {_META_KEY!r}")
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    temp_path = path + ".tmp"
+    with open(temp_path, "wb") as handle:
+        np.savez(handle, **payload)
+    os.replace(temp_path, path)
+    return path
+
+
+def load_checkpoint(path):
+    """Read a checkpoint; returns ``(state_dict, metadata)``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files
+                 if name != _META_KEY}
+        metadata = {}
+        if _META_KEY in archive.files:
+            raw = bytes(archive[_META_KEY].tobytes())
+            metadata = json.loads(raw.decode("utf-8"))
+    return state, metadata
+
+
+def load_into(path, module):
+    """Load a checkpoint's weights into ``module``; returns metadata."""
+    state, metadata = load_checkpoint(path)
+    module.load_state_dict(state)
+    return metadata

@@ -1,0 +1,19 @@
+"""8-bit fixed-point quantization substrate."""
+
+from repro.quant.fixed_point import (QuantParams, calibrate_minmax,
+                                     dequantize, fake_quantize,
+                                     integer_matmul, quantization_error,
+                                     quantize)
+from repro.quant.sweep import (BitWidthResult, bitwidth_sweep,
+                               per_channel_error, per_channel_quantize)
+from repro.quant.qmodel import (QuantizedLinear, count_quantized_modules,
+                                fake_quantize_tensor, quantize_model)
+
+__all__ = [
+    "QuantParams", "quantize", "dequantize", "fake_quantize",
+    "quantization_error", "integer_matmul", "calibrate_minmax",
+    "QuantizedLinear", "fake_quantize_tensor", "quantize_model",
+    "count_quantized_modules",
+    "per_channel_quantize", "per_channel_error",
+    "BitWidthResult", "bitwidth_sweep",
+]

@@ -1,0 +1,91 @@
+"""8-bit fixed-point quantization primitives (paper Sec. V).
+
+Symmetric per-tensor quantization: ``q = round(x / scale)`` clipped to
+``[-(2^(b-1) - 1), 2^(b-1) - 1]``.  The FPGA datapath uses 8-bit weights
+and activations with wide (32-bit) accumulation; :func:`integer_matmul`
+mirrors that accumulation so overflow behaviour can be tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantParams", "quantize", "dequantize", "fake_quantize",
+           "quantization_error", "integer_matmul", "calibrate_minmax"]
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Symmetric quantization parameters for one tensor."""
+
+    scale: float
+    bits: int = 8
+
+    @property
+    def qmax(self):
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def qmin(self):
+        return -self.qmax
+
+    def __post_init__(self):
+        if self.bits < 2 or self.bits > 32:
+            raise ValueError(f"bits out of range: {self.bits}")
+        if self.scale <= 0.0:
+            raise ValueError(f"scale must be positive: {self.scale}")
+
+
+def calibrate_minmax(x, bits=8):
+    """Min-max (abs-max for symmetric) calibration of one tensor."""
+    x = np.asarray(x, dtype=np.float64)
+    amax = float(np.abs(x).max()) if x.size else 0.0
+    if amax == 0.0:
+        amax = 1.0
+    qmax = 2 ** (bits - 1) - 1
+    # Guard against denormal inputs underflowing the scale to 0.
+    scale = max(amax / qmax, np.finfo(np.float64).tiny)
+    return QuantParams(scale=scale, bits=bits)
+
+
+def quantize(x, params):
+    """Quantize to integers (stored as int64 to survive accumulation)."""
+    x = np.asarray(x, dtype=np.float64)
+    q = np.rint(x / params.scale)
+    return np.clip(q, params.qmin, params.qmax).astype(np.int64)
+
+
+def dequantize(q, params):
+    return np.asarray(q, dtype=np.float64) * params.scale
+
+
+def fake_quantize(x, bits=8, params=None):
+    """Quantize-dequantize round trip (the quantization 'noise' model)."""
+    if params is None:
+        params = calibrate_minmax(x, bits=bits)
+    return dequantize(quantize(x, params), params)
+
+
+def quantization_error(x, bits=8, params=None):
+    """Elementwise |x - fake_quantize(x)|."""
+    return np.abs(np.asarray(x, dtype=np.float64)
+                  - fake_quantize(x, bits=bits, params=params))
+
+
+def integer_matmul(q_a, q_b, accumulator_bits=32):
+    """Integer GEMM with an accumulator-width overflow check.
+
+    The GEMM engine accumulates 8x8-bit products in 32-bit registers
+    (DSP48 usage on the ZCU102); this helper raises if the product of
+    the given operands could not have been accumulated safely.
+    """
+    q_a = np.asarray(q_a, dtype=np.int64)
+    q_b = np.asarray(q_b, dtype=np.int64)
+    out = q_a @ q_b
+    limit = 2 ** (accumulator_bits - 1) - 1
+    if np.abs(out).max(initial=0) > limit:
+        raise OverflowError(
+            f"accumulation exceeds {accumulator_bits}-bit range")
+    return out

@@ -1,0 +1,117 @@
+"""Model-level 8-bit quantization: quantized Linear layers and module
+surgery that converts a trained float model for deployment.
+
+Two flavours:
+
+* :class:`QuantizedLinear` -- weights stored as int8, activations
+  dynamically quantized per tensor, integer GEMM with 32-bit
+  accumulation.  Inference-only (deployment semantics).
+* :func:`fake_quantize_tensor` -- straight-through fake quantization for
+  quantization-aware fine-tuning.
+
+:func:`quantize_model` walks any :class:`repro.nn.Module` tree and swaps
+``Linear -> QuantizedLinear`` (and optionally ``GELU/Sigmoid/Softmax`` to
+their polynomial approximations), mirroring the paper's deployment flow:
+token pruning first, then 8-bit quantization + approximated nonlinear
+functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.approx.layers import ApproxGELU, ApproxSigmoid
+from repro.quant.fixed_point import (QuantParams, calibrate_minmax,
+                                     dequantize, integer_matmul, quantize)
+
+__all__ = ["QuantizedLinear", "fake_quantize_tensor", "quantize_model",
+           "count_quantized_modules"]
+
+
+def fake_quantize_tensor(x, bits=8):
+    """Straight-through fake quantization of a Tensor (for QAT)."""
+    x = Tensor.ensure(x)
+    params = calibrate_minmax(x.data, bits=bits)
+    rounded = dequantize(quantize(x.data, params), params)
+    return x + Tensor(rounded - x.data)
+
+
+class QuantizedLinear(nn.Module):
+    """Int8-weight Linear with dynamic per-tensor activation quantization.
+
+    Forward computes ``dequant(int_gemm(quant(x), W_q))`` -- numerically
+    identical to what the FPGA GEMM engine produces.  Bias is added in
+    float after dequantization (the accelerator keeps bias at higher
+    precision).
+    """
+
+    def __init__(self, weight_q, weight_params, bias, in_features,
+                 out_features):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight_q = weight_q
+        self.weight_params = weight_params
+        self.bias_data = bias
+        self.bits = weight_params.bits
+
+    @classmethod
+    def from_linear(cls, linear, bits=8):
+        weight = linear.weight.data
+        params = calibrate_minmax(weight, bits=bits)
+        weight_q = quantize(weight, params)
+        bias = None if linear.bias is None else linear.bias.data.copy()
+        return cls(weight_q, params, bias, linear.in_features,
+                   linear.out_features)
+
+    def forward(self, x):
+        x = Tensor.ensure(x)
+        data = x.data
+        act_params = calibrate_minmax(data, bits=self.bits)
+        x_q = quantize(data, act_params)
+        flat = x_q.reshape(-1, self.in_features)
+        # 8-bit products fit 32-bit accumulators; wider operands use the
+        # DSP48's native 48-bit accumulator.
+        accumulator = 32 if self.bits <= 8 else 48
+        out_q = integer_matmul(flat, self.weight_q,
+                               accumulator_bits=accumulator)
+        out = out_q.astype(np.float64) * (act_params.scale
+                                          * self.weight_params.scale)
+        out = out.reshape(data.shape[:-1] + (self.out_features,))
+        if self.bias_data is not None:
+            out = out + self.bias_data
+        return Tensor(out)
+
+    def __repr__(self):
+        return (f"QuantizedLinear(in={self.in_features}, "
+                f"out={self.out_features}, bits={self.bits})")
+
+
+def quantize_model(model, bits=8, approx_nonlinear=True, delta1=0.5):
+    """In-place module surgery: float model -> deployment model.
+
+    Swaps every ``Linear`` for a :class:`QuantizedLinear` and, when
+    ``approx_nonlinear`` is set, every ``GELU``/``Sigmoid`` for its
+    polynomial approximation.  Returns the number of swapped modules.
+    The resulting model is inference-only (no gradients).
+    """
+    swapped = 0
+    for module in list(model.modules()):
+        for name, child in list(module._modules.items()):
+            replacement = None
+            if isinstance(child, nn.Linear):
+                replacement = QuantizedLinear.from_linear(child, bits=bits)
+            elif approx_nonlinear and type(child) is nn.GELU:
+                replacement = ApproxGELU(delta1=delta1)
+            elif approx_nonlinear and type(child) is nn.Sigmoid:
+                replacement = ApproxSigmoid()
+            if replacement is not None:
+                module.register_module(name, replacement)
+                swapped += 1
+    return swapped
+
+
+def count_quantized_modules(model):
+    return sum(1 for m in model.modules() if isinstance(m, QuantizedLinear))

@@ -1,0 +1,30 @@
+"""Vision Transformer substrate: models, configs, complexity, CKA."""
+
+from repro.vit.analysis import (attention_rollout, head_attention_grid,
+                                render_keep_mask, render_token_grid)
+from repro.vit.attention import MultiHeadSelfAttention
+from repro.vit.block import FeedForward, TransformerBlock
+from repro.vit.cka import cls_token_cka_profile, linear_cka
+from repro.vit.complexity import (LayerCost, StagePlan, block_layer_costs,
+                                  block_macs, model_gmacs, model_macs,
+                                  pruned_model_gmacs, pruned_model_macs,
+                                  token_selector_macs, tokens_after_pruning)
+from repro.vit.config import (DEIT_BASE, DEIT_S_288, DEIT_SMALL, DEIT_T_160,
+                              DEIT_TINY, LVVIT_MEDIUM, LVVIT_SMALL,
+                              PAPER_BACKBONES, ViTConfig, small_config)
+from repro.vit.model import VisionTransformer
+from repro.vit.patch_embed import PatchEmbedding
+
+__all__ = [
+    "MultiHeadSelfAttention", "FeedForward", "TransformerBlock",
+    "VisionTransformer", "PatchEmbedding",
+    "linear_cka", "cls_token_cka_profile",
+    "LayerCost", "StagePlan", "block_layer_costs", "block_macs",
+    "model_macs", "model_gmacs", "pruned_model_macs", "pruned_model_gmacs",
+    "token_selector_macs", "tokens_after_pruning",
+    "ViTConfig", "small_config", "PAPER_BACKBONES",
+    "DEIT_TINY", "DEIT_SMALL", "DEIT_BASE", "LVVIT_SMALL", "LVVIT_MEDIUM",
+    "DEIT_T_160", "DEIT_S_288",
+    "attention_rollout", "head_attention_grid",
+    "render_token_grid", "render_keep_mask",
+]

@@ -1,0 +1,93 @@
+"""Attention analysis and text-mode visualization helpers.
+
+Supports the paper's qualitative figures without a plotting stack:
+attention rollout (Abnar & Zuidema) for information flow, per-head
+CLS-attention maps (Fig. 5), and ASCII rendering of token-grid masks
+(which tokens HeatViT kept -- the Fig. 1 strips).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+
+__all__ = ["attention_rollout", "head_attention_grid",
+           "render_token_grid", "render_keep_mask"]
+
+
+def attention_rollout(model, images, head_fusion="mean"):
+    """Attention rollout: cumulative CLS->patch information flow.
+
+    Multiplies (residual-corrected) attention matrices across blocks;
+    returns the CLS row as ``(B, N_patches)``.
+    """
+    with nn.no_grad():
+        model(images)
+    rollout = None
+    for block in model.blocks:
+        attn = block.attn.last_attention          # (B, h, T, T)
+        if head_fusion == "mean":
+            fused = attn.mean(axis=1)
+        elif head_fusion == "max":
+            fused = attn.max(axis=1)
+        else:
+            raise ValueError(f"unknown head_fusion {head_fusion!r}")
+        tokens = fused.shape[-1]
+        fused = 0.5 * fused + 0.5 * np.eye(tokens)[None]
+        fused = fused / fused.sum(axis=-1, keepdims=True)
+        rollout = fused if rollout is None else fused @ rollout
+    return rollout[:, 0, 1:]
+
+
+def head_attention_grid(model, images, block_index=-1):
+    """Per-head CLS attention reshaped to the patch grid (Fig. 5).
+
+    Returns ``(B, h, gh, gw)``.
+    """
+    with nn.no_grad():
+        model(images)
+    attn = model.blocks[block_index].attn.cls_attention()    # (B, h, T)
+    patches = attn[:, :, 1:]
+    batch, heads, count = patches.shape
+    side = int(round(np.sqrt(count)))
+    if side * side != count:
+        raise ValueError(f"{count} patch tokens do not form a square grid")
+    return patches.reshape(batch, heads, side, side)
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_token_grid(values, side=None):
+    """Render a per-token scalar map as an ASCII shade grid."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if side is None:
+        side = int(round(np.sqrt(values.size)))
+    if side * side != values.size:
+        raise ValueError("values do not form a square grid")
+    lo, hi = values.min(), values.max()
+    span = hi - lo if hi > lo else 1.0
+    normed = (values - lo) / span
+    indices = np.minimum((normed * (len(_SHADES) - 1)).astype(int),
+                         len(_SHADES) - 1)
+    rows = []
+    for r in range(side):
+        rows.append("".join(_SHADES[i]
+                            for i in indices[r * side:(r + 1) * side]))
+    return "\n".join(rows)
+
+
+def render_keep_mask(decision, side=None, keep_char="#", prune_char="."):
+    """Render a {0,1} keep decision as an ASCII grid (Fig. 1 strips)."""
+    decision = np.asarray(decision).ravel()
+    if side is None:
+        side = int(round(np.sqrt(decision.size)))
+    if side * side != decision.size:
+        raise ValueError("decision does not form a square grid")
+    rows = []
+    for r in range(side):
+        row = decision[r * side:(r + 1) * side]
+        rows.append("".join(keep_char if v > 0.5 else prune_char
+                            for v in row))
+    return "\n".join(rows)

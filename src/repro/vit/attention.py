@@ -1,0 +1,86 @@
+"""Multi-head self-attention (paper Eq. 2) with CLS-attention taps.
+
+The attention maps of the class token per head are recorded (detached)
+because HeatViT's analysis (Fig. 5) and the EViT-style baseline both need
+them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(nn.Module):
+    """MSA module: qkv projection, scaled dot-product per head, projection.
+
+    Parameters
+    ----------
+    embed_dim: token channel size ``Dch``.
+    num_heads: number of attention heads ``h``.
+    record_attention: when True, ``self.last_attention`` holds the most
+        recent (detached) attention probabilities of shape
+        ``(B, h, N, N)`` after each forward pass.
+    """
+
+    def __init__(self, embed_dim, num_heads, attn_drop=0.0, proj_drop=0.0,
+                 record_attention=True, rng=None):
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError("embed_dim must divide num_heads")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.scale = self.head_dim ** -0.5
+        self.qkv = nn.Linear(embed_dim, 3 * embed_dim, rng=rng)
+        self.proj = nn.Linear(embed_dim, embed_dim, rng=rng)
+        self.attn_drop = nn.Dropout(attn_drop, rng=rng)
+        self.proj_drop = nn.Dropout(proj_drop, rng=rng)
+        self.record_attention = record_attention
+        self.last_attention = None
+
+    def forward(self, x, key_mask=None):
+        """Apply self-attention.
+
+        ``key_mask`` is an optional ``(B, N)`` {0,1} array/Tensor; tokens
+        with mask 0 are excluded as attention *keys* (they receive a large
+        negative score before the softmax).  This is how pruned-but-not-
+        yet-removed tokens are neutralized during differentiable training,
+        exactly as in DynamicViT's training recipe.
+        """
+        x = Tensor.ensure(x)
+        batch, tokens, dim = x.shape
+        qkv = self.qkv(x)                                  # (B, N, 3D)
+        qkv = qkv.reshape(batch, tokens, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)                 # (3, B, h, N, d)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        scores = (q @ k.swapaxes(-1, -2)) * self.scale     # (B, h, N, N)
+        if key_mask is not None:
+            mask_data = (key_mask.data if isinstance(key_mask, Tensor)
+                         else np.asarray(key_mask, dtype=np.float64))
+            bias = (1.0 - mask_data)[:, None, None, :] * (-1e9)
+            scores = scores + Tensor(bias)
+        attn = F.softmax(scores, axis=-1)
+        if self.record_attention:
+            self.last_attention = attn.data.copy()
+        attn = self.attn_drop(attn)
+
+        out = attn @ v                                     # (B, h, N, d)
+        out = out.transpose(0, 2, 1, 3).reshape(batch, tokens, dim)
+        return self.proj_drop(self.proj(out))
+
+    def cls_attention(self):
+        """CLS-token attention toward all tokens: shape ``(B, h, N)``.
+
+        Used for Fig. 5 (per-head information regions) and by the
+        attention-top-k (EViT-style) pruning baseline.
+        """
+        if self.last_attention is None:
+            raise RuntimeError("no forward pass recorded yet")
+        return self.last_attention[:, :, 0, :]

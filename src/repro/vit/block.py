@@ -1,0 +1,51 @@
+"""Transformer encoder block: pre-norm MSA + FFN (paper Eq. 1)."""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.vit.attention import MultiHeadSelfAttention
+
+__all__ = ["FeedForward", "TransformerBlock"]
+
+
+class FeedForward(nn.Module):
+    """The FFN/MLP module: Linear -> GELU -> Linear."""
+
+    def __init__(self, embed_dim, hidden_dim, drop=0.0, activation=None,
+                 rng=None):
+        super().__init__()
+        self.fc1 = nn.Linear(embed_dim, hidden_dim, rng=rng)
+        self.act = activation if activation is not None else nn.GELU()
+        self.fc2 = nn.Linear(hidden_dim, embed_dim, rng=rng)
+        self.drop = nn.Dropout(drop, rng=rng)
+
+    def forward(self, x):
+        x = self.fc1(x)
+        x = self.act(x)
+        x = self.drop(x)
+        x = self.fc2(x)
+        return self.drop(x)
+
+
+class TransformerBlock(nn.Module):
+    """One pre-norm encoder block:
+
+    ``x' = x + MSA(LN(x))`` then ``y = x' + FFN(LN(x'))``.
+    """
+
+    def __init__(self, embed_dim, num_heads, mlp_ratio=4.0, drop=0.0,
+                 rng=None):
+        super().__init__()
+        self.norm1 = nn.LayerNorm(embed_dim)
+        self.attn = MultiHeadSelfAttention(embed_dim, num_heads,
+                                           proj_drop=drop, rng=rng)
+        self.norm2 = nn.LayerNorm(embed_dim)
+        self.mlp = FeedForward(embed_dim, int(embed_dim * mlp_ratio),
+                               drop=drop, rng=rng)
+
+    def forward(self, x, key_mask=None):
+        x = Tensor.ensure(x)
+        x = x + self.attn(self.norm1(x), key_mask=key_mask)
+        x = x + self.mlp(self.norm2(x))
+        return x

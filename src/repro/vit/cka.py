@@ -1,0 +1,63 @@
+"""Centered Kernel Alignment (CKA) similarity (Kornblith et al. 2019).
+
+The paper's Fig. 6 uses linear CKA between the final CLS token and the
+token representations after every transformer block to show that front
+blocks encode tokens poorly -- the motivation for pruning later blocks
+first and for the token packager.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["linear_cka", "cls_token_cka_profile"]
+
+
+def _center_gram(gram):
+    n = gram.shape[0]
+    unit = np.ones((n, n)) / n
+    return gram - unit @ gram - gram @ unit + unit @ gram @ unit
+
+
+def linear_cka(features_x, features_y):
+    """Linear CKA between two feature matrices ``(n_samples, dim)``.
+
+    Returns a value in [0, 1]; 1 means the representations are identical
+    up to an orthogonal transform and isotropic scaling.
+    """
+    x = np.asarray(features_x, dtype=np.float64)
+    y = np.asarray(features_y, dtype=np.float64)
+    if x.ndim != 2 or y.ndim != 2:
+        raise ValueError("features must be 2-D (samples, dim)")
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("sample counts differ")
+    gram_x = _center_gram(x @ x.T)
+    gram_y = _center_gram(y @ y.T)
+    hsic = (gram_x * gram_y).sum()
+    norm_x = np.sqrt((gram_x * gram_x).sum())
+    norm_y = np.sqrt((gram_y * gram_y).sum())
+    if norm_x == 0.0 or norm_y == 0.0:
+        return 0.0
+    return float(hsic / (norm_x * norm_y))
+
+
+def cls_token_cka_profile(model, images, block_indices=None):
+    """CKA between each block's patch tokens and the final CLS token.
+
+    Reproduces the Fig. 6 measurement: for every transformer block, the
+    mean patch-token representation is compared (via linear CKA over the
+    batch) with the final class token.  Returns ``{block_index: cka}``.
+    """
+    from repro import nn
+
+    with nn.no_grad():
+        logits, hidden = model.forward(images, return_hidden=True)
+    del logits
+    final_cls = hidden[-1].data[:, 0, :]               # (B, D)
+    if block_indices is None:
+        block_indices = range(len(hidden))
+    profile = {}
+    for index in block_indices:
+        patch_mean = hidden[index].data[:, 1:, :].mean(axis=1)
+        profile[index] = linear_cka(patch_mean, final_cls)
+    return profile

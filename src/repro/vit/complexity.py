@@ -1,0 +1,211 @@
+"""Analytical computational-complexity model of ViTs (paper Table II).
+
+The per-block MAC count is::
+
+    4*N*Dch*(h*Dattn) + 2*N^2*(h*Dattn) + 8*N*Dch*Dfc
+
+which for the standard ``h*Dattn == Dch == Dfc`` case reduces to
+``12*N*D^2 + 2*N^2*D``.  This module reproduces Table II row by row and
+extends it to whole models with per-stage token counts, which is how the
+GMAC figures for every pruned HeatViT variant in Fig. 2 / Table VI are
+derived.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "LayerCost",
+    "block_layer_costs",
+    "block_macs",
+    "model_macs",
+    "model_gmacs",
+    "tokens_after_pruning",
+    "pruned_model_macs",
+    "pruned_model_gmacs",
+    "token_selector_macs",
+    "StagePlan",
+]
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """One row of Table II."""
+
+    index: str
+    module: str
+    computation: str
+    input_size: str
+    output_size: str
+    macs: int
+
+
+def block_layer_costs(num_tokens, embed_dim, num_heads, mlp_hidden_dim):
+    """Return the six rows of Table II for one transformer block.
+
+    ``num_tokens`` is ``N``, ``embed_dim`` is ``Dch``, ``num_heads`` is
+    ``h``; the per-head dim ``Dattn`` is derived, and ``mlp_hidden_dim``
+    plays the role of ``4*Dfc``.
+    """
+    n = int(num_tokens)
+    d_ch = int(embed_dim)
+    h = int(num_heads)
+    d_attn = d_ch // h
+    hidden = int(mlp_hidden_dim)
+    rows = [
+        LayerCost("1", "MSA", "Linear Transformation",
+                  f"{n} x {d_ch}", f"{n} x {h * d_attn}",
+                  3 * n * d_ch * h * d_attn),
+        LayerCost("2", "MSA", "Q x K^T",
+                  f"{n} x {h * d_attn}", f"{n} x {n}",
+                  n * n * h * d_attn),
+        LayerCost("3", "MSA", "QK^T x V",
+                  f"{n} x {n}", f"{n} x {h * d_attn}",
+                  n * n * h * d_attn),
+        LayerCost("4", "MSA", "Projection",
+                  f"{n} x {h * d_attn}", f"{n} x {d_ch}",
+                  n * h * d_attn * d_ch),
+        LayerCost("5", "FFN", "FC Layer",
+                  f"{n} x {d_ch}", f"{n} x {hidden}",
+                  n * d_ch * hidden),
+        LayerCost("6", "FFN", "FC Layer",
+                  f"{n} x {hidden}", f"{n} x {d_ch}",
+                  n * hidden * d_ch),
+    ]
+    return rows
+
+
+def block_macs(num_tokens, embed_dim, num_heads, mlp_hidden_dim):
+    """Total MACs of one encoder block (the Table II 'Total MACs' line)."""
+    return sum(row.macs for row in block_layer_costs(
+        num_tokens, embed_dim, num_heads, mlp_hidden_dim))
+
+
+def _patch_embed_macs(config):
+    patch_dim = config.in_channels * config.patch_size ** 2
+    return config.num_patches * patch_dim * config.embed_dim
+
+
+def _head_macs(config):
+    return config.embed_dim * config.num_classes
+
+
+def model_macs(config, include_embedding=True):
+    """MACs for the unpruned backbone described by ``config``."""
+    total = config.depth * block_macs(
+        config.num_tokens, config.embed_dim, config.num_heads,
+        config.mlp_hidden_dim)
+    if include_embedding:
+        total += _patch_embed_macs(config) + _head_macs(config)
+    return total
+
+
+def model_gmacs(config, include_embedding=True):
+    return model_macs(config, include_embedding) / 1e9
+
+
+def tokens_after_pruning(num_patches, keep_ratio, with_package=True):
+    """Token count fed to blocks after a selector with ``keep_ratio``.
+
+    ``ceil(keep_ratio * num_patches)`` informative patch tokens, plus the
+    package token (Eq. 10) and the class token which is never pruned.
+    """
+    if not 0.0 < keep_ratio <= 1.0:
+        raise ValueError(f"keep_ratio must be in (0, 1]: {keep_ratio}")
+    kept = math.ceil(keep_ratio * num_patches)
+    extra = 1  # class token
+    if with_package and keep_ratio < 1.0:
+        extra += 1
+    return kept + extra
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """Placement of token selectors: selector ``i`` sits before block
+    ``boundaries[i]`` and applies cumulative keep ratio ``keep_ratios[i]``.
+
+    The paper's evaluated configurations use three selectors placed at
+    the canonical stage boundaries (depth/4, depth/2, 3*depth/4), e.g.
+    blocks 3/6/9 for the 12-deep DeiT family -- consistent with the
+    block-to-stage consolidation of Sec. VI and Fig. 1's three stages.
+    """
+
+    boundaries: tuple
+    keep_ratios: tuple
+
+    def __post_init__(self):
+        if len(self.boundaries) != len(self.keep_ratios):
+            raise ValueError("boundaries and keep_ratios length mismatch")
+        if any(b2 <= b1 for b1, b2 in zip(self.boundaries,
+                                          self.boundaries[1:])):
+            raise ValueError("boundaries must be strictly increasing")
+        for ratio in self.keep_ratios:
+            if not 0.0 < ratio <= 1.0:
+                raise ValueError(f"keep ratio out of range: {ratio}")
+
+    @staticmethod
+    def canonical(depth, keep_ratios):
+        """Three-stage plan at depth/4, depth/2, 3*depth/4."""
+        if len(keep_ratios) != 3:
+            raise ValueError("canonical plan expects 3 keep ratios")
+        boundaries = (depth // 4, depth // 2, 3 * depth // 4)
+        return StagePlan(boundaries=boundaries,
+                         keep_ratios=tuple(keep_ratios))
+
+    def tokens_per_block(self, depth, num_patches):
+        """Token count entering each of the ``depth`` blocks."""
+        counts = []
+        current = num_patches + 1
+        next_selector = 0
+        for block_index in range(depth):
+            while (next_selector < len(self.boundaries)
+                   and block_index == self.boundaries[next_selector]):
+                current = tokens_after_pruning(
+                    num_patches, self.keep_ratios[next_selector])
+                next_selector += 1
+            counts.append(current)
+        return counts
+
+
+def token_selector_macs(num_tokens, embed_dim, num_heads):
+    """MACs for one token selector forward pass (Fig. 7 right).
+
+    Per head (dim ``d = D/h``): the local/global feature MLP
+    ``Linear(d, d/2)``, then the classifier MLP over the concatenated
+    feature ``Linear(d, d/2) -> Linear(d/2, d/4) -> Linear(d/4, 2)``.
+    The attention-based branch adds ``MLP(h -> h)`` on head statistics.
+    """
+    n = int(num_tokens)
+    d = embed_dim // num_heads
+    per_head = (n * d * (d // 2)                  # local/global feature MLP
+                + n * (d * (d // 2)               # classifier layer 1
+                       + (d // 2) * (d // 4)      # classifier layer 2
+                       + (d // 4) * 2))           # classifier layer 3
+    attention_branch = n * num_heads * num_heads
+    return num_heads * per_head + attention_branch
+
+
+def pruned_model_macs(config, plan, include_embedding=True,
+                      include_selectors=True):
+    """MACs of a HeatViT model under a :class:`StagePlan`."""
+    counts = plan.tokens_per_block(config.depth, config.num_patches)
+    total = sum(
+        block_macs(n, config.embed_dim, config.num_heads,
+                   config.mlp_hidden_dim)
+        for n in counts)
+    if include_selectors:
+        # Each selector sees the token count entering its block.
+        for boundary in plan.boundaries:
+            incoming = counts[boundary - 1] if boundary > 0 else (
+                config.num_patches + 1)
+            total += token_selector_macs(incoming, config.embed_dim,
+                                         config.num_heads)
+    if include_embedding:
+        total += _patch_embed_macs(config) + _head_macs(config)
+    return total
+
+
+def pruned_model_gmacs(config, plan, **kwargs):
+    return pruned_model_macs(config, plan, **kwargs) / 1e9

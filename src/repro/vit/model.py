@@ -1,0 +1,82 @@
+"""The full Vision Transformer backbone (paper Fig. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.vit.block import TransformerBlock
+from repro.vit.patch_embed import PatchEmbedding
+
+__all__ = ["VisionTransformer"]
+
+
+class VisionTransformer(nn.Module):
+    """Plain ViT: patch embedding, class token, position embeddings,
+    a stack of encoder blocks, and an MLP classification head.
+
+    ``forward`` optionally returns per-block hidden states, which the
+    CKA analysis (Fig. 6) and the token-redundancy study consume.
+    """
+
+    def __init__(self, config, rng=None):
+        super().__init__()
+        rng = np.random.default_rng() if rng is None else rng
+        self.config = config
+        self.patch_embed = PatchEmbedding(config, rng=rng)
+        self.cls_token = nn.Parameter(
+            nn.trunc_normal((1, 1, config.embed_dim), std=0.02, rng=rng))
+        self.pos_embed = nn.Parameter(
+            nn.trunc_normal((1, config.num_tokens, config.embed_dim),
+                            std=0.02, rng=rng))
+        self.pos_drop = nn.Dropout(config.drop_rate, rng=rng)
+        self.blocks = nn.ModuleList([
+            TransformerBlock(config.embed_dim, config.num_heads,
+                             mlp_ratio=config.mlp_ratio,
+                             drop=config.drop_rate, rng=rng)
+            for _ in range(config.depth)
+        ])
+        self.norm = nn.LayerNorm(config.embed_dim)
+        self.head = nn.Linear(config.embed_dim, config.num_classes, rng=rng)
+
+    # ------------------------------------------------------------------
+    def embed(self, images):
+        """Patch-embed ``images`` and prepend the class token."""
+        tokens = self.patch_embed(images)                  # (B, N, D)
+        batch = tokens.shape[0]
+        cls = self.cls_token + Tensor(
+            np.zeros((batch, 1, self.config.embed_dim)))
+        x = Tensor.concatenate([cls, tokens], axis=1)
+        x = x + self.pos_embed
+        return self.pos_drop(x)
+
+    def forward(self, images, return_hidden=False):
+        x = self.embed(images)
+        hidden = []
+        for block in self.blocks:
+            x = block(x)
+            if return_hidden:
+                hidden.append(x)
+        x = self.norm(x)
+        logits = self.head(x[:, 0, :])
+        if return_hidden:
+            return logits, hidden
+        return logits
+
+    # ------------------------------------------------------------------
+    def predict(self, images):
+        """Inference helper returning integer class predictions."""
+        with nn.no_grad():
+            logits = self.forward(images)
+        return logits.data.argmax(axis=-1)
+
+    def accuracy(self, images, labels, batch_size=64):
+        """Top-1 accuracy over a dataset, evaluated batch-wise."""
+        labels = np.asarray(labels)
+        correct = 0
+        for start in range(0, len(labels), batch_size):
+            stop = start + batch_size
+            preds = self.predict(images[start:stop])
+            correct += int((preds == labels[start:stop]).sum())
+        return correct / len(labels)

@@ -1,0 +1,74 @@
+"""Tests for the differentiable (Tensor) approximation layers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.approx import (ApproxGELU, ApproxSigmoid, ApproxSoftmax,
+                          gelu_approx, gelu_approx_t, sigmoid_plan,
+                          sigmoid_plan_t, softmax_approx, softmax_approx_t)
+from repro.nn.tensor import Tensor
+
+from tests.conftest import finite_difference
+
+
+class TestNumpyConsistency:
+    def test_gelu_matches(self, rng):
+        x = rng.normal(size=(4, 7)) * 3
+        assert np.allclose(gelu_approx_t(Tensor(x)).data, gelu_approx(x))
+
+    def test_softmax_matches(self, rng):
+        x = rng.normal(size=(3, 9)) * 2
+        assert np.allclose(softmax_approx_t(Tensor(x)).data,
+                           softmax_approx(x), atol=1e-12)
+
+    def test_sigmoid_matches(self, rng):
+        x = rng.normal(size=(50,)) * 4
+        assert np.allclose(sigmoid_plan_t(Tensor(x)).data, sigmoid_plan(x))
+
+
+class TestGradients:
+    def test_gelu_grad_matches_fd(self, rng):
+        x0 = rng.normal(size=(6,))
+        x = Tensor(x0.copy(), requires_grad=True)
+        gelu_approx_t(x).sum().backward()
+        numeric = finite_difference(
+            lambda v: float(gelu_approx_t(Tensor(v)).sum().data), x0)
+        assert np.allclose(x.grad, numeric, atol=1e-5)
+
+    def test_softmax_grad_exists(self, rng):
+        x = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        (softmax_approx_t(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert np.all(np.isfinite(x.grad))
+
+    def test_sigmoid_grad_piecewise_slopes(self):
+        x = Tensor(np.array([0.5, 1.5, 3.0, 6.0]), requires_grad=True)
+        sigmoid_plan_t(x).sum().backward()
+        assert np.allclose(x.grad, [0.25, 0.125, 0.03125, 0.0])
+
+
+class TestModules:
+    def test_drop_in_replacements(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)))
+        assert ApproxGELU()(x).shape == (2, 6)
+        assert ApproxSigmoid()(x).shape == (2, 6)
+        out = ApproxSoftmax()(x)
+        assert np.allclose(out.data.sum(-1), 0.5)
+
+    def test_finetune_through_approx_gelu(self, rng):
+        """A model can be fine-tuned with the approximation in the loop."""
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), ApproxGELU(),
+                              nn.Linear(8, 1, rng=rng))
+        opt = nn.SGD(model.parameters(), lr=0.05)
+        x = Tensor(rng.normal(size=(16, 4)))
+        target = Tensor(rng.normal(size=(16, 1)))
+        losses = []
+        for _ in range(30):
+            from repro.nn import functional as F
+            loss = F.mse_loss(model(x), target)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]

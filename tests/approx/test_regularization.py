@@ -1,0 +1,77 @@
+"""Tests for the quantization-error regularization claims (Sec. V-E)."""
+
+import numpy as np
+import pytest
+
+from repro.approx import (gelu_approx, gelu_approx_derivative,
+                          gelu_error_propagation, gelu_exact_derivative,
+                          derivative_profile, softmax_approx,
+                          softmax_error_bound, softmax_error_empirical)
+
+
+class TestGeluDerivative:
+    def test_exact_derivative_matches_numeric(self):
+        x = np.linspace(-4, 4, 101)
+        eps = 1e-6
+        from repro.approx import gelu_exact
+        numeric = (gelu_exact(x + eps) - gelu_exact(x - eps)) / (2 * eps)
+        assert np.allclose(gelu_exact_derivative(x), numeric, atol=1e-6)
+
+    def test_approx_derivative_matches_numeric(self):
+        x = np.linspace(-4, 4, 101)
+        eps = 1e-6
+        numeric = (gelu_approx(x + eps) - gelu_approx(x - eps)) / (2 * eps)
+        assert np.allclose(gelu_approx_derivative(x), numeric, atol=1e-5)
+
+    def test_regularized_derivative_below_one(self):
+        """The paper's central claim (Fig. 10): |dA_aprx/dx| < 1 with
+        delta1 = 0.5, so quantization error shrinks through GELU."""
+        x = np.linspace(-20, 20, 2001)
+        assert np.abs(gelu_approx_derivative(x, delta1=0.5)).max() < 1.0
+
+    def test_exact_derivative_exceeds_one(self):
+        """...whereas the exact GELU amplifies error for some inputs."""
+        x = np.linspace(-6, 6, 1001)
+        assert np.abs(gelu_exact_derivative(x)).max() > 1.0
+
+    def test_error_propagation_shrinks(self):
+        x = np.linspace(-5, 5, 100)
+        out_err = gelu_error_propagation(x, input_error=0.01)
+        assert np.all(out_err < 0.01)
+
+    def test_profile_shapes(self):
+        x, exact, approx = derivative_profile()
+        assert x.shape == exact.shape == approx.shape
+
+
+class TestSoftmaxErrorBound:
+    def test_bound_below_input_error(self, rng):
+        """Eq. 17: 2*delta2*A0*(1-A0)*|de| < |de| for delta2 < 1."""
+        probs = rng.uniform(0.01, 0.99, size=50)
+        bound = softmax_error_bound(probs, input_error=0.1)
+        assert np.all(bound < 0.1)
+
+    def test_bound_maximal_at_half(self):
+        assert (softmax_error_bound(0.5, 1.0)
+                > softmax_error_bound(0.1, 1.0))
+
+    def test_empirical_error_within_analytic_bound(self, rng):
+        """The measured total output perturbation must respect Eq. 17
+        (first-order bound, so allow slack for curvature)."""
+        x = rng.normal(size=(10,))
+        de = 1e-4
+        probs = softmax_approx(x, delta2=0.5)
+        a0 = probs[3] / 0.5          # normalized probability of index 3
+        bound = 2 * 0.5 * de * a0 * (1 - a0)
+        measured = softmax_error_empirical(x, index=3, input_error=de,
+                                           delta2=0.5)
+        assert measured <= bound * 1.5 + 1e-9
+
+    def test_empirical_error_smaller_than_exact_softmax(self, rng):
+        """Approximated softmax propagates less error than the exact
+        one -- the regularization effect end to end."""
+        x = rng.normal(size=(12,)) * 2
+        de = 1e-3
+        approx_err = softmax_error_empirical(x, 0, de, approx=True)
+        exact_err = softmax_error_empirical(x, 0, de, approx=False)
+        assert approx_err < exact_err

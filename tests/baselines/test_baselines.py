@@ -1,0 +1,145 @@
+"""Tests for the competing pruning baselines."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import (ChannelPrunedViT, EViTStyleModel,
+                             HeadPrunedViT, StaticTokenPruningViT,
+                             channel_pruned_gmacs, head_pruned_gmacs,
+                             rank_channels_by_importance,
+                             rank_heads_by_importance)
+from repro.vit import StagePlan, model_gmacs
+
+
+@pytest.fixture()
+def plan(tiny_config):
+    return StagePlan.canonical(tiny_config.depth, (0.7, 0.5, 0.3))
+
+
+class TestStaticPruning:
+    def test_logits_shape(self, tiny_backbone, tiny_dataset, plan):
+        model = StaticTokenPruningViT(tiny_backbone, plan)
+        logits = model(tiny_dataset.images[:4])
+        assert logits.shape == (4, 4)
+
+    def test_same_token_count_for_all_images(self, tiny_backbone,
+                                             tiny_dataset, plan):
+        """Static pruning is input-agnostic by definition."""
+        model = StaticTokenPruningViT(tiny_backbone, plan)
+        a = model(tiny_dataset.images[:2])
+        b = model(tiny_dataset.images[2:4])
+        assert a.shape == b.shape     # batched => same count, trivially
+
+    def test_gmacs_below_dense(self, tiny_backbone, plan):
+        model = StaticTokenPruningViT(tiny_backbone, plan)
+        assert model.gmacs() < model_gmacs(tiny_backbone.config)
+
+    def test_accuracy_helper(self, tiny_backbone, tiny_dataset, plan):
+        model = StaticTokenPruningViT(tiny_backbone, plan)
+        acc = model.accuracy(tiny_dataset.images[:16],
+                             tiny_dataset.labels[:16])
+        assert 0.0 <= acc <= 1.0
+
+    def test_keeps_highest_attention_tokens(self, tiny_backbone,
+                                            tiny_dataset):
+        """With an extreme one-stage plan, the kept token must be the
+        argmax of the CLS attention."""
+        config = tiny_backbone.config
+        plan = StagePlan(boundaries=(1,), keep_ratios=(1 / 16,))
+        model = StaticTokenPruningViT(tiny_backbone, plan)
+        images = tiny_dataset.images[:1]
+        with nn.no_grad():
+            x = tiny_backbone.embed(images)
+            x = tiny_backbone.blocks[0](x)
+        expected = tiny_backbone.blocks[0].attn.cls_attention().mean(
+            axis=1)[0, 1:].argmax()
+        pruned, _ = model._prune(x, 1 / 16, 1, False)
+        kept_token = pruned.data[0, 1]
+        assert np.allclose(kept_token, x.data[0, 1 + expected])
+
+
+class TestEViTStyle:
+    def test_adds_fused_token(self, tiny_backbone, tiny_dataset, plan):
+        evit = EViTStyleModel(tiny_backbone, plan)
+        static = StaticTokenPruningViT(tiny_backbone, plan)
+        # Same ranking, different handling of pruned tokens => logits
+        # must differ (the fused token participates).
+        a = evit(tiny_dataset.images[:2]).data
+        b = static(tiny_dataset.images[:2]).data
+        assert not np.allclose(a, b)
+
+
+class TestHeadPruning:
+    def test_ranking_covers_all_heads(self, tiny_backbone, tiny_dataset):
+        ranking = rank_heads_by_importance(tiny_backbone,
+                                           tiny_dataset.images[:8])
+        config = tiny_backbone.config
+        assert len(ranking) == config.depth * config.num_heads
+        assert len(set(ranking)) == len(ranking)
+
+    def test_pruned_heads_have_no_effect(self, tiny_backbone,
+                                         tiny_dataset):
+        """Zeroing a head must equal never computing it: outputs change
+        when we prune a useful head."""
+        model = HeadPrunedViT(tiny_backbone, [(0, 0)])
+        with nn.no_grad():
+            base = tiny_backbone(tiny_dataset.images[:2]).data
+        pruned = model(tiny_dataset.images[:2]).data
+        assert not np.allclose(base, pruned)
+
+    def test_no_pruning_matches_backbone(self, tiny_backbone,
+                                         tiny_dataset):
+        model = HeadPrunedViT(tiny_backbone, [])
+        with nn.no_grad():
+            base = tiny_backbone(tiny_dataset.images[:2]).data
+        assert np.allclose(model(tiny_dataset.images[:2]).data, base)
+
+    def test_invalid_head(self, tiny_backbone):
+        with pytest.raises(ValueError):
+            HeadPrunedViT(tiny_backbone, [(0, 99)])
+
+    def test_gmacs_saturate(self, tiny_config):
+        """Head pruning cannot reach the FFN: even pruning half of all
+        heads saves < 43% of compute (Sec. II-B)."""
+        total_heads = tiny_config.depth * tiny_config.num_heads
+        dense = model_gmacs(tiny_config)
+        half = head_pruned_gmacs(tiny_config, total_heads // 2)
+        assert (dense - half) / dense < 0.43
+
+
+class TestChannelPruning:
+    def test_ranking(self, tiny_backbone):
+        ranking = rank_channels_by_importance(tiny_backbone)
+        assert sorted(ranking) == list(range(
+            tiny_backbone.config.embed_dim))
+
+    def test_masked_channels_are_zero(self, tiny_backbone, tiny_dataset):
+        model = ChannelPrunedViT(tiny_backbone, [0, 5])
+        logits = model(tiny_dataset.images[:2])
+        assert logits.shape == (2, 4)
+
+    def test_invalid_channel(self, tiny_backbone):
+        with pytest.raises(ValueError):
+            ChannelPrunedViT(tiny_backbone, [999])
+
+    def test_gmacs_quadratic_savings(self, tiny_config):
+        dense = model_gmacs(tiny_config)
+        half = channel_pruned_gmacs(tiny_config,
+                                    tiny_config.embed_dim // 2)
+        # Linear layers scale ~quadratically: half channels -> well
+        # under half the compute.
+        assert half < 0.5 * dense
+
+
+class TestTradeoffShape:
+    def test_token_pruning_saves_more_per_accuracy_unit(self, tiny_config):
+        """At matched GMACs, token pruning reaches lower cost than head
+        pruning can at its saturation point (the Fig. 2 argument)."""
+        from repro.vit import pruned_model_gmacs
+        aggressive = StagePlan.canonical(tiny_config.depth,
+                                         (0.42, 0.21, 0.13))
+        token_cost = pruned_model_gmacs(tiny_config, aggressive)
+        all_heads = tiny_config.depth * tiny_config.num_heads
+        head_floor = head_pruned_gmacs(tiny_config, all_heads)
+        assert token_cost < head_floor

@@ -1,0 +1,92 @@
+"""Tests for the selector ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (HeatViT, SingleHeadTokenClassifier, TokenSelector,
+                        UniformHeadSelector, make_single_head_factory)
+from repro.nn.tensor import Tensor
+
+
+DIM, HEADS, TOKENS = 24, 3, 10
+
+
+class TestSingleHeadClassifier:
+    def test_interface_matches_multihead(self, rng):
+        classifier = SingleHeadTokenClassifier(DIM, HEADS, rng=rng)
+        x = Tensor(rng.normal(size=(2, TOKENS, DIM)))
+        scores = classifier(x)
+        assert scores.shape == (2, HEADS, TOKENS, 2)
+        assert np.allclose(scores.data.sum(-1), 1.0)
+
+    def test_heads_are_identical_copies(self, rng):
+        """The ablation has no per-head structure by construction."""
+        classifier = SingleHeadTokenClassifier(DIM, HEADS, rng=rng)
+        scores = classifier(Tensor(rng.normal(size=(1, TOKENS, DIM)))).data
+        assert np.allclose(scores[0, 0], scores[0, 1])
+        assert np.allclose(scores[0, 0], scores[0, 2])
+
+    def test_masked_pooling(self, rng):
+        classifier = SingleHeadTokenClassifier(DIM, HEADS, rng=rng)
+        x = rng.normal(size=(1, TOKENS, DIM))
+        mask = np.ones((1, TOKENS))
+        mask[0, :3] = 0.0
+        masked = classifier(Tensor(x), mask=mask).data
+        alive = [i for i in range(TOKENS) if i >= 3]
+        gathered = classifier(Tensor(x[:, alive])).data
+        assert np.allclose(masked[:, :, alive], gathered, atol=1e-9)
+
+    def test_plugs_into_heatvit(self, tiny_backbone, rng):
+        factory = make_single_head_factory(
+            tiny_backbone.config.embed_dim,
+            tiny_backbone.config.num_heads)
+        model = HeatViT(tiny_backbone, {2: 0.6}, rng=rng,
+                        classifier_factory=factory)
+        model.eval()
+        images = rng.normal(size=(2, 3, 16, 16))
+        with nn.no_grad():
+            masked = model(images).data
+        gathered = model.forward_pruned(images).data
+        assert np.allclose(masked, gathered, atol=1e-6)
+
+
+class TestUniformHeadSelector:
+    def test_uniform_importance(self, rng):
+        selector = UniformHeadSelector(DIM, HEADS, rng=rng)
+        x = Tensor(rng.normal(size=(2, TOKENS, DIM)))
+        scores, importance = selector.token_scores(x)
+        assert np.allclose(importance.data, 1.0 / HEADS)
+        # Scores are the plain head average.
+        normed = selector.norm(x)
+        per_head = selector.classifier(normed).data
+        assert np.allclose(scores.data, per_head.mean(axis=1), atol=1e-9)
+
+    def test_differs_from_learned_weighting(self, rng):
+        seed_rng = np.random.default_rng(3)
+        learned = TokenSelector(DIM, HEADS, rng=np.random.default_rng(3))
+        uniform = UniformHeadSelector(DIM, HEADS,
+                                      rng=np.random.default_rng(3))
+        uniform.load_state_dict(learned.state_dict())
+        x = Tensor(rng.normal(size=(1, TOKENS, DIM)))
+        a, _ = learned.token_scores(x)
+        b, _ = uniform.token_scores(x)
+        assert not np.allclose(a.data, b.data)
+
+    def test_trains_end_to_end(self, tiny_backbone, tiny_dataset):
+        """UniformHeadSelector can replace the standard selectors."""
+        model = HeatViT(tiny_backbone, {2: 0.6},
+                        rng=np.random.default_rng(0))
+        uniform = UniformHeadSelector(
+            tiny_backbone.config.embed_dim,
+            tiny_backbone.config.num_heads, keep_ratio=0.6,
+            rng=np.random.default_rng(1))
+        model.selectors.register_module("0", uniform)
+        model.selectors._order[0] = "0"
+        model.train()
+        from repro.core import TrainConfig, heatvit_loss
+        loss, record = heatvit_loss(
+            model, tiny_dataset.images[:4], tiny_dataset.labels[:4],
+            TrainConfig(lambda_distill=0.0))
+        loss.backward()
+        assert any(p.grad is not None for p in uniform.parameters())

@@ -1,0 +1,135 @@
+"""Unit tests for the HeatViT model wrapper (masked + gathered paths)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import HeatViT, PruningRecord
+from repro.vit import model_gmacs
+
+
+@pytest.fixture()
+def heatvit(tiny_backbone, rng):
+    return HeatViT(tiny_backbone, {1: 0.7, 2: 0.5}, rng=rng)
+
+
+class TestConstruction:
+    def test_selector_placement(self, heatvit):
+        assert heatvit.selector_blocks == (1, 2)
+        assert heatvit.keep_ratios == (0.7, 0.5)
+
+    def test_out_of_range_block(self, tiny_backbone, rng):
+        with pytest.raises(ValueError):
+            HeatViT(tiny_backbone, {99: 0.5}, rng=rng)
+
+    def test_set_keep_ratios(self, heatvit):
+        heatvit.set_keep_ratios((0.9, 0.8))
+        assert heatvit.keep_ratios == (0.9, 0.8)
+        with pytest.raises(ValueError):
+            heatvit.set_keep_ratios((0.9,))
+
+    def test_selector_for_block(self, heatvit):
+        assert heatvit.selector_for_block(2) is heatvit.selectors[1]
+
+
+class TestMaskedForward:
+    def test_logits_shape(self, heatvit, tiny_dataset):
+        heatvit.eval()
+        with nn.no_grad():
+            logits = heatvit(tiny_dataset.images[:4])
+        assert logits.shape == (4, 4)
+
+    def test_record_contents(self, heatvit, tiny_dataset):
+        heatvit.eval()
+        record = PruningRecord()
+        with nn.no_grad():
+            heatvit(tiny_dataset.images[:4], record=record)
+        assert len(record.decisions) == 2
+        assert len(record.keep_fractions) == 2
+        assert all(0.0 <= f <= 1.0 for f in record.keep_fractions)
+
+    def test_mask_propagation_is_monotone(self, heatvit, tiny_dataset):
+        """A token pruned at stage 1 must stay pruned at stage 2."""
+        heatvit.eval()
+        record = PruningRecord()
+        with nn.no_grad():
+            heatvit(tiny_dataset.images[:6], record=record)
+        first = record.decisions[0].data
+        second = record.decisions[1].data
+        assert np.all(second <= first + 1e-12)
+
+    def test_cumulative_keep_decreases(self, heatvit, tiny_dataset):
+        heatvit.eval()
+        record = PruningRecord()
+        with nn.no_grad():
+            heatvit(tiny_dataset.images[:6], record=record)
+        assert record.cumulative_keep[1] <= record.cumulative_keep[0]
+
+
+class TestGatheredForward:
+    def test_matches_masked_eval(self, heatvit, tiny_dataset):
+        """Deployment (gathered) semantics must produce the same logits
+        as masked evaluation -- attention masking == token removal."""
+        heatvit.eval()
+        images = tiny_dataset.images[:4]
+        with nn.no_grad():
+            masked = heatvit(images).data
+        gathered = heatvit.forward_pruned(images).data
+        assert np.allclose(masked, gathered, atol=1e-6), (
+            np.abs(masked - gathered).max())
+
+    def test_adaptive_token_counts(self, heatvit, tiny_dataset):
+        heatvit.eval()
+        record = PruningRecord()
+        heatvit.forward_pruned(tiny_dataset.images[:8], record=record)
+        assert len(record.tokens_per_stage) == 2
+        counts = record.tokens_per_stage[0]
+        assert counts.shape == (8,)
+        # Token counts can differ across images (image-adaptive).
+        assert counts.max() <= heatvit.config.num_tokens + 1
+
+    def test_measured_gmacs_below_dense(self, heatvit, tiny_dataset):
+        per_image = heatvit.measured_gmacs(tiny_dataset.images[:4])
+        dense = model_gmacs(heatvit.config)
+        assert per_image.shape == (4,)
+        # Untrained selectors may keep nearly all tokens; with the extra
+        # package token + selector overhead an image can slightly exceed
+        # the dense cost, but never by more than that overhead, and the
+        # average must save compute.
+        assert np.all(per_image < dense * 1.15)
+        assert per_image.mean() < dense
+
+    def test_accuracy_helper(self, heatvit, tiny_dataset):
+        acc_masked = heatvit.accuracy(tiny_dataset.images[:8],
+                                      tiny_dataset.labels[:8])
+        acc_pruned = heatvit.accuracy(tiny_dataset.images[:8],
+                                      tiny_dataset.labels[:8], pruned=True)
+        assert acc_masked == acc_pruned
+
+
+class TestNoPackager:
+    def test_discard_mode(self, tiny_backbone, tiny_dataset, rng):
+        model = HeatViT(tiny_backbone, {1: 0.6}, rng=rng,
+                        use_packager=False)
+        model.eval()
+        images = tiny_dataset.images[:4]
+        with nn.no_grad():
+            masked = model(images).data
+        gathered = model.forward_pruned(images).data
+        assert np.allclose(masked, gathered, atol=1e-6)
+
+    def test_packager_changes_logits(self, tiny_backbone, tiny_dataset,
+                                     rng):
+        state = tiny_backbone.state_dict()
+        with_pkg = HeatViT(tiny_backbone, {1: 0.5},
+                           rng=np.random.default_rng(3))
+        without = HeatViT(tiny_backbone, {1: 0.5},
+                          rng=np.random.default_rng(3), use_packager=False)
+        without.load_state_dict(with_pkg.state_dict())
+        with_pkg.eval()
+        without.eval()
+        images = tiny_dataset.images[:2]
+        a = with_pkg.forward_pruned(images).data
+        b = without.forward_pruned(images).data
+        tiny_backbone.load_state_dict(state)
+        assert not np.allclose(a, b)

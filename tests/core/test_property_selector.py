@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for selector and packager invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import TokenSelector
+from repro.nn.tensor import Tensor
+from repro.quant import calibrate_minmax, dequantize, quantize
+
+
+def token_batches(tokens=8, dim=12):
+    return hnp.arrays(np.float64, (1, tokens, dim),
+                      elements=st.floats(-4.0, 4.0, allow_nan=False))
+
+
+@pytest.fixture(scope="module")
+def selector():
+    sel = TokenSelector(12, 3, rng=np.random.default_rng(11))
+    sel.eval()
+    return sel
+
+
+class TestSelectorInvariants:
+    @given(token_batches())
+    @settings(max_examples=25, deadline=None)
+    def test_scores_are_distributions(self, x):
+        selector = TokenSelector(12, 3, rng=np.random.default_rng(11))
+        selector.eval()
+        scores, _ = selector.token_scores(Tensor(x))
+        assert np.all(scores.data >= -1e-12)
+        assert np.allclose(scores.data.sum(-1), 1.0, atol=1e-6)
+
+    @given(token_batches())
+    @settings(max_examples=25, deadline=None)
+    def test_decision_binary_and_mask_respected(self, x):
+        selector = TokenSelector(12, 3, rng=np.random.default_rng(11))
+        selector.eval()
+        incoming = np.ones((1, 8))
+        incoming[0, ::2] = 0.0
+        out = selector(Tensor(x), incoming_mask=incoming)
+        assert set(np.unique(out.decision.data)).issubset({0.0, 1.0})
+        assert np.all(out.decision.data[0, ::2] == 0.0)
+
+    @given(token_batches())
+    @settings(max_examples=25, deadline=None)
+    def test_package_within_token_bounds(self, x):
+        """Convex combination => package stays inside the per-dimension
+        min/max envelope of the pruned tokens (or is 0 if none)."""
+        selector = TokenSelector(12, 3, rng=np.random.default_rng(11))
+        selector.eval()
+        out = selector(Tensor(x))
+        pruned = out.decision.data[0] < 0.5
+        package = out.package.data[0, 0]
+        if pruned.any():
+            lo = x[0, pruned].min(axis=0) - 1e-6
+            hi = x[0, pruned].max(axis=0) + 1e-6
+            assert np.all(package >= lo) and np.all(package <= hi)
+        else:
+            assert np.allclose(package, 0.0, atol=1e-6)
+
+    @given(token_batches())
+    @settings(max_examples=20, deadline=None)
+    def test_token_permutation_equivariance(self, x):
+        """Permuting tokens permutes decisions identically: the
+        classifier is per-token with permutation-invariant pooling."""
+        selector = TokenSelector(12, 3, rng=np.random.default_rng(11))
+        selector.eval()
+        perm = np.random.default_rng(5).permutation(8)
+        base = selector(Tensor(x)).keep_probs.data[0]
+        permuted = selector(Tensor(x[:, perm])).keep_probs.data[0]
+        assert np.allclose(permuted, base[perm], atol=1e-9)
+
+
+class TestQuantizationInvariants:
+    @given(hnp.arrays(np.float64, (32,),
+                      elements=st.floats(-100.0, 100.0, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_error_bound(self, x):
+        params = calibrate_minmax(x)
+        err = np.abs(dequantize(quantize(x, params), params) - x)
+        assert err.max() <= params.scale / 2 + 1e-9
+
+    @given(hnp.arrays(np.float64, (16,),
+                      elements=st.floats(-10.0, 10.0, allow_nan=False)),
+           st.integers(3, 12))
+    @settings(max_examples=50, deadline=None)
+    def test_quantized_values_on_grid(self, x, bits):
+        params = calibrate_minmax(x, bits=bits)
+        q = quantize(x, params)
+        assert q.min() >= params.qmin
+        assert q.max() <= params.qmax
+
+
+class TestApproxInvariants:
+    @given(hnp.arrays(np.float64, (4, 6),
+                      elements=st.floats(-30.0, 30.0, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_approx_sums_to_delta2(self, x):
+        from repro.approx import softmax_approx
+        out = softmax_approx(x)
+        assert np.allclose(out.sum(-1), 0.5, atol=1e-9)
+        assert np.all(out >= 0)
+
+    @given(hnp.arrays(np.float64, (50,),
+                      elements=st.floats(-50.0, 50.0, allow_nan=False)))
+    @settings(max_examples=50, deadline=None)
+    def test_gelu_derivative_regularized(self, x):
+        from repro.approx import gelu_approx_derivative
+        assert np.abs(gelu_approx_derivative(x, delta1=0.5)).max() < 1.0

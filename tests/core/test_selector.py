@@ -1,0 +1,158 @@
+"""Unit tests for the token selector (classifier, branch, packager)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.core import (AttentionBranch, MultiHeadTokenClassifier,
+                        TokenSelector)
+
+
+DIM, HEADS, TOKENS, BATCH = 24, 3, 10, 2
+
+
+@pytest.fixture()
+def selector(rng):
+    return TokenSelector(DIM, HEADS, rng=rng)
+
+
+@pytest.fixture()
+def tokens(rng):
+    return Tensor(rng.normal(size=(BATCH, TOKENS, DIM)))
+
+
+class TestClassifier:
+    def test_output_shape_and_simplex(self, rng, tokens):
+        classifier = MultiHeadTokenClassifier(DIM, HEADS, rng=rng)
+        scores = classifier(tokens)
+        assert scores.shape == (BATCH, HEADS, TOKENS, 2)
+        assert np.allclose(scores.data.sum(axis=-1), 1.0)
+        assert np.all(scores.data >= 0)
+
+    def test_masked_global_pool_matches_gathered(self, rng):
+        """Scoring alive tokens with a mask must equal scoring only the
+        alive tokens -- the masked-training / gathered-inference
+        equivalence."""
+        classifier = MultiHeadTokenClassifier(DIM, HEADS, rng=rng)
+        x = rng.normal(size=(1, TOKENS, DIM))
+        mask = np.ones((1, TOKENS))
+        dead = [2, 5, 6]
+        mask[0, dead] = 0.0
+        masked_scores = classifier(Tensor(x), mask=mask).data
+        alive = [i for i in range(TOKENS) if i not in dead]
+        gathered_scores = classifier(Tensor(x[:, alive, :])).data
+        assert np.allclose(masked_scores[:, :, alive, :], gathered_scores,
+                           atol=1e-9)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            MultiHeadTokenClassifier(25, 3)
+
+    def test_heads_score_independently(self, rng):
+        """Perturbing one head's subvector must not change other heads'
+        local scores (only via the shared global pool)."""
+        classifier = MultiHeadTokenClassifier(DIM, HEADS, rng=rng)
+        x = rng.normal(size=(1, TOKENS, DIM))
+        base = classifier(Tensor(x)).data
+        d = DIM // HEADS
+        x2 = x.copy()
+        x2[0, 0, :d] += 10.0          # head 0 of token 0
+        moved = classifier(Tensor(x2)).data
+        # Head 0 scores change (token 0 directly, others via the
+        # per-head global pool)...
+        assert np.abs(moved[0, 0] - base[0, 0]).max() > 0
+        # ...while heads 1..2 are exactly untouched: feature extraction
+        # and global pooling are both per-head.
+        assert np.abs(moved[0, 1:] - base[0, 1:]).max() == 0.0
+
+
+class TestAttentionBranch:
+    def test_shape_and_range(self, rng, tokens):
+        branch = AttentionBranch(DIM, HEADS, rng=rng)
+        importance = branch(tokens)
+        assert importance.shape == (BATCH, TOKENS, HEADS)
+        assert np.all((importance.data > 0) & (importance.data < 1))
+
+
+class TestSelector:
+    def test_overall_scores_weighted_average(self, rng, tokens):
+        selector = TokenSelector(DIM, HEADS, rng=rng)
+        scores, importance = selector.token_scores(tokens)
+        normed = selector.norm(tokens)
+        per_head = selector.classifier(normed).data
+        weights = importance.data.transpose(0, 2, 1)[..., None]
+        manual = ((per_head * weights).sum(axis=1)
+                  / (weights.sum(axis=1) + 1e-8))
+        assert np.allclose(scores.data, manual, atol=1e-9)
+        assert np.allclose(scores.data.sum(-1), 1.0, atol=1e-6)
+
+    def test_eval_decision_is_deterministic_argmax(self, selector, tokens):
+        selector.eval()
+        out1 = selector(tokens)
+        out2 = selector(tokens)
+        assert np.array_equal(out1.decision.data, out2.decision.data)
+        keep = out1.keep_probs.data[..., 0] >= out1.keep_probs.data[..., 1]
+        assert np.array_equal(out1.decision.data.astype(bool), keep)
+
+    def test_train_decision_is_binary(self, selector, tokens):
+        selector.train()
+        out = selector(tokens)
+        assert set(np.unique(out.decision.data)).issubset({0.0, 1.0})
+
+    def test_incoming_mask_is_respected(self, selector, tokens):
+        selector.eval()
+        incoming = np.ones((BATCH, TOKENS))
+        incoming[:, :4] = 0.0
+        out = selector(tokens, incoming_mask=incoming)
+        assert np.all(out.decision.data[:, :4] == 0.0)
+
+    def test_keep_fraction(self, selector, tokens):
+        selector.eval()
+        out = selector(tokens)
+        frac = out.keep_fraction()
+        assert frac == pytest.approx(out.decision.data.mean())
+
+    def test_gradients_flow_through_decision(self, rng):
+        selector = TokenSelector(DIM, HEADS, rng=rng)
+        selector.train()
+        x = Tensor(rng.normal(size=(1, TOKENS, DIM)), requires_grad=True)
+        out = selector(x)
+        (out.decision.sum() + (out.package ** 2).sum()).backward()
+        grads = [p.grad for p in selector.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+
+class TestPackager:
+    def test_package_is_convex_combination(self, selector, tokens):
+        """Eq. 10: the package lies in the convex hull of pruned tokens."""
+        selector.eval()
+        out = selector(tokens)
+        pruned_mask = 1.0 - out.decision.data
+        for b in range(BATCH):
+            idx = np.flatnonzero(pruned_mask[b])
+            if not idx.size:
+                continue
+            weights = out.keep_probs.data[b, idx, 0]
+            weights = weights / weights.sum()
+            manual = (tokens.data[b, idx] * weights[:, None]).sum(axis=0)
+            assert np.allclose(out.package.data[b, 0], manual, atol=1e-6)
+
+    def test_package_only_uses_newly_pruned(self, selector, tokens):
+        """Tokens dead on entry must not leak into the new package."""
+        selector.eval()
+        incoming = np.ones((BATCH, TOKENS))
+        incoming[:, 0] = 0.0
+        poisoned = tokens.data.copy()
+        poisoned[:, 0, :] = 1e6        # huge values in the dead token
+        out = selector(Tensor(poisoned), incoming_mask=incoming)
+        assert np.abs(out.package.data).max() < 1e5
+
+    def test_all_kept_gives_finite_package(self, rng):
+        selector = TokenSelector(DIM, HEADS, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, DIM)))
+        scores = Tensor(np.stack([np.ones((1, 4)), np.zeros((1, 4))],
+                                 axis=-1))
+        package = TokenSelector.package_tokens(x, Tensor(np.zeros((1, 4))),
+                                               scores)
+        assert np.all(np.isfinite(package.data))

@@ -1,0 +1,153 @@
+"""Tests for the training loops and the block-to-stage strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core import (BlockToStageTrainer, HeatViT, LatencySparsityTable,
+                        TrainConfig, consolidate_stages, heatvit_loss,
+                        iterate_minibatches, train_backbone, train_heatvit)
+from repro.core.training import _enforce_monotone
+from repro.vit import VisionTransformer, ViTConfig
+
+
+SMALL = ViTConfig(name="train-test", image_size=16, patch_size=4,
+                  embed_dim=24, depth=4, num_heads=3, num_classes=4)
+
+
+class TestMinibatches:
+    def test_covers_all_samples(self, rng):
+        images = np.arange(10)[:, None]
+        labels = np.arange(10)
+        seen = []
+        for bi, bl in iterate_minibatches(images, labels, 3, rng):
+            assert np.array_equal(bi[:, 0], bl)
+            seen.extend(bl.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_no_shuffle_preserves_order(self, rng):
+        labels = np.arange(8)
+        batches = list(iterate_minibatches(labels[:, None], labels, 4, rng,
+                                           shuffle=False))
+        assert batches[0][1].tolist() == [0, 1, 2, 3]
+
+
+class TestTrainBackbone:
+    def test_loss_decreases(self, tiny_dataset):
+        model = VisionTransformer(SMALL, rng=np.random.default_rng(0))
+        config = TrainConfig(epochs=3, batch_size=16, lr=3e-3, seed=0)
+        history = train_backbone(model, tiny_dataset.images,
+                                 tiny_dataset.labels, config)
+        assert history[-1].loss < history[0].loss
+
+    def test_validation_accuracy_reported(self, tiny_dataset):
+        model = VisionTransformer(SMALL, rng=np.random.default_rng(0))
+        config = TrainConfig(epochs=1, batch_size=16, lr=1e-3)
+        history = train_backbone(
+            model, tiny_dataset.images, tiny_dataset.labels, config,
+            val_images=tiny_dataset.images[:16],
+            val_labels=tiny_dataset.labels[:16])
+        assert 0.0 <= history[0].accuracy <= 1.0
+
+
+class TestHeatViTLoss:
+    def test_components_compose(self, tiny_backbone, tiny_dataset, rng):
+        model = HeatViT(tiny_backbone, {2: 0.6}, rng=rng)
+        model.train()
+        config = TrainConfig(lambda_distill=0.0, lambda_ratio=0.0)
+        plain, record = heatvit_loss(model, tiny_dataset.images[:4],
+                                     tiny_dataset.labels[:4], config)
+        assert len(record.decisions) == 1
+        config_ratio = TrainConfig(lambda_distill=0.0, lambda_ratio=5.0)
+        with_ratio, _ = heatvit_loss(model, tiny_dataset.images[:4],
+                                     tiny_dataset.labels[:4], config_ratio)
+        assert np.isfinite(plain.item())
+        assert np.isfinite(with_ratio.item())
+
+    def test_distillation_uses_teacher(self, tiny_backbone, tiny_dataset,
+                                       rng):
+        model = HeatViT(tiny_backbone, {2: 0.6}, rng=rng)
+        model.train()
+        config = TrainConfig(lambda_distill=0.5, lambda_ratio=0.0)
+        with_teacher, _ = heatvit_loss(
+            model, tiny_dataset.images[:4], tiny_dataset.labels[:4],
+            config, teacher=tiny_backbone)
+        without, _ = heatvit_loss(
+            model, tiny_dataset.images[:4], tiny_dataset.labels[:4],
+            config, teacher=None)
+        assert with_teacher.item() != pytest.approx(without.item())
+
+
+class TestTrainHeatViT:
+    def test_keep_ratio_moves_toward_target(self, tiny_dataset):
+        backbone = VisionTransformer(SMALL, rng=np.random.default_rng(1))
+        model = HeatViT(backbone, {2: 0.5},
+                        rng=np.random.default_rng(2))
+        config = TrainConfig(epochs=4, batch_size=16, lr=3e-3,
+                             lambda_distill=0.0, lambda_ratio=8.0, seed=1)
+        history = train_heatvit(model, tiny_dataset.images,
+                                tiny_dataset.labels, config)
+        first_gap = abs(history[0].keep_ratios[0] - 0.5)
+        last_gap = abs(history[-1].keep_ratios[0] - 0.5)
+        assert last_gap <= first_gap + 0.05
+
+    def test_freeze_backbone(self, tiny_dataset):
+        backbone = VisionTransformer(SMALL, rng=np.random.default_rng(1))
+        before = backbone.state_dict()
+        model = HeatViT(backbone, {2: 0.5}, rng=np.random.default_rng(2))
+        config = TrainConfig(epochs=1, batch_size=24, lr=1e-2,
+                             lambda_distill=0.0)
+        train_heatvit(model, tiny_dataset.images[:24],
+                      tiny_dataset.labels[:24], config,
+                      freeze_backbone=True)
+        after = backbone.state_dict()
+        for name in before:
+            assert np.allclose(before[name], after[name]), name
+        # And the flag is restored afterwards.
+        assert all(p.requires_grad for p in backbone.parameters())
+
+
+class TestConsolidation:
+    def test_similar_ratios_merge(self):
+        boundaries, ratios = consolidate_stages(
+            {4: 0.70, 5: 0.68, 6: 0.40, 7: 0.38, 8: 0.20},
+            merge_threshold=0.085)
+        assert boundaries == [4, 6, 8]
+        assert ratios == [0.70, 0.40, 0.20]
+
+    def test_distinct_ratios_stay(self):
+        boundaries, ratios = consolidate_stages({3: 0.9, 6: 0.5})
+        assert boundaries == [3, 6]
+
+    def test_empty(self):
+        assert consolidate_stages({}) == ([], [])
+
+    def test_enforce_monotone(self):
+        result = _enforce_monotone({3: 0.5, 6: 0.8, 9: 0.3})
+        assert result == {3: 0.5, 6: 0.5, 9: 0.3}
+
+
+class TestBlockToStage:
+    def test_algorithm_runs_and_meets_structure(self, tiny_dataset):
+        backbone = VisionTransformer(SMALL, rng=np.random.default_rng(3))
+        table = LatencySparsityTable(
+            {0.5: 0.6, 0.6: 0.7, 0.7: 0.8, 0.8: 0.88, 0.9: 0.95, 1.0: 1.0})
+        trainer = BlockToStageTrainer(
+            backbone,
+            (tiny_dataset.images[:32], tiny_dataset.labels[:32]),
+            (tiny_dataset.images[32:], tiny_dataset.labels[32:]),
+            table,
+            TrainConfig(epochs=1, batch_size=16, lr=1e-3,
+                        lambda_distill=0.0),
+            min_block=2, ratio_grid=(0.7, 0.5),
+            rng=np.random.default_rng(4))
+        model, report = trainer.run(latency_limit=3.9,
+                                    accuracy_drop=1.0)
+        assert isinstance(model, HeatViT)
+        assert report.stage_boundaries
+        # Selectors never sit in the protected front blocks.
+        assert min(report.stage_boundaries) >= 2
+        # Cumulative ratios non-increasing across stages.
+        ratios = report.stage_keep_ratios
+        assert all(b <= a for a, b in zip(ratios, ratios[1:]))
+        assert report.epochs_spent > 0
+        assert np.isfinite(report.final_latency_ms)

@@ -1,0 +1,102 @@
+"""Tests for the synthetic cluttered-object dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import (NUM_COLORS, NUM_SHAPES, SyntheticConfig,
+                        SyntheticDataset, generate_dataset,
+                        patch_object_fraction)
+
+
+class TestGeneration:
+    def test_shapes(self, rng):
+        data = generate_dataset(SyntheticConfig(image_size=32), 10, rng)
+        assert data.images.shape == (10, 3, 32, 32)
+        assert data.labels.shape == (10,)
+        assert data.masks.shape == (10, 32, 32)
+        assert len(data) == 10
+
+    def test_deterministic_with_seed(self):
+        a = generate_dataset(SyntheticConfig(), 5,
+                             np.random.default_rng(42))
+        b = generate_dataset(SyntheticConfig(), 5,
+                             np.random.default_rng(42))
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_labels_in_range(self, rng):
+        config = SyntheticConfig(num_classes=6)
+        data = generate_dataset(config, 50, rng)
+        assert data.labels.min() >= 0
+        assert data.labels.max() < 6
+
+    def test_object_sizes_vary(self, rng):
+        """Image-adaptive pruning depends on variable object size."""
+        config = SyntheticConfig(object_scale_range=(0.2, 0.7))
+        data = generate_dataset(config, 40, rng)
+        fractions = data.object_fractions
+        assert fractions.std() > 0.03
+        assert fractions.min() > 0.0
+
+    def test_object_pixels_brighter_than_background(self, rng):
+        config = SyntheticConfig(noise_std=0.01)
+        data = generate_dataset(config, 10, rng)
+        for i in range(10):
+            mask = data.masks[i].astype(bool)
+            obj = np.abs(data.images[i][:, mask]).mean()
+            bg = np.abs(data.images[i][:, ~mask]).mean()
+            assert obj > bg
+
+    def test_class_capacity_limit(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_classes=NUM_SHAPES * NUM_COLORS + 1)
+
+    def test_scale_range_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(object_scale_range=(0.8, 0.2))
+
+
+class TestSplit:
+    def test_partition_sizes(self, rng):
+        data = generate_dataset(SyntheticConfig(), 20, rng)
+        train, val = data.split(train_fraction=0.75)
+        assert len(train) == 15
+        assert len(val) == 5
+
+    def test_no_overlap(self, rng):
+        data = generate_dataset(SyntheticConfig(), 20, rng)
+        data_ids = {img.tobytes() for img in data.images}
+        train, val = data.split()
+        split_ids = ({img.tobytes() for img in train.images}
+                     | {img.tobytes() for img in val.images})
+        assert split_ids == data_ids
+
+
+class TestPatchFraction:
+    def test_full_coverage(self):
+        masks = np.ones((2, 8, 8))
+        fractions = patch_object_fraction(masks, patch_size=4)
+        assert fractions.shape == (2, 4)
+        assert np.allclose(fractions, 1.0)
+
+    def test_partial_patch(self):
+        mask = np.zeros((8, 8))
+        mask[:2, :2] = 1.0    # quarter of patch (0, 0)
+        fractions = patch_object_fraction(mask, patch_size=4)
+        assert fractions[0] == pytest.approx(0.25)
+        assert np.allclose(fractions[1:], 0.0)
+
+    def test_single_mask_returns_1d(self):
+        fractions = patch_object_fraction(np.zeros((8, 8)), 4)
+        assert fractions.shape == (4,)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            patch_object_fraction(np.zeros((10, 10)), 4)
+
+    def test_fractions_sum_matches_total(self, rng):
+        config = SyntheticConfig(image_size=32)
+        data = generate_dataset(config, 5, rng)
+        fractions = patch_object_fraction(data.masks, 8)
+        per_image = fractions.mean(axis=1)
+        assert np.allclose(per_image, data.object_fractions)

@@ -1,0 +1,127 @@
+"""Tests for the end-to-end accelerator simulator (Table VI shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (ViTAcceleratorSim, ZCU102, baseline_design,
+                            heatvit_design)
+from repro.vit import (DEIT_BASE, DEIT_SMALL, DEIT_TINY, LVVIT_SMALL,
+                       StagePlan)
+
+PLAN = StagePlan.canonical(12, (0.70, 0.39, 0.21))
+
+
+@pytest.fixture(scope="module")
+def reports():
+    out = {}
+    for config in (DEIT_TINY, DEIT_SMALL, DEIT_BASE):
+        base = ViTAcceleratorSim(config, baseline_design(config)).simulate()
+        sim8 = ViTAcceleratorSim(config, heatvit_design(config))
+        dense8 = sim8.simulate()
+        plan = StagePlan.canonical(config.depth, (0.70, 0.39, 0.21))
+        pruned = sim8.simulate(plan)
+        out[config.name] = (base, dense8, pruned)
+    return out
+
+
+class TestDesigns:
+    def test_th_matches_heads(self):
+        assert baseline_design(DEIT_TINY).th == 3
+        assert baseline_design(DEIT_BASE).th == 12
+        assert heatvit_design(DEIT_SMALL).th == 6
+
+    def test_same_total_parallelism_across_models(self):
+        """'With the same total degree of computation parallelism...'"""
+        sizes = {baseline_design(c).macs_per_cycle
+                 for c in (DEIT_TINY, DEIT_SMALL, DEIT_BASE)}
+        assert len(sizes) == 1
+
+    def test_stage_plan_requires_selector(self):
+        sim = ViTAcceleratorSim(DEIT_TINY, baseline_design(DEIT_TINY))
+        with pytest.raises(ValueError):
+            sim.simulate(PLAN)
+
+
+class TestTable6Shapes:
+    def test_fps_ordering_across_models(self, reports):
+        """Smaller models run faster, in every configuration."""
+        for column in range(3):
+            fps = [reports[name][column].fps
+                   for name in ("DeiT-T", "DeiT-S", "DeiT-B")]
+            assert fps[0] > fps[1] > fps[2]
+
+    def test_total_speedup_in_paper_band(self, reports):
+        """Paper: 3.46x (DeiT-T) to 4.89x (DeiT-B) vs the baseline.
+        The simulator must land in the 2.5x-5.5x band with speedup
+        growing with model size."""
+        speedups = []
+        for name in ("DeiT-T", "DeiT-S", "DeiT-B"):
+            base, _, pruned = reports[name]
+            speedups.append(pruned.speedup_over(base))
+        assert all(2.5 < s < 5.5 for s in speedups)
+        assert speedups[0] < speedups[-1]
+
+    def test_quantization_speedup_band(self, reports):
+        """8-bit alone gives ~1.9x (paper: 1.90x)."""
+        for name in ("DeiT-T", "DeiT-S"):
+            base, dense8, _ = reports[name]
+            assert 1.5 < dense8.speedup_over(base) < 2.6
+
+    def test_pruning_speedup_band(self, reports):
+        """Token pruning alone gives 1.8x-2.6x (paper: 1.82x-2.58x)."""
+        for name in ("DeiT-T", "DeiT-S", "DeiT-B"):
+            _, dense8, pruned = reports[name]
+            ratio = dense8.latency_ms / pruned.latency_ms
+            assert 1.4 < ratio < 2.8
+
+    def test_selector_overhead_points(self, reports):
+        """Paper: +8-11 DSP points, +5-8 LUT points of utilization."""
+        for name in ("DeiT-T", "DeiT-S", "DeiT-B"):
+            base, _, pruned = reports[name]
+            dsp_delta = (pruned.utilization["dsp"]
+                         - base.utilization["dsp"]) * 100
+            lut_delta = (pruned.utilization["lut"]
+                         - base.utilization["lut"]) * 100
+            assert 4 < dsp_delta < 20
+            assert 2 < lut_delta < 15
+
+    def test_power_band_and_ordering(self, reports):
+        """Paper powers: 8.0-11.4 W, growing with model size."""
+        powers = [reports[name][2].power_w
+                  for name in ("DeiT-T", "DeiT-S", "DeiT-B")]
+        assert all(5.0 < p < 13.0 for p in powers)
+        assert powers[0] < powers[2]
+
+    def test_energy_efficiency_ordering(self, reports):
+        """FPS/W decreases with model size (Table VI last column)."""
+        eff = [reports[name][2].energy_efficiency
+               for name in ("DeiT-T", "DeiT-S", "DeiT-B")]
+        assert eff[0] > eff[1] > eff[2]
+
+    def test_all_designs_fit_device(self, reports):
+        for name in reports:
+            for report in reports[name]:
+                assert all(v <= 1.0 for v in report.utilization.values()), (
+                    name, report.utilization)
+
+    def test_lvvit_slower_than_deit_s_by_depth(self):
+        """LV-ViT-S = DeiT-S dims at depth 16 -> ~12/16 of the FPS."""
+        s = ViTAcceleratorSim(DEIT_SMALL,
+                              baseline_design(DEIT_SMALL)).simulate()
+        lv = ViTAcceleratorSim(LVVIT_SMALL,
+                               baseline_design(LVVIT_SMALL)).simulate()
+        assert lv.fps / s.fps == pytest.approx(12 / 16, abs=0.05)
+
+
+class TestLatencyDecomposition:
+    def test_cycle_kinds_present(self, reports):
+        base, _, pruned = reports["DeiT-T"]
+        assert set(base.cycles_by_kind) == {"gemm", "nonlinear",
+                                            "selector_flow"}
+        assert base.cycles_by_kind["selector_flow"] == 0
+        assert pruned.cycles_by_kind["selector_flow"] > 0
+
+    def test_gemm_dominates(self, reports):
+        base, _, _ = reports["DeiT-S"]
+        kinds = base.cycles_by_kind
+        assert kinds["gemm"] > 0.8 * sum(kinds.values())

@@ -1,0 +1,81 @@
+"""Tests for the tiled GEMM engine cycle model."""
+
+import math
+
+import pytest
+
+from repro.hardware import GemmShape, TiledGemmEngine, ZCU102
+
+
+@pytest.fixture()
+def engine():
+    return TiledGemmEngine(ti=8, to=32, th=3, bitwidth=16, device=ZCU102)
+
+
+class TestGemmShape:
+    def test_macs(self):
+        shape = GemmShape(rows=10, depth=20, cols=30)
+        assert shape.macs == 6000
+
+    def test_grouped_macs(self):
+        shape = GemmShape(rows=10, depth=20, cols=30, groups=3)
+        assert shape.macs == 18000
+
+    def test_operand_bytes(self):
+        shape = GemmShape(rows=2, depth=4, cols=3)
+        assert shape.operand_bytes(16) == (8 + 12 + 6) * 2
+
+
+class TestCycleModel:
+    def test_exact_tile_counts(self, engine):
+        # depth 24 / (ti*th = 24) = 1 reduction tile; cols 64 / 32 = 2.
+        shape = GemmShape(rows=10, depth=24, cols=64)
+        assert engine.compute_cycles(shape) == 1 * 2 * 10
+
+    def test_ceil_padding_waste(self, engine):
+        # cols=33 needs 2 output tiles just like 64.
+        even = engine.compute_cycles(GemmShape(10, 24, 32))
+        ragged = engine.compute_cycles(GemmShape(10, 24, 33))
+        assert ragged == 2 * even
+
+    def test_grouped_execution(self, engine):
+        # 3 head groups run concurrently on th=3.
+        grouped = GemmShape(rows=10, depth=8, cols=32, groups=3)
+        assert engine.compute_cycles(grouped) == math.ceil(3 / 3) * 10
+        six = GemmShape(rows=10, depth=8, cols=32, groups=6)
+        assert engine.compute_cycles(six) == 2 * 10
+
+    def test_latency_includes_pipeline_fill(self, engine):
+        shape = GemmShape(rows=10, depth=24, cols=32)
+        bound = max(engine.compute_cycles(shape),
+                    engine.transfer_cycles(shape))
+        latency = engine.latency_cycles(shape)
+        assert latency == bound + (engine.tile_swaps(shape)
+                                   * engine.PIPELINE_FILL)
+
+    def test_transfer_bound_layers(self):
+        """A tall skinny GEMM with huge weights becomes DDR bound."""
+        engine = TiledGemmEngine(ti=64, to=64, th=4, bitwidth=16,
+                                 device=ZCU102)
+        shape = GemmShape(rows=1, depth=4096, cols=4096)
+        assert engine.transfer_cycles(shape) > engine.compute_cycles(shape)
+        assert engine.latency_cycles(shape) >= engine.transfer_cycles(shape)
+
+    def test_efficiency_bounded(self, engine):
+        for shape in (GemmShape(197, 192, 576), GemmShape(197, 64, 197,
+                                                          groups=3)):
+            assert 0.0 < engine.efficiency(shape) <= 1.0
+
+    def test_macs_per_cycle(self, engine):
+        assert engine.macs_per_cycle == 8 * 32 * 3
+
+    def test_invalid_tiles(self):
+        with pytest.raises(ValueError):
+            TiledGemmEngine(0, 8, 1, 16, ZCU102)
+
+    def test_more_parallelism_never_slower(self):
+        small = TiledGemmEngine(8, 16, 3, 16, ZCU102)
+        large = TiledGemmEngine(8, 64, 3, 16, ZCU102)
+        shape = GemmShape(197, 192, 768)
+        assert (large.compute_cycles(shape)
+                <= small.compute_cycles(shape))

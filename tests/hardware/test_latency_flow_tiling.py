@@ -1,0 +1,156 @@
+"""Tests for the latency table, token-selection flow, tiling search,
+and platform comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core import TokenSelector
+from repro.hardware import (PAPER_TABLE4, TokenSelectionFlow,
+                            block_latency_ms, build_latency_table,
+                            compare_platforms, search_tiling,
+                            speedup_breakdown, TX2_CPU, TX2_GPU)
+from repro.nn.tensor import Tensor
+from repro.vit import DEIT_SMALL, DEIT_TINY, StagePlan
+
+
+class TestLatencyTable:
+    def test_monotone_in_keep_ratio(self):
+        table = build_latency_table(DEIT_TINY)
+        lats = [table.latency(r) for r in (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)]
+        assert all(a < b for a, b in zip(lats, lats[1:]))
+
+    @pytest.mark.parametrize("model,config", [
+        ("DeiT-T", DEIT_TINY), ("DeiT-S", DEIT_SMALL)])
+    def test_within_50pct_of_paper_table4(self, model, config):
+        """Simulated per-block latency tracks the measured Table IV."""
+        table = build_latency_table(config)
+        for ratio, paper_ms in PAPER_TABLE4[model].items():
+            ours = table.latency(ratio)
+            assert ours == pytest.approx(paper_ms, rel=0.5), (
+                f"{model} @ {ratio}: {ours:.3f} vs paper {paper_ms}")
+
+    def test_relative_savings_match_paper(self):
+        """Latency(0.5)/latency(1.0) ~= 0.61 for DeiT-T (paper:
+        0.636/1.034 = 0.615)."""
+        table = build_latency_table(DEIT_TINY)
+        ratio = table.latency(0.5) / table.latency(1.0)
+        paper = 0.636 / 1.034
+        assert ratio == pytest.approx(paper, abs=0.12)
+
+    def test_selector_adds_small_latency(self):
+        plain = block_latency_ms(DEIT_TINY, 0.7)
+        with_sel = block_latency_ms(DEIT_TINY, 0.7, with_selector=True)
+        assert plain < with_sel < plain * 1.2
+
+
+class TestTokenSelectionFlow:
+    def test_matches_algorithmic_selector(self, rng):
+        """The hardware flow must reproduce the TokenSelector's
+        keep/prune decisions given the same classifier scores."""
+        selector = TokenSelector(24, 3, rng=rng)
+        selector.eval()
+        tokens = Tensor(rng.normal(size=(1, 12, 24)))
+        out = selector(tokens)
+        probs = out.keep_probs.data[0]
+        # Feed the flow the log-probabilities (softmax is idempotent on
+        # renormalized logs).
+        flow = TokenSelectionFlow(use_exp_approx=False)
+        result = flow.run(tokens.data[0], np.log(probs[:, 0] + 1e-12),
+                          np.log(probs[:, 1] + 1e-12))
+        assert np.array_equal(result.keep_flags,
+                              out.decision.data[0].astype(bool))
+
+    def test_exp_approx_rarely_flips_decisions(self, rng):
+        logits_keep = rng.normal(size=200)
+        logits_prune = rng.normal(size=200)
+        tokens = rng.normal(size=(200, 8))
+        exact = TokenSelectionFlow(use_exp_approx=False).run(
+            tokens, logits_keep, logits_prune)
+        approx = TokenSelectionFlow(use_exp_approx=True).run(
+            tokens, logits_keep, logits_prune)
+        agreement = (exact.keep_flags == approx.keep_flags).mean()
+        assert agreement > 0.97
+
+    def test_output_dense_and_packaged(self, rng):
+        flow = TokenSelectionFlow()
+        result = flow.run(rng.normal(size=(10, 4)), rng.normal(size=10),
+                          rng.normal(size=10))
+        kept = result.keep_flags.sum()
+        if kept < 10:
+            assert result.output_tokens.shape == (kept + 1, 4)
+        assert result.cycles == 3 * 10 + 64
+
+    def test_never_prunes_everything(self):
+        flow = TokenSelectionFlow()
+        result = flow.run(np.ones((5, 3)), np.full(5, -10.0),
+                          np.full(5, 10.0))
+        assert result.keep_flags.sum() == 1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            TokenSelectionFlow(threshold=0.0)
+
+    def test_input_validation(self, rng):
+        flow = TokenSelectionFlow()
+        with pytest.raises(ValueError):
+            flow.run(rng.normal(size=(5,)), rng.normal(size=5),
+                     rng.normal(size=5))
+        with pytest.raises(ValueError):
+            flow.run(rng.normal(size=(5, 2)), rng.normal(size=4),
+                     rng.normal(size=5))
+
+
+class TestTilingSearch:
+    def test_returns_sorted_feasible_designs(self):
+        choices = search_tiling(DEIT_TINY, bitwidth=8, top_k=4)
+        lats = [c.latency_ms for c in choices]
+        assert lats == sorted(lats)
+        for choice in choices:
+            assert choice.utilization["dsp"] <= 0.85
+            assert choice.th == DEIT_TINY.num_heads
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(ValueError):
+            search_tiling(DEIT_TINY, bitwidth=16, max_dsp_fraction=0.001)
+
+
+class TestPlatformComparison:
+    def test_fig13_orderings(self):
+        plan = StagePlan.canonical(12, (0.70, 0.39, 0.21))
+        results = {(r.platform, r.pruned): r
+                   for r in compare_platforms(DEIT_TINY, plan)}
+        cpu = results[("TX2-CPU", False)]
+        cpu_p = results[("TX2-CPU", True)]
+        gpu = results[("TX2-GPU", False)]
+        fpga = results[("FPGA-HeatViT", True)]
+        # Normalization anchor.
+        assert cpu.speedup_vs_cpu_dense == pytest.approx(1.0)
+        # Pruning helps the CPU too (paper: 1.78x-2.67x).
+        assert 1.4 < cpu_p.speedup_vs_cpu_dense < 3.0
+        # GPU is several hundred times the CPU (paper: ~373x-870x range
+        # for the various baselines).
+        assert gpu.speedup_vs_cpu_dense > 100
+        # FPGA HeatViT beats everything (paper: 1827x-3013x).
+        assert fpga.speedup_vs_cpu_dense > gpu.speedup_vs_cpu_dense
+
+    def test_fpga_energy_efficiency_wins(self):
+        plan = StagePlan.canonical(12, (0.70, 0.39, 0.21))
+        results = {(r.platform, r.pruned): r
+                   for r in compare_platforms(DEIT_TINY, plan)}
+        fpga = results[("FPGA-HeatViT", True)]
+        gpu_p = results[("TX2-GPU", True)]
+        cpu_p = results[("TX2-CPU", True)]
+        # Paper: 3.0x-4.7x over the GPU, 242x-719x over the CPU.
+        assert 1.5 < fpga.energy_efficiency / gpu_p.energy_efficiency < 8
+        assert fpga.energy_efficiency / cpu_p.energy_efficiency > 50
+
+    def test_breakdown_multiplies_to_total(self):
+        plan = StagePlan.canonical(12, (0.70, 0.39, 0.21))
+        breakdown = speedup_breakdown(DEIT_TINY, plan)
+        assert breakdown["total"] == pytest.approx(
+            breakdown["pruning"] * breakdown["quantization"], rel=1e-9)
+
+    def test_processor_spec_helpers(self):
+        assert TX2_CPU.latency_ms(1.3) == pytest.approx(
+            1.3 / TX2_CPU.effective_gmacs * 1000)
+        assert TX2_GPU.fps(1.3) > TX2_CPU.fps(1.3)

@@ -1,0 +1,83 @@
+"""Tests for the per-layer execution trace."""
+
+import pytest
+
+from repro.hardware import (ViTAcceleratorSim, baseline_design,
+                            format_trace, heatvit_design, trace_schedule,
+                            utilization_summary)
+from repro.vit import DEIT_TINY, StagePlan
+
+
+@pytest.fixture(scope="module")
+def dense_trace():
+    return trace_schedule(DEIT_TINY, baseline_design(DEIT_TINY))
+
+
+@pytest.fixture(scope="module")
+def pruned_trace():
+    plan = StagePlan.canonical(12, (0.7, 0.39, 0.21))
+    return trace_schedule(DEIT_TINY, heatvit_design(DEIT_TINY),
+                          stage_plan=plan)
+
+
+class TestTrace:
+    def test_layer_count_dense(self, dense_trace):
+        # embed + 12 blocks x 6 GEMMs + head
+        assert len(dense_trace) == 1 + 12 * 6 + 1
+
+    def test_layer_count_pruned(self, pruned_trace):
+        # + 3 selectors x 5 GEMMs
+        assert len(pruned_trace) == 1 + 12 * 6 + 3 * 5 + 1
+
+    def test_timestamps_monotone(self, dense_trace):
+        starts = [e.start_cycle for e in dense_trace]
+        assert all(b > a for a, b in zip(starts, starts[1:]))
+        assert dense_trace[0].start_cycle == 0
+
+    def test_total_matches_simulator_gemm_cycles(self, dense_trace):
+        sim = ViTAcceleratorSim(DEIT_TINY, baseline_design(DEIT_TINY))
+        report = sim.simulate()
+        traced = sum(e.cycles for e in dense_trace)
+        assert traced == report.cycles_by_kind["gemm"]
+
+    def test_pruned_blocks_use_fewer_tokens(self, pruned_trace):
+        front = [e for e in pruned_trace if e.block == 0
+                 and e.layer == "qkv"][0]
+        back = [e for e in pruned_trace if e.block == 11
+                and e.layer == "qkv"][0]
+        assert back.tokens < front.tokens
+        assert back.cycles < front.cycles
+
+    def test_efficiency_bounds(self, dense_trace):
+        assert all(0.0 < e.efficiency <= 1.0 for e in dense_trace)
+
+    def test_bound_labels(self, dense_trace):
+        assert set(e.bound for e in dense_trace) <= {"compute", "memory"}
+
+
+class TestSummaryAndFormat:
+    def test_summary_fields(self, dense_trace):
+        summary = utilization_summary(dense_trace)
+        assert summary["total_cycles"] > 0
+        assert 0.0 < summary["weighted_efficiency"] <= 1.0
+        assert 0.0 <= summary["memory_bound_fraction"] <= 1.0
+        assert "qkv" in summary["by_layer"]
+        assert "fc1" in summary["by_layer"]
+
+    def test_ffn_dominates_cycles(self, dense_trace):
+        """Consistency with Table II: FFN ~2/3 of block compute."""
+        summary = utilization_summary(dense_trace)
+        ffn = (summary["by_layer"]["fc1"]["macs"]
+               + summary["by_layer"]["fc2"]["macs"])
+        assert ffn / summary["total_macs"] > 0.5
+
+    def test_format_trace(self, dense_trace):
+        text = format_trace(dense_trace, limit=5)
+        lines = text.splitlines()
+        assert len(lines) == 6      # header + 5 rows
+        assert "patch_embed" in text
+
+    def test_selector_layers_present_in_pruned(self, pruned_trace):
+        names = {e.layer for e in pruned_trace}
+        assert "sel_feature" in names
+        assert "sel_attn" in names

@@ -1,0 +1,116 @@
+"""Integration tests: the full HeatViT pipeline end to end.
+
+backbone training -> selector insertion -> latency-aware fine-tuning ->
+quantization + approximation -> FPGA deployment report.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (HeatViT, PruningRecord, TrainConfig,
+                        train_backbone, train_heatvit)
+from repro.data import (SyntheticConfig, generate_dataset,
+                        patch_object_fraction)
+from repro.hardware import ViTAcceleratorSim, heatvit_design
+from repro.quant import quantize_model
+from repro.vit import StagePlan, VisionTransformer, ViTConfig
+
+
+CONFIG = ViTConfig(name="integration", image_size=16, patch_size=4,
+                   embed_dim=24, depth=4, num_heads=3, num_classes=4)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A backbone trained well above chance on the synthetic task."""
+    rng = np.random.default_rng(100)
+    data = generate_dataset(
+        SyntheticConfig(image_size=16, num_classes=4, noise_std=0.08,
+                        object_scale_range=(0.3, 0.65),
+                        center_jitter=0.3),
+        360, rng)
+    train, val = data.split(train_fraction=0.85,
+                            rng=np.random.default_rng(0))
+    model = VisionTransformer(CONFIG, rng=np.random.default_rng(1))
+    config = TrainConfig(epochs=40, batch_size=32, lr=3e-3,
+                         weight_decay=0.01, seed=0)
+    train_backbone(model, train.images, train.labels, config)
+    model.eval()
+    return model, train, val
+
+
+class TestBackboneTraining:
+    def test_above_chance(self, trained):
+        model, _, val = trained
+        accuracy = model.accuracy(val.images, val.labels)
+        assert accuracy > 0.5, f"accuracy {accuracy} not above chance 0.25"
+
+
+class TestHeatViTFineTuning:
+    def test_pruned_model_keeps_most_accuracy(self, trained):
+        backbone, train, val = trained
+        baseline = backbone.accuracy(val.images, val.labels)
+        state = backbone.state_dict()
+        model = HeatViT(backbone, {1: 0.75, 2: 0.5},
+                        rng=np.random.default_rng(2))
+        config = TrainConfig(epochs=6, batch_size=32, lr=2e-3,
+                             lambda_distill=0.0, lambda_ratio=2.0,
+                             lambda_confidence=4.0, seed=1)
+        train_heatvit(model, train.images, train.labels, config)
+        pruned_acc = model.accuracy(val.images, val.labels, pruned=True)
+        backbone.load_state_dict(state)
+        assert pruned_acc > baseline - 0.25
+
+    def test_selector_prefers_object_tokens(self, trained):
+        """After fine-tuning, kept tokens should overlap the object more
+        than pruned tokens do: the selector finds informative tokens."""
+        backbone, train, val = trained
+        state = backbone.state_dict()
+        model = HeatViT(backbone, {1: 0.5}, rng=np.random.default_rng(3))
+        config = TrainConfig(epochs=8, batch_size=32, lr=2e-3,
+                             lambda_distill=0.0, lambda_ratio=2.0,
+                             lambda_confidence=4.0, seed=2)
+        train_heatvit(model, train.images, train.labels, config)
+        model.eval()
+        record = PruningRecord()
+        with nn.no_grad():
+            model(val.images[:48], record=record)
+        decisions = record.decisions[0].data       # (B, N)
+        coverage = patch_object_fraction(val.masks[:48], CONFIG.patch_size)
+        kept_cov = (coverage * decisions).sum() / decisions.sum()
+        pruned = 1.0 - decisions
+        pruned_cov = (coverage * pruned).sum() / max(pruned.sum(), 1.0)
+        backbone.load_state_dict(state)
+        assert kept_cov > pruned_cov
+
+
+class TestDeployment:
+    def test_quantized_pruned_model_runs(self, trained):
+        backbone, _, val = trained
+        # Quantization surgery is destructive -- work on a fresh copy so
+        # the shared fixture backbone stays intact.
+        copy = VisionTransformer(CONFIG, rng=np.random.default_rng(9))
+        copy.load_state_dict(backbone.state_dict())
+        copy.eval()
+        model = HeatViT(copy, {2: 0.6}, rng=np.random.default_rng(4))
+        model.eval()
+        float_acc = model.accuracy(val.images[:32], val.labels[:32],
+                                   pruned=True)
+        quantize_model(model, bits=8, approx_nonlinear=True, delta1=1.0)
+        quant_acc = model.accuracy(val.images[:32], val.labels[:32],
+                                   pruned=True)
+        assert quant_acc > float_acc - 0.2
+
+    def test_hardware_report_for_pruned_model(self):
+        """Measured keep ratios feed straight into the accelerator
+        simulator.  At paper scale (196 patches) pruning must win; on
+        toy 16-patch models selector overhead can dominate, which is
+        exactly why the paper evaluates on 224x224 inputs."""
+        from repro.vit import DEIT_TINY
+        plan = StagePlan.canonical(DEIT_TINY.depth, (0.75, 0.5, 0.4))
+        sim = ViTAcceleratorSim(DEIT_TINY, heatvit_design(DEIT_TINY))
+        dense = sim.simulate()
+        pruned = sim.simulate(plan)
+        assert pruned.fps > dense.fps
+        assert pruned.power_w == dense.power_w   # same static design

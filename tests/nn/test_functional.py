@@ -1,0 +1,163 @@
+"""Unit tests for differentiable functional ops."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from tests.conftest import finite_difference
+
+
+def gradcheck(build, x0, atol=1e-5):
+    x = Tensor(x0.copy(), requires_grad=True)
+    build(x).backward()
+    numeric = finite_difference(lambda v: float(build(Tensor(v)).data), x0)
+    assert np.allclose(x.grad, numeric, atol=atol)
+
+
+class TestActivations:
+    def test_erf_matches_scipy(self, rng):
+        x = rng.normal(size=(10,))
+        assert np.allclose(F.erf(Tensor(x)).data, special.erf(x))
+
+    def test_gelu_values(self):
+        x = np.array([-3.0, -1.0, 0.0, 1.0, 3.0])
+        expected = 0.5 * x * (1 + special.erf(x / np.sqrt(2)))
+        assert np.allclose(F.gelu(Tensor(x)).data, expected)
+
+    def test_relu(self):
+        out = F.relu(Tensor([-1.0, 0.0, 2.0]))
+        assert np.allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_hardswish_known_points(self):
+        x = np.array([-4.0, -3.0, 0.0, 3.0, 5.0])
+        out = F.hardswish(Tensor(x)).data
+        assert np.allclose(out, [0.0, 0.0, 0.0, 3.0, 5.0])
+
+    def test_sigmoid_range(self, rng):
+        out = F.sigmoid(Tensor(rng.normal(size=(50,)) * 10)).data
+        assert np.all((out > 0) & (out < 1))
+
+    @pytest.mark.parametrize("fn", [F.gelu, F.relu, F.sigmoid,
+                                    F.hardswish, F.erf])
+    def test_gradients(self, fn, rng):
+        x0 = rng.normal(size=(8,))
+        x0 = x0[np.abs(x0) > 1e-2]      # stay away from relu kink
+        x0 = x0[np.abs(np.abs(x0) - 3.0) > 1e-2]  # hardswish kinks
+        gradcheck(lambda x: fn(x).sum(), x0)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(4, 7))), axis=-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_stability_large_inputs(self):
+        out = F.softmax(Tensor([[1000.0, 1000.0]]))
+        assert np.allclose(out.data, [[0.5, 0.5]])
+
+    def test_log_softmax_consistency(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        assert np.allclose(F.log_softmax(x).data,
+                           np.log(F.softmax(x).data))
+
+    def test_gradient(self, rng):
+        gradcheck(lambda x: (F.softmax(x) ** 2).sum(),
+                  rng.normal(size=(2, 4)))
+
+
+class TestLayerNorm:
+    def test_normalizes(self, rng):
+        x = Tensor(rng.normal(size=(4, 10)) * 5 + 3)
+        w = Tensor(np.ones(10))
+        b = Tensor(np.zeros(10))
+        out = F.layer_norm(x, w, b).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradient(self, rng):
+        w = Tensor(rng.normal(size=(4,)))
+        b = Tensor(rng.normal(size=(4,)))
+        gradcheck(lambda x: (F.layer_norm(x, w, b) ** 2).sum(),
+                  rng.normal(size=(3, 4)))
+
+
+class TestGumbelSoftmax:
+    def test_hard_returns_one_hot(self, rng):
+        logits = Tensor(rng.normal(size=(6, 3)))
+        out = F.gumbel_softmax(logits, hard=True, rng=rng)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+        assert set(np.unique(out.data)).issubset({0.0, 1.0})
+
+    def test_soft_is_distribution(self, rng):
+        out = F.gumbel_softmax(Tensor(rng.normal(size=(5, 4))),
+                               hard=False, rng=rng)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+        assert np.all(out.data >= 0)
+
+    def test_straight_through_gradient_flows(self, rng):
+        logits = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        out = F.gumbel_softmax(logits, hard=True, rng=rng)
+        out[..., 0].sum().backward()
+        assert logits.grad is not None
+        assert np.abs(logits.grad).sum() > 0
+
+    def test_low_temperature_sharpens(self, rng):
+        logits = Tensor(np.array([[5.0, -5.0]]))
+        out = F.gumbel_softmax(logits, tau=0.1, hard=False,
+                               rng=np.random.default_rng(0))
+        assert out.data[0, 0] > 0.99
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = F.cross_entropy(logits, np.zeros(4, dtype=int))
+        assert np.isclose(loss.item(), np.log(10))
+
+    def test_cross_entropy_perfect(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss = F.cross_entropy(Tensor(logits), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_one_hot_targets(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)))
+        labels = np.array([0, 2, 3])
+        one_hot = F.one_hot(labels, 4)
+        a = F.cross_entropy(logits, labels).item()
+        b = F.cross_entropy(logits, one_hot).item()
+        assert np.isclose(a, b)
+
+    def test_cross_entropy_gradient(self, rng):
+        labels = np.array([1, 0])
+        gradcheck(lambda x: F.cross_entropy(x, labels),
+                  rng.normal(size=(2, 3)))
+
+    def test_kl_zero_when_equal(self, rng):
+        logits = rng.normal(size=(4, 5))
+        loss = F.kl_divergence(Tensor(logits), logits)
+        assert abs(loss.item()) < 1e-10
+
+    def test_kl_positive(self, rng):
+        a = Tensor(rng.normal(size=(4, 5)))
+        b = rng.normal(size=(4, 5))
+        assert F.kl_divergence(a, b).item() > 0
+
+    def test_kl_gradient(self, rng):
+        teacher = rng.normal(size=(2, 3))
+        gradcheck(lambda x: F.kl_divergence(x, teacher),
+                  rng.normal(size=(2, 3)))
+
+    def test_mse(self):
+        loss = F.mse_loss(Tensor([1.0, 2.0]), Tensor([0.0, 0.0]))
+        assert np.isclose(loss.item(), 2.5)
+
+    def test_one_hot_shape(self):
+        out = F.one_hot(np.array([[0, 2]]), 3)
+        assert out.shape == (1, 2, 3)
+        assert out[0, 1, 2] == 1.0

@@ -1,0 +1,125 @@
+"""Unit tests for layers: Linear, LayerNorm, Dropout, Conv2d."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_forward_matches_manual(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data + layer.bias.data
+        assert np.allclose(out.data, expected)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_batched_input(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 7, 4))))
+        assert out.shape == (2, 7, 3)
+
+    def test_gradients_flow_to_params(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        layer(Tensor(rng.normal(size=(5, 4)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert np.allclose(layer.bias.grad, 5.0 * np.ones(3))
+
+
+class TestLayerNorm:
+    def test_output_statistics(self, rng):
+        layer = nn.LayerNorm(16)
+        out = layer(Tensor(rng.normal(size=(4, 16)) * 3 + 1)).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+
+    def test_affine_params_trainable(self, rng):
+        layer = nn.LayerNorm(8)
+        layer(Tensor(rng.normal(size=(2, 8)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.normal(size=(10,))
+        assert np.allclose(layer(Tensor(x)).data, x)
+
+    def test_train_scales_kept_units(self, rng):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        layer.train()
+        x = np.ones((10000,))
+        out = layer(Tensor(x)).data
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_p_zero_noop(self, rng):
+        layer = nn.Dropout(0.0)
+        x = rng.normal(size=(5,))
+        assert np.allclose(layer(Tensor(x)).data, x)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestActivationsModules:
+    @pytest.mark.parametrize("cls", [nn.GELU, nn.ReLU, nn.Hardswish,
+                                     nn.Sigmoid, nn.Identity])
+    def test_shape_preserved(self, cls, rng):
+        x = rng.normal(size=(3, 4))
+        assert cls()(Tensor(x)).shape == (3, 4)
+
+    def test_softmax_module(self, rng):
+        out = nn.Softmax(axis=-1)(Tensor(rng.normal(size=(2, 5))))
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+
+def _naive_conv2d(x, weight, kh, kw, stride, padding, out_ch):
+    """Direct convolution loop for cross-checking im2col."""
+    batch, channels, height, width = x.shape
+    ph, pw = padding
+    sh, sw = stride
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out_h = (height + 2 * ph - kh) // sh + 1
+    out_w = (width + 2 * pw - kw) // sw + 1
+    out = np.zeros((batch, out_ch, out_h, out_w))
+    w = weight.reshape(channels, kh, kw, out_ch)
+    for b in range(batch):
+        for oc in range(out_ch):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = padded[b, :, i * sh:i * sh + kh,
+                                   j * sw:j * sw + kw]
+                    out[b, oc, i, j] = (patch * w[..., oc]).sum()
+    return out
+
+
+class TestConv2d:
+    def test_matches_naive(self, rng):
+        conv = nn.Conv2d(2, 3, kernel_size=3, stride=1, padding=1,
+                         bias=False, rng=rng)
+        x = rng.normal(size=(2, 2, 6, 6))
+        out = conv(Tensor(x)).data
+        expected = _naive_conv2d(x, conv.weight.data, 3, 3, (1, 1),
+                                 (1, 1), 3)
+        assert np.allclose(out, expected)
+
+    def test_stride_and_shape(self, rng):
+        conv = nn.Conv2d(3, 4, kernel_size=2, stride=2, rng=rng)
+        out = conv(Tensor(rng.normal(size=(1, 3, 8, 8))))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_gradient_flows(self, rng):
+        conv = nn.Conv2d(1, 2, kernel_size=3, rng=rng)
+        conv(Tensor(rng.normal(size=(1, 1, 5, 5)))).sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None

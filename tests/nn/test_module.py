@@ -1,0 +1,116 @@
+"""Unit tests for Module/Parameter containers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+class TwoLayer(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8, rng=np.random.default_rng(0))
+        self.fc2 = nn.Linear(8, 2, rng=np.random.default_rng(1))
+        self.drop = nn.Dropout(0.5, rng=np.random.default_rng(2))
+
+    def forward(self, x):
+        return self.fc2(self.drop(self.fc1(x)))
+
+
+class TestRegistration:
+    def test_named_parameters(self):
+        model = TwoLayer()
+        names = dict(model.named_parameters())
+        assert set(names) == {"fc1.weight", "fc1.bias",
+                              "fc2.weight", "fc2.bias"}
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_named_modules(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_modules()]
+        assert "" in names and "fc1" in names and "drop" in names
+
+    def test_children(self):
+        model = TwoLayer()
+        assert len(list(model.children())) == 3
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = TwoLayer()
+        model.eval()
+        assert not model.training and not model.drop.training
+        model.train()
+        assert model.training and model.drop.training
+
+    def test_freeze_unfreeze(self):
+        model = TwoLayer()
+        model.freeze()
+        assert all(not p.requires_grad for p in model.parameters())
+        model.unfreeze()
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_zero_grad(self):
+        model = TwoLayer()
+        model.eval()
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = TwoLayer()
+        b = TwoLayer()
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                    b.named_parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["fc1.weight"][:] = 0.0
+        assert not np.allclose(model.fc1.weight.data, 0.0)
+
+    def test_missing_key_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["fc1.bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_order(self):
+        seq = nn.Sequential(nn.Linear(3, 5), nn.ReLU(), nn.Linear(5, 2))
+        out = seq(Tensor(np.ones((1, 3))))
+        assert out.shape == (1, 2)
+        assert len(seq) == 3
+        assert isinstance(seq[1], nn.ReLU)
+
+    def test_sequential_registers_params(self):
+        seq = nn.Sequential(nn.Linear(3, 5), nn.Linear(5, 2))
+        assert len(list(seq.parameters())) == 4
+
+    def test_module_list(self):
+        layers = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(layers) == 3
+        layers.append(nn.Linear(2, 2))
+        assert len(layers) == 4
+        assert len(list(layers.parameters())) == 8
+        assert isinstance(layers[0], nn.Linear)
+        assert len(layers[1:3]) == 2

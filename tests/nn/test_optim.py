@@ -1,0 +1,123 @@
+"""Unit tests for optimizers and the learning-rate schedule."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+
+
+def quadratic_loss(param, target):
+    diff = param - nn.Tensor(target)
+    return (diff * diff).sum()
+
+
+def run_steps(optimizer_cls, steps=200, **kwargs):
+    target = np.array([3.0, -2.0, 0.5])
+    param = Parameter(np.zeros(3))
+    optimizer = optimizer_cls([param], **kwargs)
+    for _ in range(steps):
+        loss = quadratic_loss(param, target)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return param.data, target
+
+
+class TestSGD:
+    def test_converges(self):
+        value, target = run_steps(nn.SGD, lr=0.1)
+        assert np.allclose(value, target, atol=1e-3)
+
+    def test_momentum_converges(self):
+        value, target = run_steps(nn.SGD, lr=0.05, momentum=0.9)
+        assert np.allclose(value, target, atol=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([10.0]))
+        opt = nn.SGD([param], lr=0.1, weight_decay=1.0)
+        loss = (param * 0.0).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert param.data[0] < 10.0
+
+    def test_skips_frozen_params(self):
+        param = Parameter(np.array([1.0]))
+        opt = nn.SGD([param], lr=0.1)
+        loss = (param * 2.0).sum()
+        loss.backward()
+        param.requires_grad = False
+        opt.step()
+        assert param.data[0] == 1.0
+
+
+class TestAdam:
+    def test_converges(self):
+        value, target = run_steps(nn.Adam, lr=0.1)
+        assert np.allclose(value, target, atol=1e-2)
+
+    def test_adamw_decoupled_decay(self):
+        # With zero gradient, AdamW still decays weights; Adam does not.
+        p1 = Parameter(np.array([5.0]))
+        p2 = Parameter(np.array([5.0]))
+        adam = nn.Adam([p1], lr=0.1, weight_decay=0.0)
+        adamw = nn.AdamW([p2], lr=0.1, weight_decay=0.1)
+        for param, opt in ((p1, adam), (p2, adamw)):
+            param.grad = np.zeros(1)
+            opt.step()
+        assert p1.data[0] == 5.0
+        assert p2.data[0] < 5.0
+
+    def test_adamw_restores_decay_value(self):
+        p = Parameter(np.array([1.0]))
+        opt = nn.AdamW([p], lr=0.1, weight_decay=0.3)
+        p.grad = np.ones(1)
+        opt.step()
+        assert opt.weight_decay == 0.3
+
+
+class TestSchedule:
+    def test_warmup_then_decay(self):
+        param = Parameter(np.zeros(1))
+        opt = nn.SGD([param], lr=1.0)
+        sched = nn.CosineSchedule(opt, base_lr=1.0, total_steps=100,
+                                  warmup_steps=10)
+        lrs = [sched.step() for _ in range(100)]
+        assert lrs[0] < lrs[9]                # warming up
+        assert np.isclose(max(lrs), 1.0, atol=0.01)
+        assert lrs[-1] < 0.01                 # decayed to ~0
+
+    def test_min_lr_floor(self):
+        param = Parameter(np.zeros(1))
+        opt = nn.SGD([param], lr=1.0)
+        sched = nn.CosineSchedule(opt, base_lr=1.0, total_steps=10,
+                                  min_lr=0.1)
+        for _ in range(20):
+            lr = sched.step()
+        assert lr >= 0.1 - 1e-9
+
+    def test_invalid_total_steps(self):
+        param = Parameter(np.zeros(1))
+        opt = nn.SGD([param], lr=1.0)
+        with pytest.raises(ValueError):
+            nn.CosineSchedule(opt, 1.0, total_steps=0)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = nn.clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_no_clip_below_max(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        nn.clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_empty_optimizer_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)

@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) for the autodiff engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from tests.conftest import finite_difference
+
+SHAPES = st.sampled_from([(3,), (2, 3), (4, 1), (2, 3, 2)])
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape,
+                      elements=st.floats(-3.0, 3.0, allow_nan=False))
+
+
+@st.composite
+def tensor_pair(draw):
+    shape = draw(SHAPES)
+    return draw(arrays(shape)), draw(arrays(shape))
+
+
+class TestAlgebraicProperties:
+    @given(tensor_pair())
+    @settings(max_examples=30, deadline=None)
+    def test_add_commutes(self, pair):
+        a, b = pair
+        assert np.allclose((Tensor(a) + Tensor(b)).data,
+                           (Tensor(b) + Tensor(a)).data)
+
+    @given(tensor_pair())
+    @settings(max_examples=30, deadline=None)
+    def test_sub_add_inverse(self, pair):
+        a, b = pair
+        out = (Tensor(a) - Tensor(b)) + Tensor(b)
+        assert np.allclose(out.data, a, atol=1e-12)
+
+    @given(arrays((3, 4)))
+    @settings(max_examples=30, deadline=None)
+    def test_double_transpose_identity(self, a):
+        assert np.allclose(Tensor(a).T.T.data, a)
+
+    @given(arrays((2, 3)))
+    @settings(max_examples=30, deadline=None)
+    def test_sum_equals_numpy(self, a):
+        assert np.isclose(float(Tensor(a).sum().data), a.sum())
+
+    @given(arrays((4, 3)))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_simplex(self, a):
+        out = F.softmax(Tensor(a), axis=-1).data
+        assert np.all(out >= 0)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    @given(arrays((4, 3)), st.floats(0.1, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_shift_invariance(self, a, shift):
+        base = F.softmax(Tensor(a)).data
+        shifted = F.softmax(Tensor(a + shift)).data
+        assert np.allclose(base, shifted, atol=1e-10)
+
+
+class TestGradientProperties:
+    @given(arrays((3, 2)))
+    @settings(max_examples=15, deadline=None)
+    def test_elementwise_chain_grad(self, a):
+        def build(x):
+            return (x.tanh() * x + x.exp() * 0.1).sum()
+
+        x = Tensor(a.copy(), requires_grad=True)
+        build(x).backward()
+        numeric = finite_difference(
+            lambda v: float(build(Tensor(v)).data), a)
+        assert np.allclose(x.grad, numeric, atol=1e-4)
+
+    @given(arrays((2, 3)))
+    @settings(max_examples=15, deadline=None)
+    def test_matmul_grad(self, a):
+        w = np.linspace(-1, 1, 6).reshape(3, 2)
+
+        def build(x):
+            return ((x @ Tensor(w)) ** 2).sum()
+
+        x = Tensor(a.copy(), requires_grad=True)
+        build(x).backward()
+        numeric = finite_difference(
+            lambda v: float(build(Tensor(v)).data), a)
+        assert np.allclose(x.grad, numeric, atol=1e-4)
+
+    @given(arrays((4,)))
+    @settings(max_examples=15, deadline=None)
+    def test_gradient_linearity(self, a):
+        """grad of (2f) equals 2 * grad of f."""
+        x1 = Tensor(a.copy(), requires_grad=True)
+        (x1.tanh().sum() * 2.0).backward()
+        x2 = Tensor(a.copy(), requires_grad=True)
+        x2.tanh().sum().backward()
+        assert np.allclose(x1.grad, 2.0 * x2.grad)

@@ -1,0 +1,70 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class SmallNet(nn.Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        self.fc = nn.Linear(3, 2, rng=np.random.default_rng(seed))
+
+    def forward(self, x):
+        return self.fc(x)
+
+
+class TestCheckpoints:
+    def test_roundtrip(self, tmp_path):
+        a = SmallNet(seed=1)
+        b = SmallNet(seed=2)
+        path = str(tmp_path / "model.npz")
+        nn.save_checkpoint(path, a, metadata={"epoch": 3})
+        metadata = nn.load_into(path, b)
+        assert metadata == {"epoch": 3}
+        assert np.allclose(a.fc.weight.data, b.fc.weight.data)
+        assert np.allclose(a.fc.bias.data, b.fc.bias.data)
+
+    def test_metadata_optional(self, tmp_path):
+        path = str(tmp_path / "m.npz")
+        nn.save_checkpoint(path, SmallNet())
+        state, metadata = nn.load_checkpoint(path)
+        assert metadata == {}
+        assert set(state) == {"fc.weight", "fc.bias"}
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "m.npz")
+        nn.save_checkpoint(path, SmallNet())
+        state, _ = nn.load_checkpoint(path)
+        assert "fc.weight" in state
+
+    def test_atomic_overwrite(self, tmp_path):
+        path = str(tmp_path / "m.npz")
+        first = SmallNet(seed=1)
+        second = SmallNet(seed=2)
+        nn.save_checkpoint(path, first)
+        nn.save_checkpoint(path, second)
+        state, _ = nn.load_checkpoint(path)
+        assert np.allclose(state["fc.weight"], second.fc.weight.data)
+
+    def test_metadata_json_types(self, tmp_path):
+        path = str(tmp_path / "m.npz")
+        meta = {"keep_ratios": [0.7, 0.5], "stage": "final",
+                "latency_ms": 3.5}
+        nn.save_checkpoint(path, SmallNet(), metadata=meta)
+        _, loaded = nn.load_checkpoint(path)
+        assert loaded == meta
+
+    def test_vit_roundtrip(self, tmp_path, tiny_backbone, tiny_config):
+        from repro.vit import VisionTransformer
+        path = str(tmp_path / "vit.npz")
+        nn.save_checkpoint(path, tiny_backbone)
+        fresh = VisionTransformer(tiny_config,
+                                  rng=np.random.default_rng(99))
+        nn.load_into(path, fresh)
+        images = np.random.default_rng(0).normal(size=(2, 3, 16, 16))
+        with nn.no_grad():
+            a = tiny_backbone(images).data
+            b = fresh(images).data
+        assert np.allclose(a, b)

@@ -1,0 +1,78 @@
+"""Tests for fixed-point quantization primitives."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (QuantParams, calibrate_minmax, dequantize,
+                         fake_quantize, integer_matmul, quantization_error,
+                         quantize)
+
+
+class TestQuantParams:
+    def test_qrange_8bit(self):
+        params = QuantParams(scale=0.1, bits=8)
+        assert params.qmax == 127
+        assert params.qmin == -127
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0)
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, bits=1)
+
+
+class TestRoundTrip:
+    def test_error_bounded_by_half_scale(self, rng):
+        x = rng.normal(size=(100,)) * 3
+        params = calibrate_minmax(x)
+        err = quantization_error(x, params=params)
+        assert err.max() <= params.scale / 2 + 1e-12
+
+    def test_integers_in_range(self, rng):
+        x = rng.normal(size=(50,)) * 10
+        params = calibrate_minmax(x)
+        q = quantize(x, params)
+        assert q.max() <= 127 and q.min() >= -127
+
+    def test_clipping_out_of_range_values(self):
+        params = QuantParams(scale=1.0, bits=8)
+        q = quantize(np.array([1000.0, -1000.0]), params)
+        assert q.tolist() == [127, -127]
+
+    def test_extreme_value_exact(self, rng):
+        x = rng.normal(size=(20,))
+        x[7] = np.abs(x).max() * 2       # make index 7 the abs max
+        params = calibrate_minmax(x)
+        round_trip = fake_quantize(x, params=params)
+        assert round_trip[7] == pytest.approx(x[7], rel=1e-12)
+
+    def test_more_bits_less_error(self, rng):
+        x = rng.normal(size=(200,))
+        err8 = quantization_error(x, bits=8).mean()
+        err4 = quantization_error(x, bits=4).mean()
+        assert err8 < err4
+
+    def test_zero_tensor(self):
+        params = calibrate_minmax(np.zeros(5))
+        assert params.scale > 0
+        assert np.allclose(fake_quantize(np.zeros(5), params=params), 0.0)
+
+
+class TestIntegerMatmul:
+    def test_matches_float(self, rng):
+        a = rng.integers(-127, 128, size=(4, 6))
+        b = rng.integers(-127, 128, size=(6, 3))
+        assert np.array_equal(integer_matmul(a, b), a @ b)
+
+    def test_overflow_detection(self):
+        a = np.full((1, 200_000), 127, dtype=np.int64)
+        b = np.full((200_000, 1), 127, dtype=np.int64)
+        with pytest.raises(OverflowError):
+            integer_matmul(a, b, accumulator_bits=32)
+
+    def test_32bit_safe_for_vit_dimensions(self, rng):
+        """8-bit x 8-bit products over the largest ViT reduction dim
+        (DeiT-B FFN: 3072) fit comfortably in 32-bit accumulators."""
+        a = rng.integers(-127, 128, size=(2, 3072))
+        b = rng.integers(-127, 128, size=(3072, 2))
+        integer_matmul(a, b, accumulator_bits=32)   # should not raise

@@ -1,0 +1,100 @@
+"""Tests for model-level quantization (deployment surgery)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.quant import (QuantizedLinear, count_quantized_modules,
+                         fake_quantize_tensor, quantize_model)
+from repro.vit import VisionTransformer, ViTConfig
+
+
+class TestQuantizedLinear:
+    def test_close_to_float(self, rng):
+        linear = nn.Linear(16, 8, rng=rng)
+        qlinear = QuantizedLinear.from_linear(linear)
+        x = rng.normal(size=(4, 16))
+        ref = linear(Tensor(x)).data
+        out = qlinear(Tensor(x)).data
+        scale = np.abs(ref).max()
+        assert np.abs(out - ref).max() / scale < 0.05
+
+    def test_batched_inputs(self, rng):
+        qlinear = QuantizedLinear.from_linear(nn.Linear(6, 3, rng=rng))
+        out = qlinear(Tensor(rng.normal(size=(2, 5, 6))))
+        assert out.shape == (2, 5, 3)
+
+    def test_no_bias(self, rng):
+        linear = nn.Linear(4, 2, bias=False, rng=rng)
+        qlinear = QuantizedLinear.from_linear(linear)
+        assert qlinear.bias_data is None
+        out = qlinear(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_weights_are_integers(self, rng):
+        qlinear = QuantizedLinear.from_linear(nn.Linear(4, 2, rng=rng))
+        assert qlinear.weight_q.dtype == np.int64
+        assert np.abs(qlinear.weight_q).max() <= 127
+
+
+class TestFakeQuantizeTensor:
+    def test_straight_through_gradient(self, rng):
+        x = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        fake_quantize_tensor(x).sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_forward_is_quantized(self, rng):
+        x = Tensor(rng.normal(size=(100,)))
+        out = fake_quantize_tensor(x, bits=4).data
+        assert len(np.unique(out)) <= 15
+
+
+class TestQuantizeModel:
+    @pytest.fixture()
+    def model_and_images(self, rng):
+        config = ViTConfig(name="q", image_size=16, patch_size=4,
+                           embed_dim=24, depth=2, num_heads=3,
+                           num_classes=4)
+        model = VisionTransformer(config, rng=rng)
+        model.eval()
+        return model, rng.normal(size=(4, 3, 16, 16))
+
+    def test_all_linears_swapped(self, model_and_images):
+        model, _ = model_and_images
+        linears = sum(1 for m in model.modules()
+                      if isinstance(m, nn.Linear))
+        quantize_model(model)
+        assert count_quantized_modules(model) == linears
+        assert not any(type(m) is nn.Linear for m in model.modules())
+
+    def test_logits_close_to_float(self, model_and_images):
+        model, images = model_and_images
+        with nn.no_grad():
+            ref = model(images).data
+        quantize_model(model)
+        with nn.no_grad():
+            out = model(images).data
+        rel = np.abs(out - ref).max() / np.abs(ref).max()
+        assert rel < 0.25
+
+    def test_predictions_mostly_preserved(self, model_and_images):
+        model, images = model_and_images
+        with nn.no_grad():
+            ref = model(images).data.argmax(-1)
+        quantize_model(model)
+        with nn.no_grad():
+            out = model(images).data.argmax(-1)
+        assert (ref == out).mean() >= 0.75
+
+    def test_gelu_swapped_when_requested(self, model_and_images):
+        from repro.approx import ApproxGELU
+        model, _ = model_and_images
+        quantize_model(model, approx_nonlinear=True)
+        assert any(isinstance(m, ApproxGELU) for m in model.modules())
+        assert not any(type(m) is nn.GELU for m in model.modules())
+
+    def test_no_approx_when_disabled(self, model_and_images):
+        model, _ = model_and_images
+        quantize_model(model, approx_nonlinear=False)
+        assert any(type(m) is nn.GELU for m in model.modules())

@@ -1,0 +1,73 @@
+"""Tests for attention analysis and ASCII visualization."""
+
+import numpy as np
+import pytest
+
+from repro.vit import (attention_rollout, head_attention_grid,
+                       render_keep_mask, render_token_grid)
+
+
+class TestRollout:
+    def test_shape_and_simplex(self, tiny_backbone, tiny_dataset):
+        rollout = attention_rollout(tiny_backbone,
+                                    tiny_dataset.images[:4])
+        assert rollout.shape == (4, 16)
+        assert np.all(rollout >= 0)
+        # Rows sum to CLS's total mass over patches (< 1: some stays on
+        # CLS itself via the residual term).
+        assert np.all(rollout.sum(-1) <= 1.0 + 1e-9)
+
+    def test_max_fusion(self, tiny_backbone, tiny_dataset):
+        rollout = attention_rollout(tiny_backbone,
+                                    tiny_dataset.images[:2],
+                                    head_fusion="max")
+        assert rollout.shape == (2, 16)
+
+    def test_unknown_fusion(self, tiny_backbone, tiny_dataset):
+        with pytest.raises(ValueError):
+            attention_rollout(tiny_backbone, tiny_dataset.images[:1],
+                              head_fusion="median")
+
+
+class TestHeadGrid:
+    def test_shape(self, tiny_backbone, tiny_dataset):
+        grid = head_attention_grid(tiny_backbone,
+                                   tiny_dataset.images[:3])
+        assert grid.shape == (3, 3, 4, 4)
+
+    def test_block_selection(self, tiny_backbone, tiny_dataset):
+        first = head_attention_grid(tiny_backbone,
+                                    tiny_dataset.images[:2],
+                                    block_index=0)
+        last = head_attention_grid(tiny_backbone,
+                                   tiny_dataset.images[:2],
+                                   block_index=-1)
+        assert not np.allclose(first, last)
+
+
+class TestAsciiRendering:
+    def test_token_grid_shape(self):
+        text = render_token_grid(np.arange(16.0))
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == 4 for line in lines)
+
+    def test_token_grid_extremes(self):
+        text = render_token_grid(np.array([0.0, 0.0, 0.0, 1.0]))
+        assert text.splitlines()[1][1] == "@"    # max gets darkest shade
+        assert text.splitlines()[0][0] == " "    # min gets lightest
+
+    def test_constant_grid(self):
+        text = render_token_grid(np.ones(9))
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_keep_mask(self):
+        mask = np.array([1, 0, 0, 1])
+        text = render_keep_mask(mask)
+        assert text == "#.\n.#"
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            render_keep_mask(np.ones(5))
+        with pytest.raises(ValueError):
+            render_token_grid(np.ones(7))

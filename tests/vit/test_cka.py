@@ -1,0 +1,59 @@
+"""Tests for linear CKA (the Fig. 6 measurement)."""
+
+import numpy as np
+import pytest
+
+from repro.vit import cls_token_cka_profile, linear_cka
+
+
+class TestLinearCKA:
+    def test_self_similarity_is_one(self, rng):
+        x = rng.normal(size=(20, 8))
+        assert linear_cka(x, x) == pytest.approx(1.0)
+
+    def test_orthogonal_invariance(self, rng):
+        x = rng.normal(size=(30, 6))
+        q, _ = np.linalg.qr(rng.normal(size=(6, 6)))
+        assert linear_cka(x, x @ q) == pytest.approx(1.0, abs=1e-9)
+
+    def test_scale_invariance(self, rng):
+        x = rng.normal(size=(15, 4))
+        assert linear_cka(x, 3.7 * x) == pytest.approx(1.0)
+
+    def test_range(self, rng):
+        x = rng.normal(size=(25, 5))
+        y = rng.normal(size=(25, 7))
+        value = linear_cka(x, y)
+        assert 0.0 <= value <= 1.0
+
+    def test_independent_features_low(self, rng):
+        x = rng.normal(size=(200, 3))
+        y = rng.normal(size=(200, 3))
+        assert linear_cka(x, y) < 0.3
+
+    def test_zero_features(self):
+        x = np.zeros((10, 4))
+        y = np.ones((10, 4))
+        assert linear_cka(x, y) == 0.0
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            linear_cka(rng.normal(size=(5,)), rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            linear_cka(rng.normal(size=(5, 2)), rng.normal(size=(6, 2)))
+
+
+class TestCKAProfile:
+    def test_profile_covers_all_blocks(self, tiny_backbone, tiny_dataset):
+        profile = cls_token_cka_profile(tiny_backbone,
+                                        tiny_dataset.images[:16])
+        assert set(profile) == set(range(tiny_backbone.config.depth))
+        assert all(0.0 <= v <= 1.0 for v in profile.values())
+
+    def test_last_block_most_similar(self, tiny_backbone, tiny_dataset):
+        """Fig. 6's qualitative claim: similarity to the final CLS token
+        grows with depth (weak front, strong back)."""
+        profile = cls_token_cka_profile(tiny_backbone,
+                                        tiny_dataset.images[:24])
+        depth = tiny_backbone.config.depth
+        assert profile[depth - 1] >= profile[0]

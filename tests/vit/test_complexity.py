@@ -1,0 +1,115 @@
+"""Tests for the Table II complexity model and stage plans."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.vit import (DEIT_BASE, DEIT_SMALL, DEIT_TINY, StagePlan,
+                       block_layer_costs, block_macs, model_gmacs,
+                       pruned_model_gmacs, token_selector_macs,
+                       tokens_after_pruning)
+
+
+class TestTableII:
+    def test_total_matches_closed_form(self):
+        """Total = 4*N*Dch*h*Dattn + 2*N^2*h*Dattn + 8*N*Dch*Dfc."""
+        n, d, h = 197, 384, 6
+        total = block_macs(n, d, h, 4 * d)
+        expected = 4 * n * d * d + 2 * n * n * d + 8 * n * d * d
+        assert total == expected
+
+    def test_six_rows(self):
+        rows = block_layer_costs(197, 192, 3, 768)
+        assert len(rows) == 6
+        assert [r.module for r in rows] == ["MSA"] * 4 + ["FFN"] * 2
+
+    def test_attention_rows_quadratic_in_tokens(self):
+        rows_n = block_layer_costs(100, 192, 3, 768)
+        rows_2n = block_layer_costs(200, 192, 3, 768)
+        # Rows 2 and 3 (QK^T, QK^T x V) scale with N^2.
+        for index in (1, 2):
+            assert rows_2n[index].macs == 4 * rows_n[index].macs
+        # Linear rows scale with N.
+        for index in (0, 3, 4, 5):
+            assert rows_2n[index].macs == 2 * rows_n[index].macs
+
+    @pytest.mark.parametrize("config,expected,tol", [
+        (DEIT_TINY, 1.30, 0.08),     # paper Table VI GMACs column
+        (DEIT_SMALL, 4.60, 0.05),
+        (DEIT_BASE, 17.60, 0.35),
+    ])
+    def test_model_gmacs_match_paper(self, config, expected, tol):
+        assert model_gmacs(config) == pytest.approx(expected, abs=tol)
+
+    def test_ffn_dominates_msa_linear(self):
+        """The FFN is ~2/3 of block compute -- why [29]'s MSA-only
+        acceleration is insufficient (Sec. II-E)."""
+        rows = block_layer_costs(197, 384, 6, 4 * 384)
+        ffn = sum(r.macs for r in rows if r.module == "FFN")
+        assert ffn / sum(r.macs for r in rows) > 0.55
+
+
+class TestTokensAfterPruning:
+    def test_full_keep_no_package(self):
+        assert tokens_after_pruning(196, 1.0) == 197
+
+    def test_partial_keep_adds_package(self):
+        assert tokens_after_pruning(196, 0.5) == math.ceil(98) + 2
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            tokens_after_pruning(196, 0.0)
+        with pytest.raises(ValueError):
+            tokens_after_pruning(196, 1.5)
+
+
+class TestStagePlan:
+    def test_canonical_boundaries(self):
+        plan = StagePlan.canonical(12, (0.7, 0.39, 0.21))
+        assert plan.boundaries == (3, 6, 9)
+
+    def test_tokens_per_block(self):
+        plan = StagePlan.canonical(12, (0.5, 0.5, 0.5))
+        counts = plan.tokens_per_block(12, 196)
+        assert counts[:3] == [197] * 3
+        assert counts[3] == tokens_after_pruning(196, 0.5)
+
+    def test_monotone_boundaries_required(self):
+        with pytest.raises(ValueError):
+            StagePlan(boundaries=(6, 3), keep_ratios=(0.5, 0.4))
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            StagePlan(boundaries=(3,), keep_ratios=(1.2,))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            StagePlan(boundaries=(3, 6), keep_ratios=(0.5,))
+
+    @pytest.mark.parametrize("config,ratios,paper_gmacs,tol", [
+        # Table VI "Keep Ratio (Stage 1/2/3)" -> #GMACs rows.
+        (DEIT_TINY, (0.70, 0.39, 0.21), 0.75, 0.05),
+        (DEIT_SMALL, (0.70, 0.39, 0.21), 2.64, 0.10),
+        (DEIT_SMALL, (0.90, 0.84, 0.61), 3.86, 0.15),
+        (DEIT_SMALL, (0.42, 0.21, 0.13), 2.02, 0.15),
+        (DEIT_BASE, (0.90, 0.84, 0.61), 14.79, 0.5),
+        (DEIT_BASE, (0.42, 0.21, 0.13), 7.75, 0.6),
+    ])
+    def test_pruned_gmacs_match_table6(self, config, ratios, paper_gmacs,
+                                       tol):
+        plan = StagePlan.canonical(config.depth, ratios)
+        assert pruned_model_gmacs(config, plan) == pytest.approx(
+            paper_gmacs, abs=tol)
+
+    def test_selector_overhead_is_negligible(self):
+        """The selector costs well under 1% of the backbone (Sec. IV)."""
+        selector = token_selector_macs(197, 384, 6)
+        block = block_macs(197, 384, 6, 4 * 384)
+        assert selector / block < 0.05
+
+    def test_pruning_reduces_macs_monotonically(self):
+        gm = [pruned_model_gmacs(
+            DEIT_SMALL, StagePlan.canonical(12, (r, r * 0.7, r * 0.4)))
+            for r in (0.9, 0.7, 0.5)]
+        assert gm[0] > gm[1] > gm[2]

@@ -1,0 +1,63 @@
+"""Unit tests for ViT configurations."""
+
+import pytest
+
+from repro.vit import (DEIT_BASE, DEIT_SMALL, DEIT_TINY, LVVIT_MEDIUM,
+                       LVVIT_SMALL, PAPER_BACKBONES, ViTConfig, small_config)
+
+
+class TestPaperBackbones:
+    """Table V of the paper: heads / embed dim / depth per backbone."""
+
+    @pytest.mark.parametrize("config,heads,dim,depth", [
+        (DEIT_TINY, 3, 192, 12),
+        (DEIT_SMALL, 6, 384, 12),
+        (DEIT_BASE, 12, 768, 12),
+        (LVVIT_SMALL, 6, 384, 16),
+        (LVVIT_MEDIUM, 8, 512, 20),
+    ])
+    def test_dimensions(self, config, heads, dim, depth):
+        assert config.num_heads == heads
+        assert config.embed_dim == dim
+        assert config.depth == depth
+
+    def test_token_count_224_16(self):
+        assert DEIT_TINY.num_patches == 196
+        assert DEIT_TINY.num_tokens == 197
+
+    def test_head_dim(self):
+        assert DEIT_TINY.head_dim == 64
+        assert DEIT_BASE.head_dim == 64
+
+    def test_training_epochs_match_table5(self):
+        assert DEIT_TINY.baseline_epochs == 300
+        assert DEIT_TINY.heatvit_epochs == 270
+        assert LVVIT_SMALL.baseline_epochs == 400
+        assert LVVIT_SMALL.heatvit_epochs == 390
+
+    def test_registry(self):
+        assert set(PAPER_BACKBONES) == {"DeiT-T", "DeiT-S", "DeiT-B",
+                                        "LV-ViT-S", "LV-ViT-M"}
+
+
+class TestValidation:
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ValueError):
+            ViTConfig(name="bad", embed_dim=100, num_heads=3)
+
+    def test_indivisible_patches_rejected(self):
+        with pytest.raises(ValueError):
+            ViTConfig(name="bad", image_size=225, patch_size=16,
+                      embed_dim=96, num_heads=3)
+
+    def test_scaled_copy(self):
+        smaller = DEIT_TINY.scaled(depth=6)
+        assert smaller.depth == 6
+        assert smaller.embed_dim == DEIT_TINY.embed_dim
+        assert DEIT_TINY.depth == 12     # original untouched
+
+    def test_small_config_factory(self):
+        config = small_config(embed_dim=48, num_heads=4)
+        assert config.embed_dim == 48
+        assert config.head_dim == 12
+        assert config.mlp_hidden_dim == 192

@@ -1,0 +1,127 @@
+"""Unit tests for patch embedding, attention, blocks, and the full ViT."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.vit import (MultiHeadSelfAttention, PatchEmbedding,
+                       TransformerBlock, VisionTransformer, ViTConfig)
+
+
+CONFIG = ViTConfig(name="unit", image_size=16, patch_size=4, embed_dim=24,
+                   depth=2, num_heads=3, num_classes=5)
+
+
+class TestPatchEmbedding:
+    def test_output_shape(self, rng):
+        embed = PatchEmbedding(CONFIG, rng=rng)
+        out = embed(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 16, 24)
+
+    def test_patch_ordering_row_major(self, rng):
+        """Patch k must contain pixels of grid cell (k//4, k%4)."""
+        embed = PatchEmbedding(CONFIG, rng=rng)
+        image = np.zeros((1, 3, 16, 16))
+        image[0, :, 4:8, 8:12] = 7.0      # grid cell (1, 2) -> patch 6
+        # Use an identity-ish projection: sum of inputs.
+        embed.projection.weight.data = np.ones((48, 24))
+        embed.projection.bias.data = np.zeros(24)
+        out = embed(Tensor(image)).data[0]
+        hot = np.flatnonzero(np.abs(out).sum(axis=-1))
+        assert hot.tolist() == [6]
+
+    def test_rejects_wrong_size(self, rng):
+        embed = PatchEmbedding(CONFIG, rng=rng)
+        with pytest.raises(ValueError):
+            embed(Tensor(rng.normal(size=(1, 3, 15, 16))))
+
+
+class TestAttention:
+    def test_shapes_and_probabilities(self, rng):
+        attn = MultiHeadSelfAttention(24, 3, rng=rng)
+        out = attn(Tensor(rng.normal(size=(2, 7, 24))))
+        assert out.shape == (2, 7, 24)
+        assert attn.last_attention.shape == (2, 3, 7, 7)
+        assert np.allclose(attn.last_attention.sum(axis=-1), 1.0)
+
+    def test_key_mask_excludes_tokens(self, rng):
+        attn = MultiHeadSelfAttention(24, 3, rng=rng)
+        x = Tensor(rng.normal(size=(1, 5, 24)))
+        mask = np.array([[1.0, 1.0, 0.0, 1.0, 1.0]])
+        attn(x, key_mask=mask)
+        assert np.all(attn.last_attention[:, :, :, 2] < 1e-12)
+
+    def test_masked_equals_removed(self, rng):
+        """Masking token t must give the same outputs (on other tokens)
+        as physically removing it -- the core training/deployment
+        equivalence HeatViT relies on."""
+        attn = MultiHeadSelfAttention(24, 3, rng=rng)
+        x = rng.normal(size=(1, 6, 24))
+        mask = np.ones((1, 6))
+        mask[0, 3] = 0.0
+        masked = attn(Tensor(x), key_mask=mask).data[0]
+        reduced = np.delete(x, 3, axis=1)
+        removed = attn(Tensor(reduced)).data[0]
+        kept = [0, 1, 2, 4, 5]
+        assert np.allclose(masked[kept], removed, atol=1e-9)
+
+    def test_cls_attention_requires_forward(self, rng):
+        attn = MultiHeadSelfAttention(24, 3, rng=rng)
+        with pytest.raises(RuntimeError):
+            attn.cls_attention()
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(25, 3)
+
+
+class TestBlockAndModel:
+    def test_block_preserves_shape(self, rng):
+        block = TransformerBlock(24, 3, rng=rng)
+        out = block(Tensor(rng.normal(size=(2, 9, 24))))
+        assert out.shape == (2, 9, 24)
+
+    def test_model_logits_shape(self, rng):
+        model = VisionTransformer(CONFIG, rng=rng)
+        logits = model(rng.normal(size=(3, 3, 16, 16)))
+        assert logits.shape == (3, 5)
+
+    def test_return_hidden(self, rng):
+        model = VisionTransformer(CONFIG, rng=rng)
+        logits, hidden = model(rng.normal(size=(1, 3, 16, 16)),
+                               return_hidden=True)
+        assert len(hidden) == CONFIG.depth
+        assert hidden[0].shape == (1, 17, 24)
+
+    def test_predict_and_accuracy(self, rng):
+        model = VisionTransformer(CONFIG, rng=rng)
+        model.eval()
+        images = rng.normal(size=(6, 3, 16, 16))
+        preds = model.predict(images)
+        assert preds.shape == (6,)
+        acc = model.accuracy(images, preds)
+        assert acc == 1.0
+
+    def test_gradients_reach_all_parameters(self, rng):
+        model = VisionTransformer(CONFIG, rng=rng)
+        from repro.nn import functional as F
+        logits = model(rng.normal(size=(2, 3, 16, 16)))
+        F.cross_entropy(logits, np.array([0, 1])).backward()
+        missing = [name for name, p in model.named_parameters()
+                   if p.grad is None]
+        assert not missing, f"no grad for {missing}"
+
+    def test_cls_token_influences_logits(self, rng):
+        model = VisionTransformer(CONFIG, rng=rng)
+        model.eval()
+        images = rng.normal(size=(1, 3, 16, 16))
+        with nn.no_grad():
+            base = model(images).data
+        # A *constant* shift would be removed by LayerNorm; perturb with
+        # a non-constant pattern instead.
+        model.cls_token.data = model.cls_token.data + rng.normal(
+            size=model.cls_token.data.shape)
+        with nn.no_grad():
+            moved = model(images).data
+        assert not np.allclose(base, moved)
