@@ -1,0 +1,138 @@
+"""Throughput: bucketed engine vs per-image ``forward_pruned`` loop.
+
+The engine's reason to exist is serving speed: the reference deployment
+path runs one image at a time (adaptive pruning gives every image its
+own length), so its throughput is bounded by Python-loop overhead on
+tiny matrices.  This benchmark times both paths on the same model and
+images, verifies the logits agree to within 1e-8, and reports the
+speedup.  Acceptance bar: >= 3x at batch 32 on the default config.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --tiny  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core import HeatViT
+from repro.data import SyntheticConfig, generate_dataset
+from repro.engine import BucketingPolicy, InferenceSession
+from repro.vit import VisionTransformer, ViTConfig
+
+DEFAULT = dict(image_size=32, patch_size=8, embed_dim=48, depth=12,
+               num_heads=4, selectors={3: 0.7, 6: 0.5, 9: 0.35},
+               batch=32, repeats=3)
+TINY = dict(image_size=16, patch_size=4, embed_dim=24, depth=4,
+            num_heads=3, selectors={1: 0.7, 2: 0.5},
+            batch=8, repeats=1)
+TOLERANCE = 1e-8
+
+
+def build(params, seed=0):
+    rng = np.random.default_rng(seed)
+    config = ViTConfig(name="bench-engine", image_size=params["image_size"],
+                       patch_size=params["patch_size"],
+                       embed_dim=params["embed_dim"], depth=params["depth"],
+                       num_heads=params["num_heads"], num_classes=8)
+    backbone = VisionTransformer(config, rng=rng)
+    model = HeatViT(backbone, params["selectors"], rng=rng)
+    model.eval()
+    data = generate_dataset(
+        SyntheticConfig(image_size=params["image_size"], num_classes=8),
+        params["batch"], rng)
+    return model, data.images
+
+
+def time_best(fn, repeats):
+    """Best-of-N wall time (seconds) and the last return value."""
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="small config for CI smoke runs")
+    parser.add_argument("--batch", type=int, default=None,
+                        help="override the batch size")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-N timing repeats")
+    parser.add_argument("--no-padding", action="store_true",
+                        help="disable padding merges in the bucketing policy")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero below this speedup "
+                             "(default: 3.0 unless --tiny)")
+    args = parser.parse_args(argv)
+
+    params = dict(TINY if args.tiny else DEFAULT)
+    if args.batch is not None:
+        if args.batch < 1:
+            parser.error("--batch must be >= 1")
+        params["batch"] = args.batch
+    if args.repeats is not None:
+        if args.repeats < 1:
+            parser.error("--repeats must be >= 1")
+        params["repeats"] = args.repeats
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        # Tiny smoke runs only check correctness; timing noise on a
+        # 4-block model says nothing useful.
+        min_speedup = 0.0 if args.tiny else 3.0
+
+    model, images = build(params)
+    batch = params["batch"]
+    policy = (BucketingPolicy(allow_padding=False) if args.no_padding
+              else BucketingPolicy())
+    print(f"model: {model.config.depth} blocks, "
+          f"{model.config.num_tokens} tokens, embed "
+          f"{model.config.embed_dim}, selectors at "
+          f"{dict(zip(model.selector_blocks, model.keep_ratios))}")
+    print(f"batch {batch}, best of {params['repeats']} repeats\n")
+
+    loop_time, ref = time_best(lambda: model.forward_pruned(images),
+                               params["repeats"])
+    session = InferenceSession(model, batch_size=batch, policy=policy)
+    engine_time, result = time_best(lambda: session.submit(images),
+                                    params["repeats"])
+
+    diff = float(np.abs(result.logits - ref.data).max())
+    speedup = loop_time / engine_time
+    rows = [
+        ("per-image forward_pruned", loop_time, batch / loop_time),
+        ("bucketed engine", engine_time, batch / engine_time),
+    ]
+    width = max(len(r[0]) for r in rows)
+    print(f"{'path':<{width}}  {'time (s)':>10}  {'img/s':>10}")
+    for name, seconds, throughput in rows:
+        print(f"{name:<{width}}  {seconds:>10.4f}  {throughput:>10.1f}")
+    buckets = [s.num_buckets for s in result.stage_stats]
+    padded = sum(s.padded_tokens for s in result.stage_stats)
+    print(f"\nspeedup: {speedup:.2f}x   max |logit diff|: {diff:.2e}")
+    print(f"buckets per stage: {buckets}   padded tokens total: {padded}")
+    print(f"mean estimated accelerator latency: "
+          f"{float(result.latency_ms.mean()):.3f} ms/image")
+
+    if diff > TOLERANCE:
+        print(f"FAIL: logit mismatch {diff:.2e} > {TOLERANCE:.0e}")
+        return 1
+    if speedup < min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x < required "
+              f"{min_speedup:.1f}x")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

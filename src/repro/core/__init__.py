@@ -3,8 +3,11 @@
 from repro.core.ablations import (SingleHeadTokenClassifier,
                                   UniformHeadSelector,
                                   make_single_head_factory)
+from repro.core.gather import (gather_kept_tokens, prune_image_sequence,
+                               weighted_package)
 from repro.core.heatvit import HeatViT, PruningRecord
 from repro.core.latency import (LatencySparsityTable, confidence_loss,
+                                latency_from_stage_counts,
                                 latency_sparsity_loss, paper_latency_table,
                                 ratios_for_latency_budget)
 from repro.core.selector import (AttentionBranch, ConvTokenClassifier,
@@ -22,6 +25,8 @@ __all__ = [
     "AttentionBranch", "SelectorOutput",
     "LatencySparsityTable", "paper_latency_table", "latency_sparsity_loss",
     "confidence_loss", "ratios_for_latency_budget",
+    "latency_from_stage_counts",
+    "gather_kept_tokens", "prune_image_sequence", "weighted_package",
     "TrainConfig", "EpochStats", "train_backbone", "train_heatvit",
     "heatvit_loss", "iterate_minibatches",
     "BlockToStageTrainer", "InsertionTrace", "TrainingReport",

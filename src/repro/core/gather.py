@@ -1,0 +1,94 @@
+"""Shared token-gathering helpers for the physically-pruned path.
+
+Three call sites execute the same "gather the kept tokens, append the
+package" step of the deployment semantics (paper Fig. 9 step 3):
+
+* :meth:`repro.core.heatvit.HeatViT._forward_pruned_single` (reference
+  single-image path),
+* :class:`repro.engine.executor.BucketedExecutor` (batched serving
+  path),
+* :class:`repro.hardware.selector_flow.TokenSelectionFlow` (functional
+  model of the on-chip flow).
+
+All three now share the numpy-level helpers below, so a semantics change
+(e.g. the packager rule) happens in exactly one place.  Everything here
+operates on plain arrays: the pruned path runs under ``nn.no_grad`` and
+the hardware flow is numpy-only, so no autodiff plumbing is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["weighted_package", "gather_kept_tokens",
+           "prune_image_sequence"]
+
+_EPS = 1e-8
+
+
+def weighted_package(tokens, weights, eps=_EPS):
+    """Score-weighted average of token rows (Eq. 10, numpy form).
+
+    ``tokens``: ``(P, D)`` pruned-token features; ``weights``: ``(P,)``
+    non-negative weights (the pruned tokens' *keep* scores, so the
+    tokens the classifier was least sure about dominate the package).
+    Returns the ``(D,)`` package token.
+    """
+    tokens = np.asarray(tokens, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    return ((tokens * weights[:, None]).sum(axis=0)
+            / max(weights.sum(), eps))
+
+
+def gather_kept_tokens(tokens, keep_flags, package=None):
+    """Concatenate kept token rows, then the optional package row.
+
+    ``tokens``: ``(N, D)``; ``keep_flags``: ``(N,)`` boolean-ish.
+    Returns ``(K, D)`` or ``(K + 1, D)`` when a package is appended.
+    """
+    tokens = np.asarray(tokens)
+    kept = tokens[np.asarray(keep_flags, dtype=bool)]
+    if package is None:
+        return kept
+    package = np.asarray(package).reshape(1, tokens.shape[-1])
+    return np.concatenate([kept, package], axis=0)
+
+
+def prune_image_sequence(sequence, keep_flags, *, use_packager,
+                         has_package, package=None):
+    """Re-gather one image's full token sequence after a selector.
+
+    ``sequence`` is ``(T, D)`` laid out ``[cls, patch_0..patch_{N-1}]``
+    plus, when ``has_package``, a trailing package slot.  ``keep_flags``
+    is ``(N,)`` over the patch tokens only.  ``package`` is the ``(D,)``
+    freshly-packaged token for this stage (required when ``use_packager``
+    and anything was pruned).
+
+    Packager rule (matching both the masked training path and the FPGA
+    flow): when tokens were pruned at this stage the new package replaces
+    the slot; when nothing was pruned the old (evolving) package is
+    carried; without a packager pruned tokens are simply discarded.
+
+    Returns ``(new_sequence, new_has_package)``.
+    """
+    sequence = np.asarray(sequence)
+    keep_flags = np.asarray(keep_flags, dtype=bool)
+    stop = sequence.shape[0] - (1 if has_package else 0)
+    patches = sequence[1:stop]
+    if keep_flags.shape != (patches.shape[0],):
+        raise ValueError(
+            f"keep_flags shape {keep_flags.shape} does not match "
+            f"{patches.shape[0]} patch tokens")
+    pruned_any = bool(keep_flags.sum() < keep_flags.size)
+    slot = None
+    if use_packager:
+        if pruned_any:
+            if package is None:
+                raise ValueError(
+                    "use_packager with pruned tokens requires a package")
+            slot = package
+        elif has_package:
+            slot = sequence[stop]
+    body = gather_kept_tokens(patches, keep_flags, package=slot)
+    new_sequence = np.concatenate([sequence[:1], body], axis=0)
+    return new_sequence, has_package or (use_packager and pruned_any)

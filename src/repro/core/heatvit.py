@@ -21,6 +21,7 @@ import numpy as np
 
 from repro import nn
 from repro.nn.tensor import Tensor
+from repro.core.gather import prune_image_sequence
 from repro.core.selector import TokenSelector
 from repro.vit.complexity import block_macs, token_selector_macs
 
@@ -97,6 +98,16 @@ class HeatViT(nn.Module):
 
     # ------------------------------------------------------------------
     @property
+    def non_patch_slots(self):
+        """Sequence slots that are not patch tokens: CLS (+ package).
+
+        The shared convention for turning gathered token counts into
+        patch keep ratios -- used by :meth:`finalize_pruned_record` and
+        the engine's latency estimate.
+        """
+        return 2 if self.use_packager else 1
+
+    @property
     def keep_ratios(self):
         return tuple(s.keep_ratio for s in self.selectors)
 
@@ -168,8 +179,7 @@ class HeatViT(nn.Module):
                  Tensor(package_alive)], axis=1)
             x = block(x, key_mask=full_mask)
 
-        x = self.backbone.norm(x)
-        return self.backbone.head(x[:, 0, :])
+        return self.backbone.classify(x)
 
     def _cls_attention_signal(self, block_index, num_patches):
         """Mean-over-heads CLS attention to patch tokens ``(B, N)``.
@@ -208,18 +218,28 @@ class HeatViT(nn.Module):
             for stage, count in enumerate(stage_tokens):
                 all_tokens_per_stage[stage].append(count)
         if record is not None and all_tokens_per_stage is not None:
-            record.tokens_per_stage = [np.asarray(counts)
-                                       for counts in all_tokens_per_stage]
-            num_patches = self.config.num_patches
-            extra = 2 if self.use_packager else 1   # CLS (+ package)
-            record.cumulative_keep = [
-                float(np.mean([max(c - extra, 0) / num_patches
-                               for c in counts]))
-                for counts in record.tokens_per_stage]
+            self.finalize_pruned_record(record, all_tokens_per_stage)
         return Tensor(np.stack(logits, axis=0))
 
+    def finalize_pruned_record(self, record, tokens_per_stage):
+        """Fill a :class:`PruningRecord` from per-stage token counts.
+
+        ``tokens_per_stage`` is one sequence of per-image token counts
+        (CLS and package included) per selector stage.  Shared by the
+        reference loop above and the batched engine
+        (:mod:`repro.engine`), so both report identical bookkeeping.
+        """
+        record.tokens_per_stage = [np.asarray(counts)
+                                   for counts in tokens_per_stage]
+        num_patches = self.config.num_patches
+        extra = self.non_patch_slots
+        record.cumulative_keep = [
+            float(np.mean([max(c - extra, 0) / num_patches
+                           for c in counts]))
+            for counts in record.tokens_per_stage]
+        return record
+
     def _forward_pruned_single(self, image):
-        config = self.config
         with nn.no_grad():
             x = self.backbone.embed(image)                # (1, 1+N, D)
             selector_pos = {b: i for i, b in enumerate(self.selector_blocks)}
@@ -231,26 +251,17 @@ class HeatViT(nn.Module):
                     # Patch tokens = everything but CLS and the package.
                     stop = x.shape[1] - (1 if has_package else 0)
                     patches = x[:, 1:stop, :]
-                    old_package = x[:, stop:, :]
                     out = selector(patches, hard=False)
                     # The selector's internal guard ensures >= 1 keep.
-                    keep = out.decision.data[0].astype(bool)
-                    kept = patches[0][keep]               # (K, D)
-                    pieces = [x[:, :1, :], kept.reshape(1, -1,
-                                                        config.embed_dim)]
-                    if self.use_packager:
-                        if keep.sum() < keep.size:
-                            # Newly pruned tokens replace the package.
-                            pieces.append(out.package)
-                            has_package = True
-                        elif has_package:
-                            # Nothing pruned here: carry the old package.
-                            pieces.append(old_package)
-                    x = Tensor.concatenate(pieces, axis=1)
+                    keep = out.decision.data[0] > 0.5
+                    sequence, has_package = prune_image_sequence(
+                        x.data[0], keep, use_packager=self.use_packager,
+                        has_package=has_package,
+                        package=out.package.data[0, 0])
+                    x = Tensor(sequence[None])
                     stage_tokens.append(x.shape[1])
                 x = block(x)
-            x = self.backbone.norm(x)
-            logits = self.backbone.head(x[:, 0, :])
+            logits = self.backbone.classify(x)
         return logits, stage_tokens
 
     # ------------------------------------------------------------------

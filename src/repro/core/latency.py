@@ -20,7 +20,7 @@ from repro.nn.tensor import Tensor
 
 __all__ = ["LatencySparsityTable", "paper_latency_table",
            "latency_sparsity_loss", "confidence_loss",
-           "ratios_for_latency_budget"]
+           "ratios_for_latency_budget", "latency_from_stage_counts"]
 
 # Table IV of the paper: one-block latency (ms) on ZCU102 vs keep ratio.
 _PAPER_TABLE = {
@@ -61,6 +61,12 @@ class LatencySparsityTable:
         """Eq. 18: interpolated one-block latency at ``keep_ratio``."""
         ratio = float(np.clip(keep_ratio, self._ratios[0], self._ratios[-1]))
         return float(np.interp(ratio, self._ratios, self._latencies))
+
+    def latency_batch(self, keep_ratios):
+        """Vectorized :meth:`latency` over an array of keep ratios."""
+        ratios = np.clip(np.asarray(keep_ratios, dtype=np.float64),
+                         self._ratios[0], self._ratios[-1])
+        return np.interp(ratios, self._ratios, self._latencies)
 
     def ratio_for_latency(self, latency):
         """Inverse lookup: the largest keep ratio meeting ``latency``."""
@@ -170,6 +176,48 @@ def confidence_loss(score_records, alive_records, target_keep_ratios,
         total = (bce * Tensor(weights)).sum() / max(weights.sum(), 1.0)
         loss = loss + total
     return loss / max(len(score_records), 1)
+
+
+def latency_from_stage_counts(table, depth, selector_blocks,
+                              tokens_per_stage, num_patches, extra=1):
+    """Per-image whole-model latency estimate from realized token counts.
+
+    The deployment analogue of :meth:`LatencySparsityTable.model_latency`:
+    instead of target keep ratios, uses the *actual* per-image token
+    counts recorded after each selector (CLS and package included, as in
+    :class:`repro.core.heatvit.PruningRecord.tokens_per_stage`).  Each
+    block's latency is the Eq. 18 table lookup at that block's realized
+    *patch* keep ratio ``(count - extra) / num_patches`` -- the same
+    convention ``PruningRecord.cumulative_keep`` and
+    :func:`ratios_for_latency_budget` use, with ``extra`` the
+    non-patch slots (CLS, plus the package when the model packages).
+
+    ``selector_blocks``: block indices with a selector in front, sorted.
+    ``tokens_per_stage``: one array of per-image counts per selector.
+    Returns a ``(B,)`` array of latency estimates in the table's unit
+    (milliseconds for the paper's Table IV).
+    """
+    tokens_per_stage = [np.asarray(c, dtype=np.float64)
+                        for c in tokens_per_stage]
+    if len(tokens_per_stage) != len(selector_blocks):
+        raise ValueError("one token-count array per selector required")
+    if not tokens_per_stage:
+        raise ValueError(
+            "no selector stages: the batch size cannot be inferred; use "
+            "table.model_latency([1.0] * depth) for dense models")
+    batch = tokens_per_stage[0].shape[0]
+    stage_ratios = [np.ones(batch)] + [
+        np.clip(counts - extra, 0.0, None) / float(num_patches)
+        for counts in tokens_per_stage]
+    boundaries = sorted(selector_blocks)
+    per_image = np.zeros(batch)
+    for stage, ratios in enumerate(stage_ratios):
+        blocks_in_stage = sum(
+            1 for block_index in range(depth)
+            if sum(1 for b in boundaries if b <= block_index) == stage)
+        if blocks_in_stage:
+            per_image += blocks_in_stage * table.latency_batch(ratios)
+    return per_image
 
 
 def ratios_for_latency_budget(table, depth, latency_limit,

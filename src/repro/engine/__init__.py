@@ -1,0 +1,20 @@
+"""Batched bucketed inference engine for the deployed (pruned) path.
+
+Serves HeatViT's image-adaptive token pruning with numpy-level
+vectorization: the shared prefix runs fully batched, then images are
+length-bucketed at every selector boundary (see
+:mod:`repro.engine.bucketing`) so each bucket executes as one vectorized
+forward instead of B single-image forwards.  Logits match the reference
+:meth:`repro.core.HeatViT.forward_pruned` loop to within 1e-8.
+"""
+
+from repro.engine.bucketing import (BucketingPolicy, BucketPlan,
+                                    group_exact, plan_buckets)
+from repro.engine.executor import BucketedExecutor, EngineResult, StageStats
+from repro.engine.session import InferenceSession, SessionResult
+
+__all__ = [
+    "BucketingPolicy", "BucketPlan", "plan_buckets", "group_exact",
+    "BucketedExecutor", "EngineResult", "StageStats",
+    "InferenceSession", "SessionResult",
+]

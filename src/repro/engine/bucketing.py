@@ -1,0 +1,147 @@
+"""Length-bucketing policy for the batched pruned-inference engine.
+
+Image-adaptive token pruning leaves every image with its own sequence
+length, which defeats naive batching.  The standard fix for
+variable-length workloads is *length bucketing*: group sequences of
+equal length and run each group as one vectorized forward, optionally
+padding nearby lengths together when the padding waste is cheaper than
+launching another tiny batch.
+
+This module is pure policy -- given the per-image sequence lengths it
+decides the grouping and padding; :mod:`repro.engine.executor` applies
+the plan.  Keeping it side-effect free makes the decisions unit-testable
+(``tests/engine/test_bucketing.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BucketingPolicy", "BucketPlan", "plan_buckets",
+           "group_exact"]
+
+
+@dataclass(frozen=True)
+class BucketingPolicy:
+    """Tunable knobs for the bucket planner.
+
+    Attributes
+    ----------
+    allow_padding: when False every distinct length gets its own bucket
+        (maximally faithful, minimally batched).
+    pad_limit: never pad any image by more than this many tokens.
+    max_pad_fraction: nor by more than this fraction of the bucket's
+        padded length (guards short sequences against relative bloat).
+    min_bucket: groups smaller than this always try to merge upward
+        (within the padding limits above).  Groups of ``min_bucket`` or
+        more images may still merge, but only while the total padding
+        waste stays below one virtual sequence
+        (``pad * group_size <= padded_length``) -- big groups a hair
+        apart batch together, big groups far apart stand alone.
+    """
+
+    allow_padding: bool = True
+    pad_limit: int = 8
+    max_pad_fraction: float = 0.5
+    min_bucket: int = 4
+
+    def __post_init__(self):
+        if self.pad_limit < 0:
+            raise ValueError("pad_limit must be >= 0")
+        if not 0.0 <= self.max_pad_fraction <= 1.0:
+            raise ValueError("max_pad_fraction must be in [0, 1]")
+        if self.min_bucket < 1:
+            raise ValueError("min_bucket must be >= 1")
+
+    def may_merge(self, padded_length, group_length, group_size):
+        """Should a ``group_size``-image group of real length
+        ``group_length`` join a bucket padded to ``padded_length``?"""
+        pad = padded_length - group_length
+        if pad < 0:
+            raise ValueError("cannot pad to a shorter length")
+        if pad == 0:
+            return True
+        if not self.allow_padding:
+            return False
+        if pad > self.pad_limit:
+            return False
+        if pad > self.max_pad_fraction * padded_length:
+            return False
+        # Pay at most one extra "virtual sequence" of padding waste per
+        # merge -- beyond that the bigger batch stops being profitable.
+        return pad * group_size <= padded_length or group_size < self.min_bucket
+
+
+@dataclass
+class BucketPlan:
+    """One planned bucket: which images run together and at what length.
+
+    ``indices`` point into the caller's image batch; ``lengths`` are the
+    members' real (unpadded) sequence lengths; ``padded_length`` is the
+    common length the executor pads to (equal to ``lengths.max()``).
+    """
+
+    indices: np.ndarray
+    lengths: np.ndarray
+    padded_length: int
+
+    @property
+    def needs_padding(self):
+        return bool((self.lengths < self.padded_length).any())
+
+    @property
+    def padded_tokens(self):
+        """Total padding waste (tokens) this plan accepts."""
+        return int((self.padded_length - self.lengths).sum())
+
+
+def group_exact(lengths):
+    """Map each distinct length to the array of image indices having it.
+
+    Returned as a list of ``(length, indices)`` pairs sorted by length
+    descending (the planner folds shorter groups into longer buckets).
+    """
+    lengths = np.asarray(lengths)
+    pairs = []
+    for value in np.unique(lengths)[::-1]:
+        pairs.append((int(value), np.flatnonzero(lengths == value)))
+    return pairs
+
+
+def plan_buckets(lengths, policy=None):
+    """Partition images into execution buckets.
+
+    ``lengths``: per-image sequence lengths, ``(B,)``.  Returns a list of
+    :class:`BucketPlan` covering every index exactly once, ordered by
+    padded length descending.  With ``policy.allow_padding`` False this
+    degenerates to one bucket per distinct length.
+    """
+    policy = BucketingPolicy() if policy is None else policy
+    lengths = np.asarray(lengths)
+    if lengths.size == 0:
+        return []
+    plans = []
+    current_length = None
+    current_members = []     # (length, indices) accepted into the bucket
+    for length, indices in group_exact(lengths):
+        if (current_length is not None
+                and policy.may_merge(current_length, length, indices.size)):
+            current_members.append((length, indices))
+            continue
+        if current_members:
+            plans.append(_finish(current_members, current_length))
+        current_length = length
+        current_members = [(length, indices)]
+    if current_members:
+        plans.append(_finish(current_members, current_length))
+    return plans
+
+
+def _finish(members, padded_length):
+    indices = np.concatenate([idx for _, idx in members])
+    member_lengths = np.concatenate(
+        [np.full(idx.size, length) for length, idx in members])
+    return BucketPlan(indices=indices, lengths=member_lengths,
+                      padded_length=int(padded_length))

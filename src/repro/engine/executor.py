@@ -1,0 +1,211 @@
+"""Bucketed batch executor for HeatViT's physically-pruned path.
+
+The reference deployment path (:meth:`repro.core.HeatViT.forward_pruned`)
+loops over images one at a time because adaptive pruning gives every
+image its own sequence length.  This executor recovers numpy-level
+vectorization while preserving those semantics exactly:
+
+1. the **shared prefix** (patch embedding plus every block before the
+   first selector) runs fully batched -- all images still have the same
+   length there;
+2. at each **selector boundary** images are regrouped by their exact
+   ``(length, has_package)`` state and each group runs the selector as
+   one batched forward (selector outputs are per-image, so this is
+   bit-equivalent to the single-image calls); the kept tokens are then
+   gathered per image with the same :func:`repro.core.gather` helper the
+   reference path uses;
+3. between boundaries, a :class:`repro.engine.bucketing.BucketingPolicy`
+   merges nearby lengths into padded buckets.  Padded positions are
+   masked out as attention keys, which leaves real-token activations
+   unchanged (the ``-1e9`` score bias underflows to an exact ``0.0``
+   attention weight), so padding buys batching without perturbing
+   logits.
+
+The result matches ``forward_pruned`` to within accumulated BLAS
+rounding (well under the 1e-8 parity bound enforced by
+``tests/engine/test_engine_parity.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.core.gather import prune_image_sequence
+from repro.engine.bucketing import BucketingPolicy, plan_buckets
+from repro.vit.attention import pad_token_sequences
+
+__all__ = ["BucketedExecutor", "EngineResult", "StageStats"]
+
+
+@dataclass
+class StageStats:
+    """Bucketing telemetry for the block run after one selector stage."""
+
+    num_buckets: int
+    bucket_sizes: list
+    padded_tokens: int
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one bucketed batch execution.
+
+    ``logits``: ``(B, num_classes)`` array in submission order.
+    ``tokens_per_stage``: per selector stage, the ``(B,)`` array of
+    per-image token counts (CLS and package included) -- identical to
+    what :class:`repro.core.PruningRecord` records on the reference path.
+    ``stage_stats``: one :class:`StageStats` per selector stage.
+    """
+
+    logits: np.ndarray
+    tokens_per_stage: list = field(default_factory=list)
+    stage_stats: list = field(default_factory=list)
+
+
+class _Group:
+    """A set of images executing together between selector boundaries."""
+
+    __slots__ = ("x", "mask", "indices", "lengths", "has_package")
+
+    def __init__(self, x, mask, indices, lengths, has_package):
+        self.x = x                      # (g, T, D) ndarray
+        self.mask = mask                # (g, T) {0,1} ndarray or None
+        self.indices = indices          # (g,) original image indices
+        self.lengths = lengths          # (g,) real sequence lengths
+        self.has_package = has_package  # (g,) bool
+
+
+class BucketedExecutor:
+    """Runs a :class:`repro.core.HeatViT` batched with length bucketing.
+
+    Parameters
+    ----------
+    model: the HeatViT model (callers should put it in ``eval()`` mode;
+        :class:`repro.engine.InferenceSession` does so automatically).
+    policy: a :class:`BucketingPolicy`; ``None`` uses the defaults.
+    """
+
+    def __init__(self, model, policy=None):
+        self.model = model
+        self.policy = BucketingPolicy() if policy is None else policy
+
+    # ------------------------------------------------------------------
+    def run(self, images, record=None):
+        """Execute the pruned path for a batch; returns :class:`EngineResult`.
+
+        Pass a :class:`repro.core.PruningRecord` to collect the same
+        per-stage bookkeeping ``forward_pruned`` fills in.
+        """
+        model = self.model
+        images = np.asarray(images.data if isinstance(images, Tensor)
+                            else images)
+        batch = images.shape[0]
+        result = EngineResult(
+            logits=np.zeros((batch, model.config.num_classes)))
+        if batch == 0:
+            return result
+        selector_pos = {b: i for i, b in enumerate(model.selector_blocks)}
+        # Attention recording only feeds the masked training path's
+        # ranking signal; in the serving hot path it would copy a
+        # (g, h, T, T) tensor per block per bucket for nothing.
+        attn_modules = [block.attn for block in model.backbone.blocks]
+        recording = [m.record_attention for m in attn_modules]
+        for module in attn_modules:
+            module.record_attention = False
+        try:
+            with nn.no_grad():
+                x = model.backbone.embed(images).data     # (B, 1+N, D)
+                groups = [_Group(x, None, np.arange(batch),
+                                 np.full(batch, x.shape[1]),
+                                 np.zeros(batch, dtype=bool))]
+                for block_index, block in enumerate(model.backbone.blocks):
+                    if block_index in selector_pos:
+                        selector = model.selectors[selector_pos[block_index]]
+                        groups = self._apply_selector(selector, groups,
+                                                      batch, result)
+                    groups = [self._run_block(block, group)
+                              for group in groups]
+                for group in groups:
+                    logits = model.backbone.classify(Tensor(group.x))
+                    result.logits[group.indices] = logits.data
+        finally:
+            for module, was_recording in zip(attn_modules, recording):
+                module.record_attention = was_recording
+        if record is not None:
+            model.finalize_pruned_record(record, result.tokens_per_stage)
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run_block(block, group):
+        out = block(Tensor(group.x), key_mask=group.mask)
+        group.x = out.data
+        return group
+
+    def _apply_selector(self, selector, groups, batch, result):
+        """Selector boundary: regather every image, then re-bucket."""
+        sequences = [None] * batch
+        has_package = np.zeros(batch, dtype=bool)
+        stage_counts = np.zeros(batch, dtype=int)
+        for exact in self._split_exact(groups):
+            self._select_and_gather(selector, exact, sequences,
+                                    has_package, stage_counts)
+        result.tokens_per_stage.append(stage_counts)
+        lengths = np.array([s.shape[0] for s in sequences])
+        plans = plan_buckets(lengths, self.policy)
+        result.stage_stats.append(StageStats(
+            num_buckets=len(plans),
+            bucket_sizes=[int(p.indices.size) for p in plans],
+            padded_tokens=sum(p.padded_tokens for p in plans)))
+        new_groups = []
+        for plan in plans:
+            members = [sequences[i] for i in plan.indices]
+            if plan.needs_padding:
+                stacked, mask = pad_token_sequences(members,
+                                                    plan.padded_length)
+            else:
+                stacked, mask = np.stack(members, axis=0), None
+            new_groups.append(_Group(stacked, mask, plan.indices,
+                                     plan.lengths.copy(),
+                                     has_package[plan.indices]))
+        return new_groups
+
+    @staticmethod
+    def _split_exact(groups):
+        """Break padded groups into exact ``(length, has_package)`` sets.
+
+        Selector evaluations must see only real tokens (its global
+        pooling averages over every token it is given), so padding is
+        stripped before the boundary.  Yields ``(x, indices,
+        has_package)`` with ``x`` dense ``(g, T, D)``.
+        """
+        pools = {}
+        for group in groups:
+            for row in range(group.indices.size):
+                length = int(group.lengths[row])
+                key = (length, bool(group.has_package[row]))
+                pools.setdefault(key, ([], []))
+                pools[key][0].append(group.x[row, :length])
+                pools[key][1].append(int(group.indices[row]))
+        for (length, packaged), (seqs, indices) in sorted(pools.items()):
+            yield (np.stack(seqs, axis=0), np.asarray(indices), packaged)
+
+    def _select_and_gather(self, selector, exact, sequences, has_package,
+                           stage_counts):
+        x, indices, packaged = exact
+        stop = x.shape[1] - (1 if packaged else 0)
+        out = selector(Tensor(x[:, 1:stop, :]), hard=False)
+        keep = out.decision.data > 0.5                    # (g, N)
+        packages = out.package.data[:, 0, :]              # (g, D)
+        use_packager = self.model.use_packager
+        for row, image in enumerate(indices):
+            sequence, new_packaged = prune_image_sequence(
+                x[row], keep[row], use_packager=use_packager,
+                has_package=packaged, package=packages[row])
+            sequences[image] = sequence
+            has_package[image] = new_packaged
+            stage_counts[image] = sequence.shape[0]

@@ -1,0 +1,143 @@
+"""High-level serving API over the bucketed executor.
+
+An :class:`InferenceSession` owns a model in eval mode plus a bucketing
+policy, chops submitted image sets into ``batch_size`` chunks, runs each
+chunk through :class:`repro.engine.BucketedExecutor`, and reports
+logits, per-stage token counts, a per-image latency estimate from the
+paper's latency-sparsity table (Eq. 18), and measured throughput.
+
+Typical use::
+
+    session = InferenceSession(model, batch_size=32)
+    result = session.submit(images)
+    result.logits            # (B, num_classes)
+    result.latency_ms        # (B,) estimated accelerator latency
+    result.images_per_second # measured host throughput
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.latency import (LatencySparsityTable,
+                                latency_from_stage_counts,
+                                paper_latency_table)
+from repro.engine.bucketing import BucketingPolicy
+from repro.engine.executor import BucketedExecutor
+
+__all__ = ["InferenceSession", "SessionResult"]
+
+
+@dataclass
+class SessionResult:
+    """Everything one ``submit`` call produced.
+
+    ``tokens_per_stage`` holds one ``(B,)`` array of per-image token
+    counts per selector stage (CLS and package included), concatenated
+    across chunks in submission order.  ``latency_ms`` is the Eq. 18
+    table estimate of per-image accelerator latency; ``wall_time_s`` and
+    ``images_per_second`` measure the host-side batched execution.
+    """
+
+    logits: np.ndarray
+    tokens_per_stage: list = field(default_factory=list)
+    latency_ms: np.ndarray = None
+    wall_time_s: float = 0.0
+    images_per_second: float = 0.0
+    stage_stats: list = field(default_factory=list)
+
+    @property
+    def predictions(self):
+        return self.logits.argmax(axis=-1)
+
+
+class InferenceSession:
+    """Batched serving front-end for a HeatViT model.
+
+    Parameters
+    ----------
+    model: a :class:`repro.core.HeatViT`.  Each ``submit`` runs it in
+        ``eval()`` mode (deterministic decisions, no dropout) and
+        restores the previous mode afterwards, so a session can safely
+        share a model with a training loop.
+    batch_size: maximum images per executor invocation.
+    policy: bucketing policy (see :class:`BucketingPolicy`); ``None``
+        uses the defaults, ``BucketingPolicy(allow_padding=False)``
+        disables padding merges.
+    latency_table: a :class:`LatencySparsityTable` for the per-image
+        latency estimate; defaults to the paper's measured DeiT-T
+        Table IV.  Pass ``None``-able custom tables built from the FPGA
+        simulator via :func:`repro.hardware.latency_table.build_latency_table`.
+    """
+
+    def __init__(self, model, batch_size=32, policy=None,
+                 latency_table=None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.model = model
+        self.batch_size = int(batch_size)
+        self.policy = BucketingPolicy() if policy is None else policy
+        self.executor = BucketedExecutor(model, self.policy)
+        if latency_table is None:
+            latency_table = paper_latency_table("DeiT-T")
+        if not isinstance(latency_table, LatencySparsityTable):
+            raise TypeError("latency_table must be a LatencySparsityTable")
+        self.latency_table = latency_table
+
+    # ------------------------------------------------------------------
+    def submit(self, images, record=None):
+        """Run a set of images; returns a :class:`SessionResult`.
+
+        ``images`` is ``(B, C, H, W)``; the call blocks until all
+        ``ceil(B / batch_size)`` executor chunks complete.  Pass a
+        :class:`repro.core.PruningRecord` to additionally collect the
+        reference-path bookkeeping (counts across the *whole* submission).
+        """
+        images = np.asarray(images)
+        batch = images.shape[0]
+        was_training = self.model.training
+        if was_training:
+            self.model.eval()
+        start = time.perf_counter()
+        try:
+            chunk_results = [
+                self.executor.run(images[lo:lo + self.batch_size])
+                for lo in range(0, batch, self.batch_size)]
+            if not chunk_results:        # empty submission: typed result
+                chunk_results = [self.executor.run(images)]
+        finally:
+            if was_training:
+                self.model.train()
+        elapsed = time.perf_counter() - start
+        result = self._merge(chunk_results, batch, elapsed)
+        if record is not None and result.tokens_per_stage:
+            self.model.finalize_pruned_record(record,
+                                              result.tokens_per_stage)
+        return result
+
+    def _merge(self, chunk_results, batch, elapsed):
+        logits = np.concatenate([r.logits for r in chunk_results], axis=0)
+        num_stages = (len(chunk_results[0].tokens_per_stage)
+                      if chunk_results else 0)
+        tokens_per_stage = [
+            np.concatenate([r.tokens_per_stage[stage]
+                            for r in chunk_results])
+            for stage in range(num_stages)]
+        stage_stats = [stats for r in chunk_results for stats in
+                       r.stage_stats]
+        config = self.model.config
+        latency = latency_from_stage_counts(
+            self.latency_table, config.depth, self.model.selector_blocks,
+            tokens_per_stage, config.num_patches,
+            extra=self.model.non_patch_slots) if num_stages else (
+                np.full(batch, self.latency_table.model_latency(
+                    [1.0] * config.depth)))
+        return SessionResult(
+            logits=logits, tokens_per_stage=tokens_per_stage,
+            latency_ms=latency, wall_time_s=elapsed,
+            images_per_second=(batch / elapsed if elapsed > 0 else
+                               float("inf")),
+            stage_stats=stage_stats)

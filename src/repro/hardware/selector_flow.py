@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.approx.polynomial import exp_approx
+from repro.core.gather import gather_kept_tokens, weighted_package
 
 __all__ = ["TokenSelectionFlow", "FlowResult"]
 
@@ -84,17 +85,14 @@ class TokenSelectionFlow:
         keep_flags = keep_prob >= self.threshold
         if not keep_flags.any():
             keep_flags[int(keep_prob.argmax())] = True
-        # Step 3: concatenate informative tokens; average the rest.
+        # Step 3: concatenate informative tokens; average the rest
+        # (shared with the model-side pruned paths via core.gather).
         keep_indices = np.flatnonzero(keep_flags)
-        kept = tokens[keep_flags]
-        pruned = tokens[~keep_flags]
-        if pruned.shape[0]:
-            weights = keep_prob[~keep_flags]
-            package = ((pruned * weights[:, None]).sum(axis=0)
-                       / max(weights.sum(), 1e-8))
-            output = np.concatenate([kept, package[None]], axis=0)
-        else:
-            output = kept
+        package = None
+        if not keep_flags.all():
+            package = weighted_package(tokens[~keep_flags],
+                                       keep_prob[~keep_flags])
+        output = gather_kept_tokens(tokens, keep_flags, package=package)
         cycles = self.CYCLES_PER_TOKEN * count + self.FIXED_OVERHEAD
         return FlowResult(keep_indices=keep_indices, output_tokens=output,
                           keep_flags=keep_flags, cycles=cycles)

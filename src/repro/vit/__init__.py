@@ -2,7 +2,8 @@
 
 from repro.vit.analysis import (attention_rollout, head_attention_grid,
                                 render_keep_mask, render_token_grid)
-from repro.vit.attention import MultiHeadSelfAttention
+from repro.vit.attention import (MultiHeadSelfAttention, key_padding_mask,
+                                 pad_token_sequences)
 from repro.vit.block import FeedForward, TransformerBlock
 from repro.vit.cka import cls_token_cka_profile, linear_cka
 from repro.vit.complexity import (LayerCost, StagePlan, block_layer_costs,
@@ -16,7 +17,8 @@ from repro.vit.model import VisionTransformer
 from repro.vit.patch_embed import PatchEmbedding
 
 __all__ = [
-    "MultiHeadSelfAttention", "FeedForward", "TransformerBlock",
+    "MultiHeadSelfAttention", "key_padding_mask", "pad_token_sequences",
+    "FeedForward", "TransformerBlock",
     "VisionTransformer", "PatchEmbedding",
     "linear_cka", "cls_token_cka_profile",
     "LayerCost", "StagePlan", "block_layer_costs", "block_macs",

@@ -13,7 +13,48 @@ from repro import nn
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 
-__all__ = ["MultiHeadSelfAttention"]
+__all__ = ["MultiHeadSelfAttention", "key_padding_mask",
+           "pad_token_sequences"]
+
+
+def key_padding_mask(lengths, padded_length):
+    """Build a ``(B, T)`` {0,1} key mask from per-image real lengths.
+
+    Position ``t`` of row ``b`` is 1 when ``t < lengths[b]``.  Feeding
+    this as ``key_mask`` makes padded positions invisible as attention
+    keys: their scores receive a ``-1e9`` bias, whose exponent underflows
+    to exactly ``0.0`` in the softmax, so real-token outputs are
+    *unchanged* by the padding (the invariant the batched inference
+    engine relies on; see ``tests/vit/test_masked_invariance.py``).
+    """
+    lengths = np.asarray(lengths)
+    positions = np.arange(int(padded_length))
+    return (positions[None, :] < lengths[:, None]).astype(np.float64)
+
+
+def pad_token_sequences(sequences, padded_length=None, pad_value=0.0):
+    """Stack variable-length token sequences with trailing padding.
+
+    ``sequences`` is an iterable of ``(T_i, D)`` arrays.  Returns
+    ``(stacked, mask)`` where ``stacked`` is ``(B, T_max, D)`` and
+    ``mask`` is the matching :func:`key_padding_mask`.  Zero padding is
+    safe through LayerNorm (normalizes to zeros) and, combined with the
+    mask, through attention.
+    """
+    sequences = [np.asarray(s) for s in sequences]
+    if not sequences:
+        raise ValueError("no sequences to pad")
+    lengths = np.array([s.shape[0] for s in sequences])
+    if padded_length is None:
+        padded_length = int(lengths.max())
+    if np.any(lengths > padded_length):
+        raise ValueError("padded_length shorter than a sequence")
+    dim = sequences[0].shape[-1]
+    stacked = np.full((len(sequences), int(padded_length), dim), pad_value,
+                      dtype=np.float64)
+    for row, seq in enumerate(sequences):
+        stacked[row, :seq.shape[0]] = seq
+    return stacked, key_padding_mask(lengths, padded_length)
 
 
 class MultiHeadSelfAttention(nn.Module):

@@ -58,11 +58,21 @@ class VisionTransformer(nn.Module):
             x = block(x)
             if return_hidden:
                 hidden.append(x)
-        x = self.norm(x)
-        logits = self.head(x[:, 0, :])
+        logits = self.classify(x)
         if return_hidden:
             return logits, hidden
         return logits
+
+    def classify(self, x):
+        """Final LayerNorm + classification head on a token sequence.
+
+        ``x`` is ``(B, T, D)``; only the class token (position 0) feeds
+        the head, so trailing padding tokens are harmless.  Shared by
+        the dense forward, both HeatViT execution paths, and the
+        batched inference engine.
+        """
+        x = self.norm(Tensor.ensure(x))
+        return self.head(x[:, 0, :])
 
     # ------------------------------------------------------------------
     def predict(self, images):

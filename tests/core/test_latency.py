@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import (LatencySparsityTable, confidence_loss,
-                        latency_sparsity_loss, paper_latency_table,
-                        ratios_for_latency_budget)
+                        latency_from_stage_counts, latency_sparsity_loss,
+                        paper_latency_table, ratios_for_latency_budget)
 from repro.nn.tensor import Tensor
 
 
@@ -153,3 +153,51 @@ class TestBudgetAssignment:
         table = paper_latency_table("DeiT-T")
         with pytest.raises(ValueError):
             ratios_for_latency_budget(table, 12, latency_limit=1.0)
+
+
+class TestLatencyFromStageCounts:
+    def test_patch_ratio_convention(self):
+        """Counts include CLS + package; the ratio must not.
+
+        A packaged image keeping exactly half its 196 patches has
+        count 98 + 2 = 100 and must look up ratio 0.5, not 100/197 --
+        the same convention as ``PruningRecord.cumulative_keep`` and
+        :func:`ratios_for_latency_budget`.
+        """
+        table = paper_latency_table("DeiT-T")
+        # One selector before block 6 of 12: 6 dense + 6 pruned blocks.
+        estimate = latency_from_stage_counts(
+            table, 12, [6], [np.array([100])], num_patches=196, extra=2)
+        expected = 6 * table.latency(1.0) + 6 * table.latency(0.5)
+        assert estimate.shape == (1,)
+        assert estimate[0] == pytest.approx(expected)
+
+    def test_matches_scalar_lookup_per_block(self):
+        table = paper_latency_table("DeiT-S")
+        counts = [np.array([150, 100, 60]), np.array([80, 50, 30])]
+        estimate = latency_from_stage_counts(table, 12, [3, 8], counts,
+                                             num_patches=196, extra=2)
+        for image in range(3):
+            ratios = ([1.0] * 3
+                      + [(counts[0][image] - 2) / 196] * 5
+                      + [(counts[1][image] - 2) / 196] * 4)
+            assert estimate[image] == pytest.approx(
+                table.model_latency(ratios))
+
+    def test_count_mismatch_raises(self):
+        table = paper_latency_table("DeiT-T")
+        with pytest.raises(ValueError):
+            latency_from_stage_counts(table, 12, [3, 8],
+                                      [np.array([100])], num_patches=196)
+
+    def test_no_stages_raises(self):
+        table = paper_latency_table("DeiT-T")
+        with pytest.raises(ValueError):
+            latency_from_stage_counts(table, 12, [], [], num_patches=196)
+
+    def test_latency_batch_matches_scalar(self):
+        table = paper_latency_table("DeiT-T")
+        ratios = np.array([0.45, 0.55, 0.72, 1.0, 1.3])
+        np.testing.assert_allclose(
+            table.latency_batch(ratios),
+            [table.latency(r) for r in ratios])

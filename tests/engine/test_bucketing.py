@@ -1,0 +1,156 @@
+"""Unit tests for the bucketing policy and the engine's bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core import HeatViT, PruningRecord
+from repro.engine import (BucketedExecutor, BucketingPolicy, group_exact,
+                          plan_buckets)
+
+
+def covered_indices(plans):
+    return sorted(int(i) for plan in plans for i in plan.indices)
+
+
+class TestGroupExact:
+    def test_groups_descending_with_all_indices(self):
+        lengths = [5, 7, 5, 9, 7, 7]
+        pairs = group_exact(lengths)
+        assert [length for length, _ in pairs] == [9, 7, 5]
+        assert sorted(i for _, idx in pairs for i in idx) == list(range(6))
+        np.testing.assert_array_equal(pairs[1][1], [1, 4, 5])
+
+
+class TestPlanBuckets:
+    def test_empty(self):
+        assert plan_buckets([]) == []
+
+    def test_all_same_length(self):
+        plans = plan_buckets([12] * 7)
+        assert len(plans) == 1
+        assert plans[0].padded_length == 12
+        assert not plans[0].needs_padding
+        assert plans[0].padded_tokens == 0
+        assert covered_indices(plans) == list(range(7))
+
+    def test_no_padding_policy_one_bucket_per_length(self):
+        lengths = [10, 11, 10, 12, 11]
+        plans = plan_buckets(lengths, BucketingPolicy(allow_padding=False))
+        assert [p.padded_length for p in plans] == [12, 11, 10]
+        assert all(not p.needs_padding for p in plans)
+        assert covered_indices(plans) == list(range(5))
+
+    def test_small_nearby_groups_merge(self):
+        # Singleton groups at 11 and 12 should fold into the 13 bucket.
+        lengths = [13, 13, 13, 13, 12, 11]
+        plans = plan_buckets(lengths, BucketingPolicy(pad_limit=4,
+                                                      min_bucket=4))
+        assert len(plans) == 1
+        assert plans[0].padded_length == 13
+        assert plans[0].padded_tokens == (13 - 12) + (13 - 11)
+        assert covered_indices(plans) == list(range(6))
+
+    def test_pad_limit_respected(self):
+        lengths = [20] * 4 + [10]
+        plans = plan_buckets(lengths, BucketingPolicy(pad_limit=4))
+        assert len(plans) == 2
+        assert all(p.padded_length - p.lengths.min() <= 4 for p in plans)
+
+    def test_max_pad_fraction_respected(self):
+        # pad 3 onto length 8 -> padded_length 11, fraction 3/11 > 0.2.
+        lengths = [11, 11, 11, 11, 8]
+        plans = plan_buckets(lengths,
+                             BucketingPolicy(pad_limit=8,
+                                             max_pad_fraction=0.2))
+        assert len(plans) == 2
+
+    def test_large_groups_stand_alone(self):
+        # Two big groups five tokens apart: merging would pay 8 * 5 = 40
+        # padded tokens, more than one 30-token virtual sequence, and
+        # neither group is below min_bucket -- so they stay separate.
+        lengths = [30] * 8 + [25] * 8
+        plans = plan_buckets(lengths, BucketingPolicy(pad_limit=8,
+                                                      min_bucket=4))
+        assert len(plans) == 2
+
+    def test_large_groups_merge_when_padding_is_cheap(self):
+        # One token of padding across 8 images costs 8 tokens, less than
+        # one 30-token virtual sequence: merging is profitable.
+        lengths = [30] * 8 + [29] * 8
+        plans = plan_buckets(lengths, BucketingPolicy(pad_limit=8,
+                                                      min_bucket=4))
+        assert len(plans) == 1
+        assert plans[0].padded_tokens == 8
+
+    def test_every_index_exactly_once(self):
+        rng = np.random.default_rng(3)
+        lengths = rng.integers(5, 40, size=100)
+        for policy in [BucketingPolicy(), BucketingPolicy(pad_limit=0),
+                       BucketingPolicy(allow_padding=False),
+                       BucketingPolicy(pad_limit=64, max_pad_fraction=1.0,
+                                       min_bucket=200)]:
+            plans = plan_buckets(lengths, policy)
+            assert covered_indices(plans) == list(range(100))
+            for plan in plans:
+                assert plan.padded_length == int(plan.lengths.max())
+                np.testing.assert_array_equal(
+                    plan.lengths, lengths[plan.indices])
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            BucketingPolicy(pad_limit=-1)
+        with pytest.raises(ValueError):
+            BucketingPolicy(max_pad_fraction=1.5)
+        with pytest.raises(ValueError):
+            BucketingPolicy(min_bucket=0)
+
+
+class TestEngineBookkeeping:
+    """Per-stage token-count bookkeeping in the PruningRecord."""
+
+    @pytest.fixture()
+    def model(self, tiny_backbone):
+        model = HeatViT(tiny_backbone, {1: 0.6, 3: 0.4},
+                        rng=np.random.default_rng(5))
+        model.eval()
+        return model
+
+    def test_record_matches_reference(self, model, tiny_dataset):
+        images = tiny_dataset.images[:12]
+        ref_record = PruningRecord()
+        model.forward_pruned(images, record=ref_record)
+        record = PruningRecord()
+        BucketedExecutor(model).run(images, record=record)
+        assert len(record.tokens_per_stage) == 2
+        for engine_counts, ref_counts in zip(record.tokens_per_stage,
+                                             ref_record.tokens_per_stage):
+            np.testing.assert_array_equal(engine_counts, ref_counts)
+        assert record.cumulative_keep == ref_record.cumulative_keep
+
+    def test_stage_stats_cover_all_images(self, model, tiny_dataset):
+        images = tiny_dataset.images[:12]
+        result = BucketedExecutor(model).run(images)
+        assert len(result.stage_stats) == 2
+        for stats in result.stage_stats:
+            assert sum(stats.bucket_sizes) == 12
+            assert stats.num_buckets == len(stats.bucket_sizes)
+            assert stats.padded_tokens >= 0
+
+    def test_no_padding_policy_reports_zero_padding(self, model,
+                                                    tiny_dataset):
+        images = tiny_dataset.images[:12]
+        executor = BucketedExecutor(
+            model, BucketingPolicy(allow_padding=False))
+        result = executor.run(images)
+        assert all(s.padded_tokens == 0 for s in result.stage_stats)
+
+    def test_counts_monotone_and_bounded(self, model, tiny_dataset):
+        """Token counts never grow across stages and never hit zero."""
+        record = PruningRecord()
+        BucketedExecutor(model).run(tiny_dataset.images[:12],
+                                    record=record)
+        previous = np.full(12, model.config.num_tokens + 1)  # + package
+        for counts in record.tokens_per_stage:
+            assert np.all(counts >= 2)        # CLS + at least one token
+            assert np.all(counts <= previous)
+            previous = counts

@@ -1,0 +1,144 @@
+"""Parity: the bucketed engine must reproduce ``forward_pruned`` exactly.
+
+The engine's whole contract is "same semantics, vectorized": for every
+batch size, selector configuration, and bucketing policy, the batched
+logits must match the per-image reference loop to within 1e-8 and the
+per-stage token bookkeeping must match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HeatViT, PruningRecord
+from repro.engine import BucketedExecutor, BucketingPolicy, InferenceSession
+
+BATCH_SIZES = [1, 3, 8, 17]
+TOLERANCE = 1e-8
+
+
+def make_model(backbone, selector_blocks, *, use_packager=True, seed=42):
+    model = HeatViT(backbone, selector_blocks,
+                    rng=np.random.default_rng(seed),
+                    use_packager=use_packager)
+    model.eval()
+    return model
+
+
+def assert_parity(model, images, *, batch_size=32, policy=None):
+    record_ref = PruningRecord()
+    ref = model.forward_pruned(images, record=record_ref)
+    session = InferenceSession(model, batch_size=batch_size, policy=policy)
+    record = PruningRecord()
+    result = session.submit(images, record=record)
+    np.testing.assert_allclose(result.logits, ref.data, rtol=0,
+                               atol=TOLERANCE)
+    assert len(record.tokens_per_stage) == len(record_ref.tokens_per_stage)
+    for engine_counts, ref_counts in zip(record.tokens_per_stage,
+                                         record_ref.tokens_per_stage):
+        np.testing.assert_array_equal(engine_counts, ref_counts)
+    np.testing.assert_allclose(record.cumulative_keep,
+                               record_ref.cumulative_keep, atol=1e-12)
+    return result
+
+
+class TestLogitsParity:
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    @pytest.mark.parametrize("use_packager", [True, False])
+    def test_batch_sizes_and_packager(self, tiny_backbone, tiny_dataset,
+                                      batch, use_packager):
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4},
+                           use_packager=use_packager)
+        assert_parity(model, tiny_dataset.images[:batch])
+
+    def test_selector_before_block_zero(self, tiny_backbone, tiny_dataset):
+        """A selector in front of block 0 leaves no shared prefix."""
+        model = make_model(tiny_backbone, {0: 0.7, 2: 0.5})
+        assert_parity(model, tiny_dataset.images[:9])
+
+    def test_single_selector(self, tiny_backbone, tiny_dataset):
+        model = make_model(tiny_backbone, {2: 0.5})
+        assert_parity(model, tiny_dataset.images[:11])
+
+    def test_no_selectors_dense(self, tiny_backbone, tiny_dataset):
+        """Degenerate config: the engine is just a batched dense forward."""
+        model = make_model(tiny_backbone, {})
+        result = assert_parity(model, tiny_dataset.images[:5])
+        assert result.tokens_per_stage == []
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeded_models(self, tiny_backbone, tiny_dataset, seed):
+        model = make_model(tiny_backbone, {1: 0.8, 2: 0.55, 3: 0.35},
+                           seed=seed)
+        assert_parity(model, tiny_dataset.images[:13])
+
+    def test_chunking_matches_one_shot(self, tiny_backbone, tiny_dataset):
+        """batch_size smaller than the submission exercises chunk merge."""
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4})
+        small = assert_parity(model, tiny_dataset.images[:17], batch_size=4)
+        large = assert_parity(model, tiny_dataset.images[:17],
+                              batch_size=17)
+        np.testing.assert_allclose(small.logits, large.logits, rtol=0,
+                                   atol=TOLERANCE)
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", [
+        None,
+        BucketingPolicy(allow_padding=False),
+        BucketingPolicy(pad_limit=1, min_bucket=1),
+        BucketingPolicy(pad_limit=64, max_pad_fraction=1.0, min_bucket=64),
+    ], ids=["default", "no-padding", "tight", "greedy"])
+    def test_policy_invariance(self, tiny_backbone, tiny_dataset, policy):
+        """Bucketing is an execution detail: every policy, same logits."""
+        model = make_model(tiny_backbone, {1: 0.6, 2: 0.45})
+        assert_parity(model, tiny_dataset.images[:17], policy=policy)
+
+
+class TestSessionResult:
+    def test_latency_and_throughput_fields(self, tiny_backbone,
+                                           tiny_dataset):
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4})
+        session = InferenceSession(model, batch_size=8)
+        result = session.submit(tiny_dataset.images[:10])
+        assert result.latency_ms.shape == (10,)
+        assert np.all(result.latency_ms > 0)
+        # Pruned images must be estimated no slower than the dense model.
+        table = session.latency_table
+        dense = table.model_latency([1.0] * model.config.depth)
+        assert np.all(result.latency_ms <= dense + 1e-9)
+        assert result.wall_time_s > 0
+        assert result.images_per_second > 0
+        assert result.predictions.shape == (10,)
+
+    def test_executor_empty_batch(self, tiny_backbone):
+        model = make_model(tiny_backbone, {1: 0.6})
+        executor = BucketedExecutor(model)
+        result = executor.run(np.zeros((0, 3, 16, 16)))
+        assert result.logits.shape == (0, model.config.num_classes)
+
+    def test_session_empty_submission(self, tiny_backbone):
+        model = make_model(tiny_backbone, {1: 0.6})
+        session = InferenceSession(model, batch_size=8)
+        result = session.submit(np.zeros((0, 3, 16, 16)))
+        assert result.logits.shape == (0, model.config.num_classes)
+        assert result.latency_ms.shape == (0,)
+        assert result.predictions.shape == (0,)
+
+    def test_invalid_batch_size(self, tiny_backbone):
+        model = make_model(tiny_backbone, {1: 0.6})
+        with pytest.raises(ValueError):
+            InferenceSession(model, batch_size=0)
+
+    def test_submit_restores_training_mode(self, tiny_backbone,
+                                           tiny_dataset):
+        """A session shared with a training loop must not leave the
+        model in eval mode (and must still produce eval-mode logits)."""
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4})
+        ref = model.forward_pruned(tiny_dataset.images[:5])   # eval mode
+        model.train()
+        session = InferenceSession(model, batch_size=8)
+        result = session.submit(tiny_dataset.images[:5])
+        assert model.training
+        assert all(s.training for s in model.selectors)
+        np.testing.assert_allclose(result.logits, ref.data, rtol=0,
+                                   atol=TOLERANCE)

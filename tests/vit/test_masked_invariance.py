@@ -1,0 +1,93 @@
+"""Masked-attention invariance: the guarantee the engine's padding uses.
+
+The bucketed engine pads short sequences with placeholder tokens and
+masks them out as attention keys.  That is only sound if masked-out
+positions cannot influence real tokens *at all* -- the ``-1e9`` score
+bias must drive their softmax weight to exactly 0 regardless of the
+placeholder embedding contents (bounded values; scores scale with
+``|x|^2``, so astronomically large embeddings could defeat the bias).
+
+These tests replace masked positions with arbitrary values and assert
+real-token outputs and final logits are unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.vit.attention import key_padding_mask, pad_token_sequences
+
+
+def perturbed(x, mask, rng, scale=10.0):
+    """Replace masked-out (mask==0) token embeddings with arbitrary values."""
+    noise = rng.uniform(-scale, scale, size=x.shape)
+    keep = mask[:, :, None]
+    return x * keep + noise * (1.0 - keep)
+
+
+@pytest.fixture()
+def mask():
+    # Two images, 8 tokens: one keeps 5, the other 7.
+    return key_padding_mask([5, 7], 8)
+
+
+class TestBlockInvariance:
+    def test_single_block(self, tiny_backbone, mask, rng):
+        block = tiny_backbone.blocks[0]
+        x = rng.normal(size=(2, 8, tiny_backbone.config.embed_dim))
+        base = block(Tensor(x), key_mask=mask).data
+        for trial in range(3):
+            out = block(Tensor(perturbed(x, mask, rng)),
+                        key_mask=mask).data
+            np.testing.assert_allclose(out * mask[:, :, None],
+                                       base * mask[:, :, None],
+                                       rtol=0, atol=1e-12)
+
+    def test_stack_of_blocks_and_head(self, tiny_backbone, mask, rng):
+        """Real-token logits survive arbitrary padding through the whole
+        remaining network (blocks + final norm + head)."""
+        x = rng.normal(size=(2, 8, tiny_backbone.config.embed_dim))
+
+        def run(start):
+            h = Tensor(start)
+            for block in tiny_backbone.blocks:
+                h = block(h, key_mask=mask)
+            return tiny_backbone.classify(h).data
+
+        base = run(x)
+        for trial in range(3):
+            np.testing.assert_allclose(run(perturbed(x, mask, rng)), base,
+                                       rtol=0, atol=1e-12)
+
+    def test_mask_zero_weight_is_exact(self, tiny_backbone, mask, rng):
+        """The masked keys' attention weight is exactly 0, not merely small."""
+        attn = tiny_backbone.blocks[0].attn
+        x = rng.normal(size=(2, 8, tiny_backbone.config.embed_dim))
+        attn(Tensor(x), key_mask=mask)
+        weights = attn.last_attention            # (B, h, N, N)
+        dead = mask == 0.0                       # (B, N) key positions
+        for image in range(2):
+            assert np.all(weights[image][:, :, dead[image]] == 0.0)
+
+
+class TestPaddingHelpers:
+    def test_key_padding_mask_layout(self):
+        mask = key_padding_mask([2, 4], 4)
+        np.testing.assert_array_equal(mask, [[1, 1, 0, 0], [1, 1, 1, 1]])
+
+    def test_pad_token_sequences_roundtrip(self, rng):
+        seqs = [rng.normal(size=(3, 6)), rng.normal(size=(5, 6))]
+        stacked, mask = pad_token_sequences(seqs)
+        assert stacked.shape == (2, 5, 6)
+        np.testing.assert_array_equal(stacked[0, :3], seqs[0])
+        np.testing.assert_array_equal(stacked[0, 3:], 0.0)
+        np.testing.assert_array_equal(stacked[1], seqs[1])
+        np.testing.assert_array_equal(mask, key_padding_mask([3, 5], 5))
+
+    def test_pad_too_short_raises(self, rng):
+        with pytest.raises(ValueError):
+            pad_token_sequences([rng.normal(size=(5, 4))], padded_length=3)
+
+    def test_pad_empty_raises(self):
+        with pytest.raises(ValueError):
+            pad_token_sequences([])
