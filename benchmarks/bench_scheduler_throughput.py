@@ -1,0 +1,149 @@
+"""Throughput: scheduler-coalesced serving vs per-request submission.
+
+The scheduler's reason to exist is request coalescing: many small
+independent requests (the realistic serving arrival shape) executed one
+at a time waste the engine's batching entirely.  This benchmark serves
+the same request stream twice -- once submitting each request alone,
+once through a :class:`repro.serving.Scheduler` that coalesces a burst
+into bucketed batches -- verifies per-request logits agree to within
+1e-8, and reports the speedup including all queue/routing/slicing
+overhead.  Acceptance bar: >= 2x at 32 single-image requests on the
+default config.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_throughput.py
+    PYTHONPATH=src python benchmarks/bench_scheduler_throughput.py --tiny  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core import HeatViT
+from repro.data import SyntheticConfig, generate_dataset
+from repro.engine import InferenceSession
+from repro.serving import Scheduler, VirtualClock
+from repro.vit import VisionTransformer, ViTConfig
+
+DEFAULT = dict(image_size=32, patch_size=8, embed_dim=48, depth=12,
+               num_heads=4, selectors={3: 0.7, 6: 0.5, 9: 0.35},
+               requests=32, repeats=3)
+TINY = dict(image_size=16, patch_size=4, embed_dim=24, depth=4,
+            num_heads=3, selectors={1: 0.7, 2: 0.5},
+            requests=8, repeats=1)
+TOLERANCE = 1e-8
+
+
+def build(params, seed=0):
+    rng = np.random.default_rng(seed)
+    config = ViTConfig(name="bench-scheduler",
+                       image_size=params["image_size"],
+                       patch_size=params["patch_size"],
+                       embed_dim=params["embed_dim"], depth=params["depth"],
+                       num_heads=params["num_heads"], num_classes=8)
+    backbone = VisionTransformer(config, rng=rng)
+    model = HeatViT(backbone, params["selectors"], rng=rng)
+    model.eval()
+    data = generate_dataset(
+        SyntheticConfig(image_size=params["image_size"], num_classes=8),
+        params["requests"], rng)
+    return model, data.images
+
+
+def time_best(fn, repeats):
+    """Best-of-N wall time (seconds) and the last return value."""
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def serve_one_at_a_time(session, images):
+    return np.concatenate(
+        [session.submit(images[i][None]).logits
+         for i in range(images.shape[0])], axis=0)
+
+
+def serve_coalesced(model, images):
+    """A burst of single-image requests through the scheduler."""
+    scheduler = Scheduler(clock=VirtualClock(), batch_window_ms=10.0)
+    scheduler.register("default", model, max_batch=images.shape[0])
+    ids = [scheduler.submit(images[i]) for i in range(images.shape[0])]
+    results = {r.request_id: r for r in scheduler.flush()}
+    return np.concatenate([results[i].logits for i in ids], axis=0)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="small config for CI smoke runs")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="number of single-image requests in the burst")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-N timing repeats")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero below this speedup "
+                             "(default: 2.0 unless --tiny)")
+    args = parser.parse_args(argv)
+
+    params = dict(TINY if args.tiny else DEFAULT)
+    if args.requests is not None:
+        if args.requests < 1:
+            parser.error("--requests must be >= 1")
+        params["requests"] = args.requests
+    if args.repeats is not None:
+        if args.repeats < 1:
+            parser.error("--repeats must be >= 1")
+        params["repeats"] = args.repeats
+    min_speedup = args.min_speedup
+    if min_speedup is None:
+        # Tiny smoke runs only check correctness; timing noise on a
+        # 4-block model says nothing useful.
+        min_speedup = 0.0 if args.tiny else 2.0
+
+    model, images = build(params)
+    requests = params["requests"]
+    print(f"model: {model.config.depth} blocks, "
+          f"{model.config.num_tokens} tokens, selectors at "
+          f"{dict(zip(model.selector_blocks, model.keep_ratios))}")
+    print(f"{requests} single-image requests, best of "
+          f"{params['repeats']} repeats\n")
+
+    session = InferenceSession(model, batch_size=requests)
+    naive_time, naive = time_best(
+        lambda: serve_one_at_a_time(session, images), params["repeats"])
+    sched_time, coalesced = time_best(
+        lambda: serve_coalesced(model, images), params["repeats"])
+
+    diff = float(np.abs(coalesced - naive).max())
+    speedup = naive_time / sched_time
+    rows = [
+        ("per-request submission", naive_time, requests / naive_time),
+        ("scheduler coalesced", sched_time, requests / sched_time),
+    ]
+    width = max(len(r[0]) for r in rows)
+    print(f"{'path':<{width}}  {'time (s)':>10}  {'req/s':>10}")
+    for name, seconds, throughput in rows:
+        print(f"{name:<{width}}  {seconds:>10.4f}  {throughput:>10.1f}")
+    print(f"\nspeedup: {speedup:.2f}x   max |logit diff|: {diff:.2e}")
+
+    if diff > TOLERANCE:
+        print(f"FAIL: logit mismatch {diff:.2e} > {TOLERANCE:.0e}")
+        return 1
+    if speedup < min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x < required "
+              f"{min_speedup:.1f}x")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Serve two HeatViT operating points behind the deadline-aware scheduler.
+
+A deterministic walk through the serving layer (`repro.serving`): two
+keep-ratio operating points of the same backbone register with one
+:class:`Scheduler`, requests arrive with mixed deadlines on a virtual
+clock, and the fidelity-first router sends loose-deadline traffic to
+the accurate model while tight deadlines degrade to the pruned one.
+Batch formation is driven by the FPGA-simulator latency tables built
+per served config (Eq. 18): a request near its deadline forces a
+flush, bursts beyond the batch cap leave a carried remainder that
+merges with the next wave.
+
+Usage::
+
+    PYTHONPATH=src python examples/serve_scheduler.py
+"""
+
+import numpy as np
+
+from repro.core import HeatViT
+from repro.data import SyntheticConfig, generate_dataset
+from repro.hardware.latency_table import build_latency_table
+from repro.serving import HighestFidelityRouter, Scheduler, VirtualClock
+from repro.vit import VisionTransformer, ViTConfig
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    # 1. One backbone, two serving operating points (paper Fig. 4 idea:
+    #    the keep-ratio schedule is a latency dial).
+    config = ViTConfig(name="serve-demo", image_size=32, patch_size=8,
+                       embed_dim=48, depth=12, num_heads=4, num_classes=8)
+    backbone = VisionTransformer(config, rng=rng)
+    accurate = HeatViT(backbone, {6: 0.8}, rng=rng)
+    pruned = HeatViT(backbone, {3: 0.7, 6: 0.5, 9: 0.35}, rng=rng)
+    for model in (accurate, pruned):
+        model.eval()
+
+    # 2. Register both under a fidelity-first router: requests get the
+    #    least-pruned session whose table-estimated latency meets their
+    #    deadline.  Latency tables come from the FPGA simulator for the
+    #    served config; a finer keep-ratio grid than the paper's Table
+    #    IV keeps the deeply-pruned stages out of the clip region.
+    grid = tuple(round(1.0 - 0.1 * i, 1) for i in range(10))
+    table = build_latency_table(config, keep_ratios=grid)
+    clock = VirtualClock()
+    scheduler = Scheduler(clock=clock, router=HighestFidelityRouter(),
+                          batch_window_ms=5.0)
+    scheduler.register("accurate", accurate, max_batch=16,
+                       latency_table=table)
+    scheduler.register("pruned", pruned, max_batch=16,
+                       latency_table=table)
+    for served in scheduler.sessions:
+        print(f"session {served.name!r}: "
+              f"{served.estimate_ms:.3f} ms/image estimated "
+              f"(keep ratios {served.session.model.keep_ratios})")
+
+    # 3. A scripted workload: a loose-deadline burst of small requests
+    #    at t=0, then a stream of 12-image requests whose deadlines sit
+    #    BETWEEN the two operating points' estimated costs -- they must
+    #    degrade to the pruned session to be served in time.
+    data = generate_dataset(SyntheticConfig(image_size=32, num_classes=8),
+                            160, rng)
+    estimate = {s.name: s.estimate_ms for s in scheduler.sessions}
+    loose = 16.0 * estimate["accurate"] + 10.0
+    tight = 12.0 * (estimate["pruned"] + estimate["accurate"]) / 2.0
+    arrivals = [(0.0, data.images[i:i + 2], loose) for i in range(0, 16, 2)]
+    arrivals += [(2.0 + 3.0 * i, data.images[16 + 12 * i:28 + 12 * i],
+                  tight) for i in range(12)]
+
+    print(f"\nworkload: {len(arrivals)} requests "
+          f"(deadlines {loose:.2f} ms loose / {tight:.2f} ms tight)")
+    pending = sorted(arrivals, key=lambda a: a[0])
+    results = {}
+    while pending or scheduler.pending_requests():
+        now = clock.now()
+        while pending and pending[0][0] <= now:
+            _, images, deadline = pending.pop(0)
+            scheduler.submit(images, deadline_ms=deadline)
+        for result in scheduler.step():
+            results[result.request_id] = result
+        if pending or scheduler.pending_requests():
+            clock.advance(1.0)
+
+    # 4. What happened: flush events and per-session outcomes.
+    print(f"\n{len(scheduler.events)} flushes on a "
+          f"{scheduler.batch_window_ms:.0f} ms window:")
+    for event in scheduler.events:
+        print(f"  t={event.time_ms:5.1f} ms  {event.session:>8}  "
+              f"{event.reason:>8}  {event.num_images:2d} images  "
+              f"carried {event.carried_requests}")
+    for name in ("accurate", "pruned"):
+        routed = [r for r in results.values() if r.session == name]
+        met = sum(r.deadline_met for r in routed)
+        waits = [r.wait_ms for r in routed] or [0.0]
+        print(f"\n{name}: {len(routed)} requests, deadlines met "
+              f"{met}/{len(routed)}, mean queue wait "
+              f"{np.mean(waits):.2f} ms")
+        if routed:
+            latency = np.concatenate([r.latency_ms for r in routed])
+            print(f"  estimated accelerator latency "
+                  f"{latency.mean():.2f} ms/image "
+                  f"(min {latency.min():.2f}, max {latency.max():.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -87,6 +87,7 @@ class HeatViT(nn.Module):
             raise ValueError(
                 f"selector block index out of range 0..{self.config.depth - 1}")
         self.selector_blocks = tuple(boundaries)
+        self.keep_ratios_version = 0
         self.selectors = nn.ModuleList([
             TokenSelector(self.config.embed_dim, self.config.num_heads,
                           keep_ratio=selector_blocks[b], tau=tau, rng=rng,
@@ -116,6 +117,9 @@ class HeatViT(nn.Module):
             raise ValueError("ratio count mismatch")
         for selector, ratio in zip(self.selectors, ratios):
             selector.keep_ratio = ratio
+        # Serving sessions cache a latency estimate keyed on this
+        # counter; bumping it here makes retuning self-invalidating.
+        self.keep_ratios_version += 1
 
     def selector_for_block(self, block_index):
         position = self.selector_blocks.index(block_index)

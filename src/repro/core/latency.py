@@ -20,7 +20,8 @@ from repro.nn.tensor import Tensor
 
 __all__ = ["LatencySparsityTable", "paper_latency_table",
            "latency_sparsity_loss", "confidence_loss",
-           "ratios_for_latency_budget", "latency_from_stage_counts"]
+           "ratios_for_latency_budget", "latency_from_stage_counts",
+           "latency_for_keep_ratios"]
 
 # Table IV of the paper: one-block latency (ms) on ZCU102 vs keep ratio.
 _PAPER_TABLE = {
@@ -218,6 +219,37 @@ def latency_from_stage_counts(table, depth, selector_blocks,
         if blocks_in_stage:
             per_image += blocks_in_stage * table.latency_batch(ratios)
     return per_image
+
+
+def latency_for_keep_ratios(table, depth, selector_blocks, keep_ratios):
+    """Whole-model latency at a *configured* operating point (Eq. 19 LHS).
+
+    The a-priori counterpart of :func:`latency_from_stage_counts`: instead
+    of realized per-image token counts, uses the model's configured
+    per-selector target keep ratios (``HeatViT.keep_ratios``, each
+    relative to the tokens alive before that selector).  Blocks before
+    the first selector run dense; every later block runs at the
+    cumulative product of the selector ratios in front of it.  This is
+    what a request router can evaluate *before* execution to compare
+    serving sessions (scheduler cost policy).
+
+    ``selector_blocks``: block indices with a selector in front, sorted.
+    ``keep_ratios``: one target keep ratio per selector.
+    Returns a scalar in the table's unit (ms for the paper's Table IV).
+    """
+    boundaries = sorted(selector_blocks)
+    if len(boundaries) != len(keep_ratios):
+        raise ValueError("one keep ratio per selector required")
+    cumulative = 1.0
+    stage_ratios = [1.0]
+    for ratio in keep_ratios:
+        cumulative *= float(ratio)
+        stage_ratios.append(cumulative)
+    total = 0.0
+    for block_index in range(depth):
+        stage = sum(1 for b in boundaries if b <= block_index)
+        total += table.latency(stage_ratios[stage])
+    return total
 
 
 def ratios_for_latency_budget(table, depth, latency_limit,

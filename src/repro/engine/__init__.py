@@ -9,12 +9,13 @@ forward instead of B single-image forwards.  Logits match the reference
 """
 
 from repro.engine.bucketing import (BucketingPolicy, BucketPlan,
-                                    group_exact, plan_buckets)
+                                    group_exact, pack_groups, plan_buckets)
 from repro.engine.executor import BucketedExecutor, EngineResult, StageStats
 from repro.engine.session import InferenceSession, SessionResult
 
 __all__ = [
     "BucketingPolicy", "BucketPlan", "plan_buckets", "group_exact",
+    "pack_groups",
     "BucketedExecutor", "EngineResult", "StageStats",
     "InferenceSession", "SessionResult",
 ]

@@ -140,6 +140,37 @@ class BucketedExecutor:
         return result
 
     # ------------------------------------------------------------------
+    def run_grouped(self, image_groups, record=None):
+        """Execute several pre-grouped image sets as ONE bucketed batch.
+
+        The serving scheduler's continuous re-bucketing entry point:
+        ``image_groups`` is a list of ``(n_i, C, H, W)`` arrays -- e.g.
+        the remainder requests carried over from a previous partially
+        filled batch plus the newly arrived ones -- and the whole set is
+        re-bucketed and executed together.  Because every image's
+        compute is independent of its batch neighbours (batched matmuls
+        are per-slice and padded keys carry an exactly-zero attention
+        weight), each group's logits are bitwise identical to submitting
+        that group on its own.
+
+        Returns ``(EngineResult, slices)`` where ``slices[i]`` selects
+        group ``i``'s rows in the merged, submission-ordered result.
+        """
+        image_groups = [np.asarray(g.data if isinstance(g, Tensor) else g)
+                        for g in image_groups]
+        slices, offset = [], 0
+        for group in image_groups:
+            slices.append(slice(offset, offset + group.shape[0]))
+            offset += group.shape[0]
+        non_empty = [g for g in image_groups if g.shape[0]]
+        if not non_empty:
+            empty = np.zeros((0, self.model.config.num_classes))
+            return EngineResult(logits=empty), slices
+        images = (non_empty[0] if len(non_empty) == 1
+                  else np.concatenate(non_empty, axis=0))
+        return self.run(images, record=record), slices
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _run_block(block, group):
         out = block(Tensor(group.x), key_mask=group.mask)

@@ -13,6 +13,11 @@ Typical use::
     result.logits            # (B, num_classes)
     result.latency_ms        # (B,) estimated accelerator latency
     result.images_per_second # measured host throughput
+
+``submit_many`` is the grouped variant the request scheduler
+(:mod:`repro.serving`) uses: it takes a list of per-request image
+arrays -- including remainders carried over from a previous partially
+filled batch -- and returns one merged result plus per-request slices.
 """
 
 from __future__ import annotations
@@ -23,12 +28,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.latency import (LatencySparsityTable,
-                                latency_from_stage_counts,
-                                paper_latency_table)
-from repro.engine.bucketing import BucketingPolicy
+                                latency_for_keep_ratios,
+                                latency_from_stage_counts)
+from repro.engine.bucketing import BucketingPolicy, pack_groups
 from repro.engine.executor import BucketedExecutor
+from repro.hardware.latency_table import build_latency_table
+from repro.nn.tensor import Tensor
 
 __all__ = ["InferenceSession", "SessionResult"]
+
+
+def _empty_latency():
+    return np.zeros(0, dtype=np.float64)
 
 
 @dataclass
@@ -37,14 +48,16 @@ class SessionResult:
 
     ``tokens_per_stage`` holds one ``(B,)`` array of per-image token
     counts per selector stage (CLS and package included), concatenated
-    across chunks in submission order.  ``latency_ms`` is the Eq. 18
-    table estimate of per-image accelerator latency; ``wall_time_s`` and
-    ``images_per_second`` measure the host-side batched execution.
+    across chunks in submission order.  ``latency_ms`` is always a
+    well-formed ``(B,)`` float array -- the Eq. 18 table estimate of
+    per-image accelerator latency (empty for an empty submission, never
+    ``None``); ``wall_time_s`` and ``images_per_second`` measure the
+    host-side batched execution.
     """
 
     logits: np.ndarray
     tokens_per_stage: list = field(default_factory=list)
-    latency_ms: np.ndarray = None
+    latency_ms: np.ndarray = field(default_factory=_empty_latency)
     wall_time_s: float = 0.0
     images_per_second: float = 0.0
     stage_stats: list = field(default_factory=list)
@@ -68,9 +81,11 @@ class InferenceSession:
         uses the defaults, ``BucketingPolicy(allow_padding=False)``
         disables padding merges.
     latency_table: a :class:`LatencySparsityTable` for the per-image
-        latency estimate; defaults to the paper's measured DeiT-T
-        Table IV.  Pass ``None``-able custom tables built from the FPGA
-        simulator via :func:`repro.hardware.latency_table.build_latency_table`.
+        latency estimate.  ``None`` builds one from the FPGA simulator
+        for *this model's config* via
+        :func:`repro.hardware.latency_table.build_latency_table`; pass
+        :func:`repro.core.latency.paper_latency_table` output to use the
+        paper's measured Table IV instead.
     """
 
     def __init__(self, model, batch_size=32, policy=None,
@@ -82,10 +97,36 @@ class InferenceSession:
         self.policy = BucketingPolicy() if policy is None else policy
         self.executor = BucketedExecutor(model, self.policy)
         if latency_table is None:
-            latency_table = paper_latency_table("DeiT-T")
+            latency_table = build_latency_table(model.config)
         if not isinstance(latency_table, LatencySparsityTable):
             raise TypeError("latency_table must be a LatencySparsityTable")
         self.latency_table = latency_table
+        self._estimated_latency = None
+        self._estimate_version = None
+
+    # ------------------------------------------------------------------
+    @property
+    def estimated_image_latency_ms(self):
+        """Table-estimated per-image latency at the configured operating
+        point (the model's target keep ratios) -- what a request router
+        can compare across sessions *before* execution.  Cached against
+        the model's ``keep_ratios_version``, so retuning through
+        ``set_keep_ratios`` invalidates automatically; only direct
+        ``selector.keep_ratio`` assignment needs an explicit
+        :meth:`invalidate_estimate`.
+        """
+        version = getattr(self.model, "keep_ratios_version", None)
+        if (self._estimated_latency is None
+                or self._estimate_version != version):
+            config = self.model.config
+            self._estimated_latency = latency_for_keep_ratios(
+                self.latency_table, config.depth,
+                self.model.selector_blocks, self.model.keep_ratios)
+            self._estimate_version = version
+        return self._estimated_latency
+
+    def invalidate_estimate(self):
+        self._estimated_latency = None
 
     # ------------------------------------------------------------------
     def submit(self, images, record=None):
@@ -96,18 +137,41 @@ class InferenceSession:
         :class:`repro.core.PruningRecord` to additionally collect the
         reference-path bookkeeping (counts across the *whole* submission).
         """
-        images = np.asarray(images)
-        batch = images.shape[0]
+        result, _ = self.submit_many([images], record=record)
+        return result
+
+    def submit_many(self, image_groups, record=None):
+        """Run several pre-grouped image sets as one submission.
+
+        ``image_groups`` is a list of ``(n_i, C, H, W)`` arrays -- one
+        per request, in submission order; groups are packed into
+        ``batch_size`` executor chunks with :func:`pack_groups` (chunk
+        boundaries fall exactly where :meth:`submit` would slice the
+        concatenation, so grouped and flat submission are
+        bitwise-equivalent).  Returns ``(SessionResult, slices)`` where
+        ``slices[i]`` selects group ``i``'s rows in the merged result.
+        """
+        groups = [np.asarray(g.data if isinstance(g, Tensor) else g)
+                  for g in image_groups]
+        sizes = [g.shape[0] for g in groups]
+        slices, offset = [], 0
+        for size in sizes:
+            slices.append(slice(offset, offset + size))
+            offset += size
+        batch = offset
         was_training = self.model.training
         if was_training:
             self.model.eval()
         start = time.perf_counter()
         try:
-            chunk_results = [
-                self.executor.run(images[lo:lo + self.batch_size])
-                for lo in range(0, batch, self.batch_size)]
+            chunk_results = []
+            for chunk in pack_groups(sizes, self.batch_size):
+                pieces = [groups[index][lo:hi] for index, lo, hi in chunk]
+                chunk_result, _ = self.executor.run_grouped(pieces)
+                chunk_results.append(chunk_result)
             if not chunk_results:        # empty submission: typed result
-                chunk_results = [self.executor.run(images)]
+                chunk_result, _ = self.executor.run_grouped(groups)
+                chunk_results = [chunk_result]
         finally:
             if was_training:
                 self.model.train()
@@ -116,7 +180,7 @@ class InferenceSession:
         if record is not None and result.tokens_per_stage:
             self.model.finalize_pruned_record(record,
                                               result.tokens_per_stage)
-        return result
+        return result, slices
 
     def _merge(self, chunk_results, batch, elapsed):
         logits = np.concatenate([r.logits for r in chunk_results], axis=0)
@@ -137,7 +201,8 @@ class InferenceSession:
                     [1.0] * config.depth)))
         return SessionResult(
             logits=logits, tokens_per_stage=tokens_per_stage,
-            latency_ms=latency, wall_time_s=elapsed,
+            latency_ms=np.asarray(latency, dtype=np.float64),
+            wall_time_s=elapsed,
             images_per_second=(batch / elapsed if elapsed > 0 else
                                float("inf")),
             stage_stats=stage_stats)

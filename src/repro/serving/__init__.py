@@ -1,0 +1,32 @@
+"""Serving layer: async deadline-aware scheduling over the engine.
+
+Builds the request-level serving story on top of
+:mod:`repro.engine`'s bucketed batch execution:
+
+* :class:`Scheduler` -- non-blocking ``submit``, deadline-aware batch
+  formation driven by the paper's latency-sparsity table (Eq. 18),
+  remainder carry-over between bursts, multi-model routing;
+* :class:`RequestQueue` -- EDF-ordered pending requests with
+  capacity/budget-capped batch popping;
+* routers -- :class:`LeastLatencyRouter` (fastest session that meets
+  the deadline) and :class:`HighestFidelityRouter` (most accurate
+  session that meets the deadline);
+* clocks -- all serving time is in milliseconds;
+  :class:`VirtualClock` makes scheduler behavior exactly simulable
+  (``tests/serving/harness.py``).
+"""
+
+from repro.serving.clock import Clock, SystemClock, VirtualClock
+from repro.serving.queue import RequestQueue
+from repro.serving.request import Request, RequestResult
+from repro.serving.router import (HighestFidelityRouter, LeastLatencyRouter,
+                                  Router, request_cost_ms)
+from repro.serving.scheduler import FlushEvent, Scheduler, ServedModel
+
+__all__ = [
+    "Clock", "SystemClock", "VirtualClock",
+    "Request", "RequestResult", "RequestQueue",
+    "Router", "LeastLatencyRouter", "HighestFidelityRouter",
+    "request_cost_ms",
+    "Scheduler", "ServedModel", "FlushEvent",
+]

@@ -1,0 +1,45 @@
+"""Clock abstraction for the request scheduler.
+
+All serving-layer time is in **milliseconds** -- the unit of the
+latency-sparsity table (paper Table IV) that deadlines and batch
+windows are compared against.  The scheduler never reads wall time
+directly; it asks its clock, so tests drive a :class:`VirtualClock`
+tick by tick and assert flush timing and deadline behavior exactly,
+with no real sleeps (``tests/serving/harness.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "SystemClock", "VirtualClock"]
+
+
+class Clock:
+    """Monotonic time source in milliseconds."""
+
+    def now(self):
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real monotonic time (``time.monotonic``), in milliseconds."""
+
+    def now(self):
+        return time.monotonic() * 1e3
+
+
+class VirtualClock(Clock):
+    """Manually-advanced time for deterministic serving simulations."""
+
+    def __init__(self, start_ms=0.0):
+        self._now = float(start_ms)
+
+    def now(self):
+        return self._now
+
+    def advance(self, delta_ms):
+        if delta_ms < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += float(delta_ms)
+        return self._now

@@ -1,0 +1,97 @@
+"""Deadline-ordered pending-request queue.
+
+One :class:`RequestQueue` holds the requests routed to (but not yet
+executed by) one serving session.  Requests pop in earliest-deadline-
+first order (best-effort requests sort last, then by arrival, so a
+deadline-free workload degenerates to plain FIFO).  ``pop_batch`` takes
+a *prefix* of that order subject to an image-count cap and an estimated
+latency budget -- whatever does not fit stays queued as the carried
+remainder for the next flush (continuous re-bucketing across bursts).
+
+All mutators take an internal lock, so producers on other threads can
+``push`` while a scheduler thread drains.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["RequestQueue"]
+
+
+def _order_key(request):
+    deadline = (request.deadline_ms if request.deadline_ms is not None
+                else float("inf"))
+    return (deadline, request.arrival_ms, request.request_id)
+
+
+class RequestQueue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._requests = []
+
+    def __len__(self):
+        with self._lock:
+            return len(self._requests)
+
+    @property
+    def pending_images(self):
+        with self._lock:
+            return sum(r.num_images for r in self._requests)
+
+    def push(self, request):
+        if request.num_images < 1:
+            raise ValueError("a request must carry at least one image")
+        with self._lock:
+            self._requests.append(request)
+
+    def snapshot(self):
+        """The queued requests in pop (EDF) order, without removing."""
+        with self._lock:
+            return sorted(self._requests, key=_order_key)
+
+    @property
+    def oldest_arrival_ms(self):
+        with self._lock:
+            if not self._requests:
+                return None
+            return min(r.arrival_ms for r in self._requests)
+
+    @property
+    def earliest_deadline_ms(self):
+        with self._lock:
+            deadlines = [r.deadline_ms for r in self._requests
+                         if r.deadline_ms is not None]
+            return min(deadlines) if deadlines else None
+
+    def pop_batch(self, max_images=None, latency_budget_ms=None,
+                  cost_per_image_ms=0.0):
+        """Remove and return the next batch of whole requests.
+
+        Requests leave in EDF order; the batch is the longest prefix
+        whose total image count stays within ``max_images`` and whose
+        estimated execution cost (``cost_per_image_ms`` per image) stays
+        within ``latency_budget_ms``.  The first request is always
+        taken -- a single request bigger than either cap must still run
+        (the session chunks internally) -- so the queue always drains.
+        Requests are atomic: one request's images never split across
+        flushes, which keeps its logits rows contiguous in one batch.
+        """
+        with self._lock:
+            ordered = sorted(self._requests, key=_order_key)
+            taken, images, cost = [], 0, 0.0
+            for request in ordered:
+                request_cost = request.num_images * cost_per_image_ms
+                if taken:
+                    if (max_images is not None
+                            and images + request.num_images > max_images):
+                        break
+                    if (latency_budget_ms is not None
+                            and cost + request_cost > latency_budget_ms):
+                        break
+                taken.append(request)
+                images += request.num_images
+                cost += request_cost
+            for request in taken:
+                self._requests.remove(request)
+            return taken

@@ -1,0 +1,88 @@
+"""Request and result records for the serving scheduler.
+
+A :class:`Request` is one client submission: a small stack of images
+(often a single one) with an optional **absolute** deadline and an
+optional explicit model name.  The scheduler coalesces many requests
+into one bucketed batch; each request gets back a
+:class:`RequestResult` carrying its own logits rows, the per-image
+Eq. 18 latency estimates, and the timing bookkeeping needed to audit
+deadline behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Request", "RequestResult"]
+
+
+@dataclass
+class Request:
+    """One pending client submission.
+
+    ``images``: ``(n, C, H, W)`` array, ``n >= 1``.
+    ``arrival_ms``: scheduler-clock time the request was accepted.
+    ``deadline_ms``: absolute clock time the response is due, or
+        ``None`` for best-effort requests.
+    ``model``: explicit session name, or ``None`` to let the router
+        choose.
+    """
+
+    request_id: int
+    images: np.ndarray
+    arrival_ms: float
+    deadline_ms: float = None
+    model: str = None
+
+    @property
+    def num_images(self):
+        return int(self.images.shape[0])
+
+    def time_to_deadline(self, now_ms):
+        """Milliseconds of slack left; ``inf`` for best-effort requests."""
+        if self.deadline_ms is None:
+            return float("inf")
+        return self.deadline_ms - now_ms
+
+
+@dataclass
+class RequestResult:
+    """One completed request.
+
+    ``logits`` / ``latency_ms`` are this request's rows of the batch
+    result (``(n, num_classes)`` and ``(n,)``).  ``session`` names the
+    :class:`repro.engine.InferenceSession` that executed it (the routing
+    decision); ``completed_ms`` is the scheduler-clock flush time.
+    """
+
+    request_id: int
+    logits: np.ndarray
+    latency_ms: np.ndarray
+    session: str
+    arrival_ms: float
+    completed_ms: float
+    deadline_ms: float = None
+    tokens_per_stage: list = field(default_factory=list)
+
+    @property
+    def predictions(self):
+        return self.logits.argmax(axis=-1)
+
+    @property
+    def wait_ms(self):
+        """Time spent queued before the executing flush."""
+        return self.completed_ms - self.arrival_ms
+
+    @property
+    def deadline_met(self):
+        return (self.deadline_ms is None
+                or self.completed_ms <= self.deadline_ms)
+
+    @property
+    def overshoot_ms(self):
+        """How far past the deadline completion landed (0 when met)."""
+        if self.deadline_ms is None:
+            return 0.0
+        return max(0.0, self.completed_ms - self.deadline_ms)

@@ -1,0 +1,77 @@
+"""Routing policies: pick a serving session for each request.
+
+The scheduler serves several :class:`repro.engine.InferenceSession`\\ s
+in one process -- typically the *same* HeatViT checkpoint at different
+keep-ratio operating points (paper Table IV rows), so routing trades
+accuracy against the table-estimated latency.  A router sees each
+request once, at acceptance, together with every registered session's
+per-image latency estimate (Eq. 18/19 via
+``InferenceSession.estimated_image_latency_ms``) and the current clock.
+
+Cost convention: a request's estimated execution cost on a session is
+``num_images * session.estimated_image_latency_ms`` -- the accelerator
+processes images of a batch back to back, so a request's images pay the
+per-image latency each.  A session is *feasible* for a request when
+that cost fits inside the time left to the deadline; queueing delay is
+bounded separately by the scheduler's deadline-aware flush.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Router", "LeastLatencyRouter", "HighestFidelityRouter",
+           "request_cost_ms"]
+
+
+def request_cost_ms(served, request):
+    """Estimated execution cost of ``request`` on a served session."""
+    return served.estimate_ms * request.num_images
+
+
+class Router:
+    """Chooses one of the registered sessions for a request."""
+
+    def route(self, request, candidates, now_ms):
+        """Return the chosen entry from ``candidates`` (never empty)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def feasible(request, candidates, now_ms):
+        """Candidates whose estimated cost fits the request's slack."""
+        slack = request.time_to_deadline(now_ms)
+        return [served for served in candidates
+                if request_cost_ms(served, request) <= slack]
+
+
+class LeastLatencyRouter(Router):
+    """Minimize table-estimated latency, subject to the deadline.
+
+    Among the sessions that can meet the request's deadline, picks the
+    one with the smallest estimated cost; if none can (or the request is
+    best-effort), falls back to the globally fastest.  Ties break by
+    session name for determinism.
+    """
+
+    def route(self, request, candidates, now_ms):
+        pool = self.feasible(request, candidates, now_ms) or candidates
+        return min(pool, key=lambda s: (request_cost_ms(s, request),
+                                        s.name))
+
+
+class HighestFidelityRouter(Router):
+    """Maximize accuracy (keep ratio), subject to the deadline.
+
+    The complementary policy: latency estimates are monotone in the
+    keep ratio, so the *slowest* session that still meets the deadline
+    is the least-pruned -- most accurate -- operating point.  Requests
+    with loose deadlines get the full model; tight ones degrade
+    gracefully to aggressive pruning (falling back to the fastest
+    session when even that cannot meet the deadline).
+    """
+
+    def route(self, request, candidates, now_ms):
+        pool = self.feasible(request, candidates, now_ms)
+        if pool:
+            return max(pool, key=lambda s: (request_cost_ms(s, request),
+                                            s.name))
+        return min(candidates, key=lambda s: (request_cost_ms(s, request),
+                                              s.name))

@@ -1,0 +1,398 @@
+"""Async deadline-aware request scheduler with multi-model routing.
+
+The serving front door for the bucketed engine.  Callers ``submit``
+single images or small stacks without blocking; the scheduler coalesces
+them into large bucketed batches and executes each batch on one of
+several registered :class:`repro.engine.InferenceSession`\\ s (multiple
+HeatViT variants or keep-ratio operating points in one process).
+
+Batch formation is driven by the paper's latency-sparsity table
+(Eq. 18): every session carries a per-image latency estimate at its
+configured operating point, and a flush fires for the first of
+
+* **deadline** -- the earliest queued deadline would no longer survive
+  the batch's estimated execution time (a request near its deadline
+  forces the flush);
+* **capacity** -- pending images reach the session's batch capacity;
+* **budget** -- the batch's estimated execution latency reaches the
+  configured ``latency_budget_ms`` (collect requests *up to* a latency
+  budget, then run);
+* **window** -- the oldest pending request has waited ``batch_window_ms``.
+
+A flush takes the earliest-deadline-first prefix of the queue that fits
+the capacity/budget caps; what does not fit stays queued and is merged
+with the next burst -- partially-filled buckets carry over between
+submits via :meth:`repro.engine.InferenceSession.submit_many`, whose
+grouped chunking is bitwise-identical to fresh submission.
+
+Time comes from a :class:`repro.serving.clock.Clock` (milliseconds).
+The scheduler is step-driven and thread-safe: call :meth:`step` from
+your own loop (deterministically, in tests, against a
+:class:`VirtualClock`), or :meth:`start` a background thread against
+the real clock and collect responses with :meth:`wait_result`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.session import InferenceSession
+from repro.serving.clock import Clock, SystemClock
+from repro.serving.queue import RequestQueue
+from repro.serving.request import Request, RequestResult
+from repro.serving.router import LeastLatencyRouter
+
+__all__ = ["Scheduler", "ServedModel", "FlushEvent"]
+
+
+@dataclass
+class ServedModel:
+    """One registered serving target."""
+
+    name: str
+    session: InferenceSession
+    max_batch: int
+    queue: RequestQueue = field(default_factory=RequestQueue)
+
+    @property
+    def estimate_ms(self):
+        """Table-estimated per-image latency at the session's configured
+        operating point -- the routing cost and the flush-timing
+        estimate share this single number.  Delegates to the session's
+        cached estimate so ``invalidate_estimate`` (after
+        ``set_keep_ratios``) reaches routing and flush decisions too.
+        """
+        return self.session.estimated_image_latency_ms
+
+    @property
+    def image_shape(self):
+        config = self.session.model.config
+        return (config.in_channels, config.image_size, config.image_size)
+
+
+@dataclass
+class FlushEvent:
+    """Telemetry for one executed batch (asserted by the simulation
+    harness: flush timing, trigger reason, and remainder carry-over)."""
+
+    time_ms: float
+    session: str
+    reason: str
+    request_ids: list
+    num_images: int
+    estimated_ms: float
+    carried_requests: int
+
+
+class Scheduler:
+    """Deadline-aware batching scheduler over registered sessions.
+
+    Parameters
+    ----------
+    clock: time source in milliseconds; default real monotonic time.
+    router: policy choosing a session for requests without an explicit
+        ``model``; default :class:`LeastLatencyRouter` (minimum
+        table-estimated latency subject to the deadline).
+    batch_window_ms: maximum time any request waits before its session
+        flushes regardless of batch fill.
+    latency_budget_ms: optional cap on a batch's estimated execution
+        latency; reaching it triggers a flush and bounds the batch size.
+    deadline_margin_ms: safety margin subtracted from deadlines when
+        deciding whether a flush must fire now.
+    max_events: cap on the :class:`FlushEvent` telemetry log (oldest
+        entries drop first); ``None`` keeps everything (simulations).
+    """
+
+    def __init__(self, clock=None, router=None, batch_window_ms=10.0,
+                 latency_budget_ms=None, deadline_margin_ms=0.0,
+                 max_events=10_000):
+        if batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        if latency_budget_ms is not None and latency_budget_ms <= 0:
+            raise ValueError("latency_budget_ms must be > 0")
+        self.clock = clock if clock is not None else SystemClock()
+        if not isinstance(self.clock, Clock):
+            raise TypeError("clock must be a repro.serving.Clock")
+        self.router = router if router is not None else LeastLatencyRouter()
+        self.batch_window_ms = float(batch_window_ms)
+        self.latency_budget_ms = latency_budget_ms
+        self.deadline_margin_ms = float(deadline_margin_ms)
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be >= 1 or None")
+        self.max_events = max_events
+        self.events = []
+        self._served = {}
+        self._results = {}
+        self._results_cond = threading.Condition()
+        # _registry_lock guards the _served dict and is only ever held
+        # briefly, so submit/routing stays non-blocking while a batch
+        # executes; _step_lock serializes flush execution (and is never
+        # taken while holding _registry_lock, only the reverse).
+        self._registry_lock = threading.Lock()
+        self._step_lock = threading.Lock()
+        self._next_id = 0
+        self._thread = None
+        self._stop_event = None
+        self._background_error = None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name, model=None, *, session=None, batch_size=32,
+                 policy=None, latency_table=None, max_batch=None):
+        """Register a serving target under ``name``.
+
+        Pass either a ready :class:`InferenceSession` or a HeatViT
+        ``model`` (a session is built around it; with no explicit
+        ``latency_table`` the session builds one from the FPGA simulator
+        for the model's own config).  ``max_batch`` caps images per
+        flush; default is the session's ``batch_size``.
+        """
+        if (model is None) == (session is None):
+            raise ValueError("pass exactly one of model= or session=")
+        if session is None:
+            session = InferenceSession(model, batch_size=batch_size,
+                                       policy=policy,
+                                       latency_table=latency_table)
+        max_batch = session.batch_size if max_batch is None else int(max_batch)
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        served = ServedModel(name=name, session=session,
+                             max_batch=max_batch)
+        with self._registry_lock:
+            if name in self._served:
+                raise ValueError(f"session {name!r} already registered")
+            self._served[name] = served
+        return served
+
+    @property
+    def sessions(self):
+        """Registered :class:`ServedModel` entries, in registration order."""
+        with self._registry_lock:
+            return list(self._served.values())
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def submit(self, images, deadline_ms=None, model=None):
+        """Accept a request; returns its ``request_id`` without blocking.
+
+        ``images``: one image ``(C, H, W)`` or a stack ``(n, C, H, W)``.
+        ``deadline_ms``: optional deadline *relative to now* (> 0).
+        ``model``: explicit session name; ``None`` lets the router pick
+        among the sessions serving this image shape.
+        """
+        sessions = self.sessions
+        if not sessions:
+            raise RuntimeError("no sessions registered")
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[None]
+        if images.ndim != 4 or images.shape[0] < 1:
+            raise ValueError(
+                "images must be (C, H, W) or (n >= 1, C, H, W); "
+                f"got shape {images.shape}")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms is relative and must be > 0")
+        if model is not None and model not in self._served:
+            raise KeyError(f"unknown session {model!r}; registered: "
+                           f"{sorted(self._served)}")
+        now = self.clock.now()
+        with self._results_cond:
+            request_id = self._next_id
+            self._next_id += 1
+        request = Request(
+            request_id=request_id, images=images, arrival_ms=now,
+            deadline_ms=(None if deadline_ms is None
+                         else now + float(deadline_ms)),
+            model=model)
+        if model is not None:
+            served = self._served[model]
+            if images.shape[1:] != served.image_shape:
+                raise ValueError(
+                    f"session {served.name!r} serves images of shape "
+                    f"{served.image_shape}; got {images.shape[1:]}")
+        else:
+            candidates = [s for s in sessions
+                          if images.shape[1:] == s.image_shape]
+            if not candidates:
+                raise ValueError(
+                    f"no session serves images of shape {images.shape[1:]}; "
+                    f"registered shapes: "
+                    f"{sorted({s.image_shape for s in sessions})}")
+            served = self.router.route(request, candidates, now)
+        served.queue.push(request)
+        return request_id
+
+    def pending_requests(self):
+        return sum(len(s.queue) for s in self.sessions)
+
+    # ------------------------------------------------------------------
+    # Batch formation and execution
+    # ------------------------------------------------------------------
+    def step(self):
+        """Fire every due flush at the current clock time.
+
+        Returns the :class:`RequestResult`\\ s completed by this call
+        (also retained for :meth:`wait_result` / :meth:`pop_result`).
+        Drive this from a loop -- the simulation harness advances a
+        virtual clock between calls; :meth:`start` runs it on a thread.
+        """
+        completed = []
+        with self._step_lock:
+            for served in self.sessions:
+                while True:
+                    # Re-read per flush: with a real clock, earlier
+                    # batches in this step consumed host time, and both
+                    # the flush decision and completed_ms must see it.
+                    now = self.clock.now()
+                    reason = self._flush_reason(served, now)
+                    if reason is None:
+                        break
+                    completed.extend(self._execute(served, now, reason))
+        return completed
+
+    def flush(self, model=None):
+        """Force-run everything pending (for ``model``, or everywhere)."""
+        completed = []
+        with self._step_lock:
+            targets = ([self._served[model]] if model is not None
+                       else self.sessions)
+            for served in targets:
+                while len(served.queue):
+                    completed.extend(self._execute(served, self.clock.now(),
+                                                   "forced"))
+        return completed
+
+    def _flush_reason(self, served, now):
+        queue = served.queue
+        pending_images = queue.pending_images
+        if not pending_images:
+            return None
+        if pending_images >= served.max_batch:
+            return "capacity"
+        batch_cost = served.estimate_ms * min(pending_images,
+                                              served.max_batch)
+        if (self.latency_budget_ms is not None
+                and batch_cost >= self.latency_budget_ms):
+            return "budget"
+        earliest = queue.earliest_deadline_ms
+        if (earliest is not None
+                and now + batch_cost + self.deadline_margin_ms >= earliest):
+            return "deadline"
+        oldest = queue.oldest_arrival_ms
+        if oldest is not None and now - oldest >= self.batch_window_ms:
+            return "window"
+        return None
+
+    def _execute(self, served, now, reason):
+        requests = served.queue.pop_batch(
+            max_images=served.max_batch,
+            latency_budget_ms=self.latency_budget_ms,
+            cost_per_image_ms=served.estimate_ms)
+        try:
+            result, slices = served.session.submit_many(
+                [r.images for r in requests])
+        except Exception:
+            # Never lose co-batched requests to one failing execution.
+            for request in requests:
+                served.queue.push(request)
+            raise
+        num_images = sum(r.num_images for r in requests)
+        self.events.append(FlushEvent(
+            time_ms=now, session=served.name, reason=reason,
+            request_ids=[r.request_id for r in requests],
+            num_images=num_images,
+            estimated_ms=served.estimate_ms * num_images,
+            carried_requests=len(served.queue)))
+        if (self.max_events is not None
+                and len(self.events) > self.max_events):
+            del self.events[:len(self.events) - self.max_events]
+        completed = []
+        for request, rows in zip(requests, slices):
+            completed.append(RequestResult(
+                request_id=request.request_id,
+                logits=result.logits[rows],
+                latency_ms=result.latency_ms[rows],
+                session=served.name,
+                arrival_ms=request.arrival_ms,
+                completed_ms=now,
+                deadline_ms=request.deadline_ms,
+                tokens_per_stage=[stage[rows] for stage in
+                                  result.tokens_per_stage]))
+        with self._results_cond:
+            for item in completed:
+                self._results[item.request_id] = item
+            self._results_cond.notify_all()
+        return completed
+
+    # ------------------------------------------------------------------
+    # Result retrieval
+    # ------------------------------------------------------------------
+    def pop_result(self, request_id):
+        """Return and forget a completed result, or ``None`` if pending."""
+        with self._results_cond:
+            return self._results.pop(request_id, None)
+
+    def wait_result(self, request_id, timeout_ms=None):
+        """Block until ``request_id`` completes (background-thread mode).
+
+        Raises ``TimeoutError`` after ``timeout_ms`` (``None`` waits
+        forever), or ``RuntimeError`` if the background stepping thread
+        died -- waiters are woken instead of hanging on a flush that can
+        never fire.  With a step-driven scheduler, something must call
+        :meth:`step` or :meth:`flush` concurrently, or this would wait
+        for a flush that never fires.
+        """
+        timeout = None if timeout_ms is None else timeout_ms / 1e3
+        with self._results_cond:
+            done = self._results_cond.wait_for(
+                lambda: (request_id in self._results
+                         or self._background_error is not None),
+                timeout=timeout)
+            if request_id in self._results:
+                return self._results.pop(request_id)
+            if self._background_error is not None:
+                raise RuntimeError(
+                    "scheduler background thread died"
+                ) from self._background_error
+            raise TimeoutError(
+                f"request {request_id} not completed in {timeout_ms} ms")
+
+    # ------------------------------------------------------------------
+    # Background driver (real-clock serving)
+    # ------------------------------------------------------------------
+    def start(self, poll_ms=1.0):
+        """Run :meth:`step` on a daemon thread every ``poll_ms``."""
+        if self._thread is not None:
+            raise RuntimeError("scheduler already started")
+        self._stop_event = threading.Event()
+        self._background_error = None
+
+        def loop():
+            while not self._stop_event.is_set():
+                try:
+                    self.step()
+                except Exception as exc:       # surface, don't hang waiters
+                    with self._results_cond:
+                        self._background_error = exc
+                        self._results_cond.notify_all()
+                    return
+                self._stop_event.wait(poll_ms / 1e3)
+
+        self._thread = threading.Thread(target=loop, daemon=True,
+                                        name="repro-serving-scheduler")
+        self._thread.start()
+
+    def stop(self, drain=True):
+        """Stop the background thread; by default run remaining requests."""
+        if self._thread is None:
+            return []
+        self._stop_event.set()
+        self._thread.join()
+        self._thread = None
+        self._stop_event = None
+        return self.flush() if drain else []

@@ -6,6 +6,7 @@ import pytest
 from repro.core import (LatencySparsityTable, confidence_loss,
                         latency_from_stage_counts, latency_sparsity_loss,
                         paper_latency_table, ratios_for_latency_budget)
+from repro.core.latency import latency_for_keep_ratios
 from repro.nn.tensor import Tensor
 
 
@@ -201,3 +202,28 @@ class TestLatencyFromStageCounts:
         np.testing.assert_allclose(
             table.latency_batch(ratios),
             [table.latency(r) for r in ratios])
+
+
+class TestLatencyForKeepRatios:
+    def test_matches_cumulative_model_latency(self):
+        table = paper_latency_table("DeiT-T")
+        # Selectors at blocks 3 and 8 with per-selector ratios 0.8, 0.7:
+        # blocks 0-2 dense, 3-7 at 0.8, 8-11 at 0.56 cumulative.
+        estimate = latency_for_keep_ratios(table, 12, [3, 8], [0.8, 0.7])
+        expected = table.model_latency([1.0] * 3 + [0.8] * 5 + [0.56] * 4)
+        assert estimate == pytest.approx(expected)
+
+    def test_no_selectors_is_dense(self):
+        table = paper_latency_table("DeiT-T")
+        assert latency_for_keep_ratios(table, 12, [], []) == pytest.approx(
+            table.model_latency([1.0] * 12))
+
+    def test_selector_before_block_zero(self):
+        table = paper_latency_table("DeiT-T")
+        estimate = latency_for_keep_ratios(table, 4, [0], [0.5])
+        assert estimate == pytest.approx(table.model_latency([0.5] * 4))
+
+    def test_ratio_count_mismatch_raises(self):
+        table = paper_latency_table("DeiT-T")
+        with pytest.raises(ValueError):
+            latency_for_keep_ratios(table, 12, [3], [0.8, 0.7])

@@ -10,7 +10,8 @@ import numpy as np
 import pytest
 
 from repro.core import HeatViT, PruningRecord
-from repro.engine import BucketedExecutor, BucketingPolicy, InferenceSession
+from repro.engine import (BucketedExecutor, BucketingPolicy,
+                          InferenceSession, SessionResult)
 
 BATCH_SIZES = [1, 3, 8, 17]
 TOLERANCE = 1e-8
@@ -94,6 +95,72 @@ class TestPolicies:
         assert_parity(model, tiny_dataset.images[:17], policy=policy)
 
 
+class TestGroupedSubmission:
+    """submit_many / run_grouped: the remainder-carrying entry points."""
+
+    def test_grouped_matches_flat_bitwise(self, tiny_backbone,
+                                          tiny_dataset):
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4})
+        images = tiny_dataset.images[:17]
+        session = InferenceSession(model, batch_size=6)
+        flat = session.submit(images)
+        for splits in [(5, 12), (1, 2, 3), (17,), (0, 9)]:
+            bounds = np.cumsum((0,) + splits)
+            groups = [images[lo:hi] for lo, hi in zip(bounds[:-1],
+                                                      bounds[1:])]
+            groups.append(images[bounds[-1]:])
+            result, slices = session.submit_many(groups)
+            np.testing.assert_array_equal(result.logits, flat.logits)
+            np.testing.assert_array_equal(result.latency_ms,
+                                          flat.latency_ms)
+            # Slices partition the batch in submission order.
+            assert slices[0].start == 0 and slices[-1].stop == 17
+            for group, rows in zip(groups, slices):
+                assert rows.stop - rows.start == group.shape[0]
+            for prev, nxt in zip(slices, slices[1:]):
+                assert prev.stop == nxt.start
+
+    def test_executor_run_grouped_slices(self, tiny_backbone,
+                                         tiny_dataset):
+        model = make_model(tiny_backbone, {1: 0.6})
+        executor = BucketedExecutor(model)
+        groups = [tiny_dataset.images[:3], tiny_dataset.images[3:3],
+                  tiny_dataset.images[3:8]]
+        result, slices = executor.run_grouped(groups)
+        assert result.logits.shape == (8, model.config.num_classes)
+        assert [s.stop - s.start for s in slices] == [3, 0, 5]
+        whole = executor.run(tiny_dataset.images[:8])
+        np.testing.assert_array_equal(result.logits, whole.logits)
+
+    def test_run_grouped_all_empty(self, tiny_backbone):
+        model = make_model(tiny_backbone, {1: 0.6})
+        executor = BucketedExecutor(model)
+        result, slices = executor.run_grouped([np.zeros((0, 3, 16, 16))])
+        assert result.logits.shape == (0, model.config.num_classes)
+        assert slices == [slice(0, 0)]
+
+    def test_submit_many_empty_list(self, tiny_backbone):
+        model = make_model(tiny_backbone, {1: 0.6})
+        session = InferenceSession(model, batch_size=8)
+        result, slices = session.submit_many([])
+        assert slices == []
+        assert result.logits.shape == (0, model.config.num_classes)
+        assert result.latency_ms.shape == (0,)
+
+    def test_grouped_record_matches_reference(self, tiny_backbone,
+                                              tiny_dataset):
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4})
+        images = tiny_dataset.images[:10]
+        ref_record = PruningRecord()
+        model.forward_pruned(images, record=ref_record)
+        session = InferenceSession(model, batch_size=4)
+        record = PruningRecord()
+        session.submit_many([images[:4], images[4:10]], record=record)
+        for engine_counts, ref_counts in zip(record.tokens_per_stage,
+                                             ref_record.tokens_per_stage):
+            np.testing.assert_array_equal(engine_counts, ref_counts)
+
+
 class TestSessionResult:
     def test_latency_and_throughput_fields(self, tiny_backbone,
                                            tiny_dataset):
@@ -122,7 +189,40 @@ class TestSessionResult:
         result = session.submit(np.zeros((0, 3, 16, 16)))
         assert result.logits.shape == (0, model.config.num_classes)
         assert result.latency_ms.shape == (0,)
+        assert result.latency_ms.dtype == np.float64
         assert result.predictions.shape == (0,)
+
+    def test_latency_field_always_well_formed(self, tiny_backbone,
+                                              tiny_dataset):
+        """latency_ms is never None: a (B,) float array for every
+        construction path, including the bare dataclass default."""
+        bare = SessionResult(logits=np.zeros((0, 4)))
+        assert isinstance(bare.latency_ms, np.ndarray)
+        assert bare.latency_ms.shape == (0,)
+        model = make_model(tiny_backbone, {})          # dense fallback
+        session = InferenceSession(model, batch_size=8)
+        result = session.submit(tiny_dataset.images[:3])
+        assert result.latency_ms.shape == (3,)
+        assert result.latency_ms.dtype == np.float64
+        assert np.all(result.latency_ms > 0)
+
+    def test_default_latency_table_is_per_config(self, tiny_backbone):
+        """With no explicit table the session builds one from the FPGA
+        simulator for ITS OWN config (not the paper's DeiT-T values)."""
+        from repro.hardware.latency_table import build_latency_table
+
+        model = make_model(tiny_backbone, {1: 0.6})
+        session = InferenceSession(model, batch_size=8)
+        expected = build_latency_table(model.config)
+        assert session.latency_table.items() == expected.items()
+        assert session.estimated_image_latency_ms > 0
+        # The estimate tracks the operating point automatically through
+        # set_keep_ratios: pruning harder must not increase it.
+        loose = session.estimated_image_latency_ms
+        model.set_keep_ratios([0.5])
+        assert session.estimated_image_latency_ms <= loose
+        model.set_keep_ratios([0.6])
+        assert session.estimated_image_latency_ms == loose
 
     def test_invalid_batch_size(self, tiny_backbone):
         model = make_model(tiny_backbone, {1: 0.6})

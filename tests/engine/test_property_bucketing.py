@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the bucket planner and the
+grouped remainder-carrying path.
+
+``plan_buckets`` invariants, over random length distributions and random
+policies: every image index appears in exactly one bucket, a bucket's
+padded length is the max of (and hence >= each of) its members' real
+lengths, and no merge the policy's ``may_merge`` would reject ever
+happens.  ``pack_groups`` -- the remainder-carrying chunker -- must
+partition every group exactly once, respect the chunk capacity, and
+preserve global submission order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import BucketingPolicy, pack_groups, plan_buckets
+
+lengths_strategy = st.lists(st.integers(2, 200), min_size=0, max_size=80)
+
+policy_strategy = st.builds(
+    BucketingPolicy,
+    allow_padding=st.booleans(),
+    pad_limit=st.integers(0, 32),
+    max_pad_fraction=st.floats(0.0, 1.0, allow_nan=False),
+    min_bucket=st.integers(1, 16),
+)
+
+
+class TestPlanBucketsProperties:
+    @given(lengths=lengths_strategy, policy=policy_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_partition_and_padding_invariants(self, lengths, policy):
+        lengths = np.asarray(lengths, dtype=int)
+        plans = plan_buckets(lengths, policy)
+        covered = [int(i) for plan in plans for i in plan.indices]
+        assert sorted(covered) == list(range(lengths.size))
+        for plan in plans:
+            np.testing.assert_array_equal(plan.lengths,
+                                          lengths[plan.indices])
+            assert plan.padded_length == int(plan.lengths.max())
+            assert np.all(plan.lengths <= plan.padded_length)
+            assert plan.padded_tokens == int(
+                (plan.padded_length - plan.lengths).sum())
+
+    @given(lengths=lengths_strategy, policy=policy_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_may_merge_never_violated(self, lengths, policy):
+        """Every shorter length sharing a bucket passed the policy check
+        with its full exact-group size (all images of one length always
+        travel together)."""
+        lengths = np.asarray(lengths, dtype=int)
+        for plan in plan_buckets(lengths, policy):
+            for member_length in np.unique(plan.lengths):
+                if member_length == plan.padded_length:
+                    continue
+                group_size = int((plan.lengths == member_length).sum())
+                assert group_size == int((lengths == member_length).sum())
+                assert policy.may_merge(plan.padded_length,
+                                        int(member_length), group_size)
+
+    @given(lengths=lengths_strategy, policy=policy_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_buckets_ordered_longest_first(self, lengths, policy):
+        plans = plan_buckets(lengths, policy)
+        padded = [plan.padded_length for plan in plans]
+        assert padded == sorted(padded, reverse=True)
+
+    @given(lengths=lengths_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_no_padding_means_exact_buckets(self, lengths):
+        policy = BucketingPolicy(allow_padding=False)
+        for plan in plan_buckets(lengths, policy):
+            assert not plan.needs_padding
+            assert plan.padded_tokens == 0
+            assert np.unique(plan.lengths).size <= 1
+
+
+class TestPackGroupsProperties:
+    @given(sizes=st.lists(st.integers(0, 40), min_size=0, max_size=30),
+           max_batch=st.one_of(st.none(), st.integers(1, 17)))
+    @settings(max_examples=200, deadline=None)
+    def test_partition_capacity_and_order(self, sizes, max_batch):
+        chunks = pack_groups(sizes, max_batch)
+        # Every row of every group appears exactly once, in order.
+        seen = {index: [] for index in range(len(sizes))}
+        flat = []
+        for chunk in chunks:
+            assert chunk                      # no empty chunks emitted
+            rows = 0
+            for index, lo, hi in chunk:
+                assert 0 <= lo < hi <= sizes[index]
+                seen[index].append((lo, hi))
+                rows += hi - lo
+                flat.append((index, lo))
+            if max_batch is not None:
+                assert rows <= max_batch
+        for index, size in enumerate(sizes):
+            pieces = seen[index]
+            assert [lo for lo, _ in pieces] == sorted(
+                lo for lo, _ in pieces)
+            covered = sorted(row for lo, hi in pieces
+                             for row in range(lo, hi))
+            assert covered == list(range(size))
+        assert flat == sorted(flat)           # global FIFO order kept
+
+    @given(sizes=st.lists(st.integers(0, 40), min_size=0, max_size=30),
+           max_batch=st.integers(1, 17))
+    @settings(max_examples=100, deadline=None)
+    def test_chunks_match_flat_slicing(self, sizes, max_batch):
+        """Chunk boundaries land exactly where ``submit`` would slice
+        the concatenation -- the bitwise-equivalence precondition for
+        carried remainders."""
+        chunks = pack_groups(sizes, max_batch)
+        total = sum(sizes)
+        expected = [min(max_batch, total - lo)
+                    for lo in range(0, total, max_batch)]
+        assert [sum(hi - lo for _, lo, hi in chunk)
+                for chunk in chunks] == expected
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            pack_groups([3], max_batch=0)
+        with pytest.raises(ValueError):
+            pack_groups([-1], max_batch=4)

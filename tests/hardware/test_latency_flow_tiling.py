@@ -19,6 +19,20 @@ class TestLatencyTable:
         lats = [table.latency(r) for r in (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)]
         assert all(a < b for a, b in zip(lats, lats[1:]))
 
+    def test_tiny_configs_monotonized(self):
+        """At very small token counts the tiling quantization can invert
+        neighbouring ratios; the builder must still return a valid
+        (non-decreasing) table for any config -- serving sessions build
+        one per served config by default."""
+        from repro.vit import ViTConfig
+
+        config = ViTConfig(name="micro", image_size=8, patch_size=4,
+                           embed_dim=24, depth=2, num_heads=3,
+                           num_classes=4)
+        table = build_latency_table(config)      # must not raise
+        lats = [table.latency(r) for r in (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)]
+        assert all(a <= b for a, b in zip(lats, lats[1:]))
+
     @pytest.mark.parametrize("model,config", [
         ("DeiT-T", DEIT_TINY), ("DeiT-S", DEIT_SMALL)])
     def test_within_50pct_of_paper_table4(self, model, config):

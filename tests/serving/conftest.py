@@ -1,0 +1,23 @@
+"""Shared serving-test fixtures: operating-point model pairs."""
+
+import numpy as np
+import pytest
+
+from repro.core import HeatViT
+
+
+@pytest.fixture()
+def mild_model(tiny_backbone):
+    """Lightly pruned operating point (higher latency, higher fidelity)."""
+    model = HeatViT(tiny_backbone, {2: 0.8}, rng=np.random.default_rng(11))
+    model.eval()
+    return model
+
+
+@pytest.fixture()
+def aggressive_model(tiny_backbone):
+    """Heavily pruned operating point (lower latency)."""
+    model = HeatViT(tiny_backbone, {1: 0.5, 2: 0.5},
+                    rng=np.random.default_rng(12))
+    model.eval()
+    return model

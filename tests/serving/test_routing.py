@@ -1,0 +1,133 @@
+"""Multi-model routing: the cost policy over per-session latency tables.
+
+Sessions get hand-built latency tables with a wide, unambiguous gap
+(40 ms/image vs 5 ms/image) so every routing decision is checkable
+against the tables by hand: the default router must pick the session
+minimizing table-estimated latency subject to the deadline, the
+fidelity router the *least pruned* session that still meets it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LatencySparsityTable
+from repro.engine import InferenceSession
+from repro.serving import (HighestFidelityRouter, LeastLatencyRouter,
+                           Scheduler, VirtualClock, request_cost_ms)
+
+# Flat tables make the per-image estimate independent of keep ratios:
+# mild costs exactly 10 ms per block (40 ms/image on the 4-block tiny
+# model), aggressive 1.25 ms per block (5 ms/image).
+MILD_TABLE = LatencySparsityTable({0.5: 10.0, 1.0: 10.0})
+FAST_TABLE = LatencySparsityTable({0.5: 1.25, 1.0: 1.25})
+
+
+@pytest.fixture()
+def scheduler(mild_model, aggressive_model, clock_and_router):
+    clock, router = clock_and_router
+    scheduler = Scheduler(clock=clock, router=router, batch_window_ms=5.0)
+    scheduler.register("mild", session=InferenceSession(
+        mild_model, batch_size=32, latency_table=MILD_TABLE))
+    scheduler.register("aggressive", session=InferenceSession(
+        aggressive_model, batch_size=32, latency_table=FAST_TABLE))
+    return scheduler
+
+
+def routed_session(scheduler, images, **submit_kwargs):
+    request_id = scheduler.submit(images, **submit_kwargs)
+    for served in scheduler.sessions:
+        if any(r.request_id == request_id for r in served.queue.snapshot()):
+            return served.name
+    raise AssertionError("request vanished")
+
+
+class TestLeastLatencyRouter:
+    @pytest.fixture()
+    def clock_and_router(self):
+        return VirtualClock(), LeastLatencyRouter()
+
+    def test_estimates_come_from_tables(self, scheduler):
+        by_name = {s.name: s for s in scheduler.sessions}
+        assert by_name["mild"].estimate_ms == pytest.approx(40.0)
+        assert by_name["aggressive"].estimate_ms == pytest.approx(5.0)
+
+    def test_best_effort_picks_global_minimum(self, scheduler,
+                                              tiny_dataset):
+        assert routed_session(scheduler,
+                              tiny_dataset.images[0]) == "aggressive"
+
+    def test_minimizes_latency_subject_to_deadline(self, scheduler,
+                                                   tiny_dataset):
+        """Acceptance (c): argmin of the table estimates over the
+        feasible set, checked against a hand computation."""
+        candidates = scheduler.sessions
+        for num_images, deadline in [(1, 100.0), (2, 11.0), (4, 30.0)]:
+            request_id = scheduler.submit(tiny_dataset.images[:num_images],
+                                          deadline_ms=deadline)
+            request = next(
+                r for s in candidates for r in s.queue.snapshot()
+                if r.request_id == request_id)
+            feasible = [s for s in candidates
+                        if request_cost_ms(s, request) <= deadline]
+            expected = min(feasible,
+                           key=lambda s: request_cost_ms(s, request))
+            chosen = next(s for s in candidates
+                          if request in s.queue.snapshot())
+            assert chosen.name == expected.name == "aggressive"
+
+    def test_infeasible_deadline_falls_back_to_fastest(self, scheduler,
+                                                       tiny_dataset):
+        # 4 images * 5 ms = 20 ms > 2 ms: nothing is feasible.
+        assert routed_session(scheduler, tiny_dataset.images[:4],
+                              deadline_ms=2.0) == "aggressive"
+
+    def test_explicit_model_overrides_router(self, scheduler,
+                                             tiny_dataset):
+        assert routed_session(scheduler, tiny_dataset.images[0],
+                              model="mild") == "mild"
+
+    def test_results_report_routing_decision(self, scheduler,
+                                             tiny_dataset):
+        scheduler.submit(tiny_dataset.images[0])
+        scheduler.submit(tiny_dataset.images[1], model="mild")
+        results = {r.request_id: r.session for r in scheduler.flush()}
+        assert results == {0: "aggressive", 1: "mild"}
+
+
+class TestHighestFidelityRouter:
+    @pytest.fixture()
+    def clock_and_router(self):
+        return VirtualClock(), HighestFidelityRouter()
+
+    def test_loose_deadline_gets_least_pruned(self, scheduler,
+                                              tiny_dataset):
+        # 40 ms <= 100 ms: the accurate operating point fits.
+        assert routed_session(scheduler, tiny_dataset.images[0],
+                              deadline_ms=100.0) == "mild"
+
+    def test_tight_deadline_degrades_to_pruned(self, scheduler,
+                                               tiny_dataset):
+        # 5 ms <= 20 ms < 40 ms: only the aggressive point fits.
+        assert routed_session(scheduler, tiny_dataset.images[0],
+                              deadline_ms=20.0) == "aggressive"
+
+    def test_impossible_deadline_falls_back_to_fastest(self, scheduler,
+                                                       tiny_dataset):
+        assert routed_session(scheduler, tiny_dataset.images[0],
+                              deadline_ms=1.0) == "aggressive"
+
+    def test_best_effort_gets_least_pruned(self, scheduler, tiny_dataset):
+        assert routed_session(scheduler,
+                              tiny_dataset.images[0]) == "mild"
+
+    def test_per_session_queues_flush_independently(self, scheduler,
+                                                    tiny_dataset):
+        clock = scheduler.clock
+        scheduler.submit(tiny_dataset.images[0], deadline_ms=100.0)  # mild
+        scheduler.submit(tiny_dataset.images[1], deadline_ms=20.0)   # aggr
+        clock.advance(5.0)                          # both windows expire
+        results = scheduler.step()
+        sessions = {r.request_id: r.session for r in results}
+        assert sessions == {0: "mild", 1: "aggressive"}
+        assert {e.session for e in scheduler.events} == {"mild",
+                                                         "aggressive"}

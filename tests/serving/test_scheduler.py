@@ -1,0 +1,469 @@
+"""Scheduler mechanics under a virtual clock: flush timing, deadline
+flushes, capacity/budget caps with remainder carry-over, forced drains,
+and the background-thread driver.  Every temporal assertion is exact --
+the clock only moves when the test advances it."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (Request, RequestQueue, Scheduler, SystemClock,
+                           VirtualClock)
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+def make_scheduler(model, clock, **kwargs):
+    scheduler = Scheduler(clock=clock, **kwargs)
+    scheduler.register("default", model)
+    return scheduler
+
+
+class TestFlushTiming:
+    def test_no_flush_before_window(self, mild_model, clock, tiny_dataset):
+        scheduler = make_scheduler(mild_model, clock, batch_window_ms=10.0)
+        scheduler.submit(tiny_dataset.images[0])
+        for _ in range(10):                      # t = 0 .. 9
+            assert scheduler.step() == []
+            clock.advance(1.0)
+        results = scheduler.step()               # t = 10: window expired
+        assert [r.request_id for r in results] == [0]
+        assert scheduler.events[-1].reason == "window"
+        assert scheduler.events[-1].time_ms == 10.0
+
+    def test_window_flush_batches_everything_pending(self, mild_model,
+                                                     clock, tiny_dataset):
+        scheduler = make_scheduler(mild_model, clock, batch_window_ms=5.0)
+        scheduler.submit(tiny_dataset.images[0:2])
+        clock.advance(3.0)
+        scheduler.submit(tiny_dataset.images[2:5])
+        assert scheduler.step() == []            # newest is only 0ms old
+        clock.advance(2.0)                       # oldest now 5ms old
+        results = scheduler.step()
+        assert sorted(r.request_id for r in results) == [0, 1]
+        assert len(scheduler.events) == 1        # ONE coalesced batch
+        assert scheduler.events[0].num_images == 5
+
+    def test_deadline_forces_early_flush(self, mild_model, clock,
+                                         tiny_dataset):
+        scheduler = make_scheduler(mild_model, clock, batch_window_ms=50.0)
+        scheduler.submit(tiny_dataset.images[0], deadline_ms=3.0)
+        done = []
+        while not done:
+            done = scheduler.step()
+            if not done:
+                clock.advance(1.0)
+        assert scheduler.events[-1].reason == "deadline"
+        assert done[0].deadline_met
+        assert done[0].completed_ms <= 3.0
+
+    def test_deadline_of_late_arrival_pulls_flush_forward(
+            self, mild_model, clock, tiny_dataset):
+        """A tight-deadline request joining a lazy queue flushes it."""
+        scheduler = make_scheduler(mild_model, clock, batch_window_ms=50.0)
+        scheduler.submit(tiny_dataset.images[0])           # best-effort
+        clock.advance(2.0)
+        scheduler.submit(tiny_dataset.images[1], deadline_ms=1.0)
+        assert scheduler.step() == []                      # not due yet
+        clock.advance(1.0)                                 # t=3 = deadline
+        results = scheduler.step()
+        assert sorted(r.request_id for r in results) == [0, 1]
+        assert scheduler.events[-1].reason == "deadline"
+
+    def test_empty_step_no_events(self, mild_model, clock):
+        scheduler = make_scheduler(mild_model, clock)
+        assert scheduler.step() == []
+        assert scheduler.events == []
+
+
+class TestCapacityAndCarry:
+    def test_capacity_flush_carries_remainder(self, mild_model, clock,
+                                              tiny_dataset):
+        scheduler = make_scheduler(mild_model, clock, batch_window_ms=10.0)
+        scheduler.sessions[0].max_batch = 4
+        for i in range(6):
+            scheduler.submit(tiny_dataset.images[i])
+        results = scheduler.step()                # t=0: full batch is due
+        assert len(results) == 4
+        event = scheduler.events[-1]
+        assert event.reason == "capacity"
+        assert event.num_images == 4
+        assert event.carried_requests == 2        # remainder carried over
+        assert scheduler.pending_requests() == 2
+        clock.advance(10.0)                       # window flush for carry
+        results = scheduler.step()
+        assert len(results) == 2
+        assert scheduler.events[-1].reason == "window"
+        assert scheduler.pending_requests() == 0
+
+    def test_carried_remainder_merges_with_next_burst(self, mild_model,
+                                                      clock, tiny_dataset):
+        scheduler = make_scheduler(mild_model, clock, batch_window_ms=10.0)
+        scheduler.sessions[0].max_batch = 4
+        for i in range(5):
+            scheduler.submit(tiny_dataset.images[i])
+        scheduler.step()                          # flush 4, carry 1
+        clock.advance(1.0)
+        for i in range(5, 8):
+            scheduler.submit(tiny_dataset.images[i])
+        results = scheduler.step()                # 1 carried + 3 new = 4
+        assert len(results) == 4
+        assert scheduler.events[-1].reason == "capacity"
+        assert scheduler.events[-1].num_images == 4
+        assert 4 in scheduler.events[-1].request_ids  # the carried one ran
+
+    def test_requests_are_atomic(self, mild_model, clock, tiny_dataset):
+        """A request's images never split across flushes."""
+        scheduler = make_scheduler(mild_model, clock, batch_window_ms=10.0)
+        scheduler.sessions[0].max_batch = 4
+        scheduler.submit(tiny_dataset.images[0:3])
+        scheduler.submit(tiny_dataset.images[3:6])
+        clock.advance(10.0)
+        results = scheduler.step()                # window due for both
+        flushes = [e for e in scheduler.events]
+        assert len(results) == 2
+        assert [e.num_images for e in flushes] == [3, 3]
+
+    def test_oversize_request_still_runs(self, mild_model, clock,
+                                         tiny_dataset):
+        scheduler = make_scheduler(mild_model, clock, batch_window_ms=2.0)
+        scheduler.sessions[0].max_batch = 4
+        scheduler.submit(tiny_dataset.images[:7])  # bigger than max_batch
+        results = scheduler.step()
+        assert len(results) == 1
+        assert results[0].logits.shape == (7, 4)
+        assert scheduler.events[-1].reason == "capacity"
+
+    def test_latency_budget_caps_batch(self, mild_model, clock,
+                                       tiny_dataset):
+        scheduler = Scheduler(clock=clock, batch_window_ms=50.0,
+                              latency_budget_ms=1.0)
+        served = scheduler.register("default", mild_model, max_batch=100)
+        per_image = served.estimate_ms
+        budget_images = int(1.0 // per_image)
+        assert budget_images >= 2                 # tiny model, cheap images
+        for i in range(budget_images + 3):
+            scheduler.submit(tiny_dataset.images[i])
+        results = scheduler.step()
+        event = scheduler.events[-1]
+        assert event.reason == "budget"
+        assert event.num_images <= budget_images
+        assert event.estimated_ms <= 1.0
+        assert event.carried_requests == (budget_images + 3
+                                          - len(results))
+
+
+class TestForcedFlushAndResults:
+    def test_flush_runs_everything_now(self, mild_model, clock,
+                                       tiny_dataset):
+        scheduler = make_scheduler(mild_model, clock, batch_window_ms=100.0)
+        ids = [scheduler.submit(tiny_dataset.images[i]) for i in range(3)]
+        assert scheduler.step() == []
+        results = scheduler.flush()
+        assert sorted(r.request_id for r in results) == ids
+        assert all(e.reason == "forced" for e in scheduler.events)
+
+    def test_flush_single_session(self, mild_model, aggressive_model,
+                                  clock, tiny_dataset):
+        scheduler = Scheduler(clock=clock, batch_window_ms=100.0)
+        scheduler.register("mild", mild_model)
+        scheduler.register("aggressive", aggressive_model)
+        scheduler.submit(tiny_dataset.images[0], model="mild")
+        scheduler.submit(tiny_dataset.images[1], model="aggressive")
+        results = scheduler.flush("mild")
+        assert [r.session for r in results] == ["mild"]
+        assert scheduler.pending_requests() == 1   # aggressive untouched
+
+    def test_pop_result(self, mild_model, clock, tiny_dataset):
+        scheduler = make_scheduler(mild_model, clock)
+        request_id = scheduler.submit(tiny_dataset.images[0])
+        assert scheduler.pop_result(request_id) is None
+        scheduler.flush()
+        result = scheduler.pop_result(request_id)
+        assert result.request_id == request_id
+        assert scheduler.pop_result(request_id) is None   # consumed
+
+    def test_wait_result_timeout(self, mild_model, clock, tiny_dataset):
+        scheduler = make_scheduler(mild_model, clock)
+        request_id = scheduler.submit(tiny_dataset.images[0])
+        with pytest.raises(TimeoutError):
+            scheduler.wait_result(request_id, timeout_ms=10.0)
+
+    def test_result_fields(self, mild_model, clock, tiny_dataset):
+        scheduler = make_scheduler(mild_model, clock, batch_window_ms=5.0)
+        clock.advance(7.0)
+        request_id = scheduler.submit(tiny_dataset.images[0:2],
+                                      deadline_ms=20.0)
+        clock.advance(5.0)
+        result, = scheduler.step()
+        assert result.request_id == request_id
+        assert result.session == "default"
+        assert result.logits.shape == (2, 4)
+        assert result.latency_ms.shape == (2,)
+        assert np.all(result.latency_ms > 0)
+        assert result.predictions.shape == (2,)
+        assert result.arrival_ms == 7.0
+        assert result.completed_ms == 12.0
+        assert result.wait_ms == 5.0
+        assert result.deadline_ms == 27.0       # stored absolute
+        assert result.deadline_met and result.overshoot_ms == 0.0
+        assert len(result.tokens_per_stage) == 1
+        assert result.tokens_per_stage[0].shape == (2,)
+
+
+class TestValidation:
+    def test_submit_requires_registration(self, clock, tiny_dataset):
+        scheduler = Scheduler(clock=clock)
+        with pytest.raises(RuntimeError):
+            scheduler.submit(tiny_dataset.images[0])
+
+    def test_register_exactly_one_source(self, mild_model, clock):
+        scheduler = Scheduler(clock=clock)
+        with pytest.raises(ValueError):
+            scheduler.register("x")
+        with pytest.raises(ValueError):
+            scheduler.register("x", mild_model,
+                               session=scheduler)   # both given
+
+    def test_register_duplicate_name(self, mild_model, clock):
+        scheduler = Scheduler(clock=clock)
+        scheduler.register("x", mild_model)
+        with pytest.raises(ValueError):
+            scheduler.register("x", mild_model)
+
+    def test_bad_images(self, mild_model, clock):
+        scheduler = make_scheduler(mild_model, clock)
+        with pytest.raises(ValueError):
+            scheduler.submit(np.zeros((0, 3, 16, 16)))
+        with pytest.raises(ValueError):
+            scheduler.submit(np.zeros((16, 16)))
+
+    def test_single_image_is_promoted(self, mild_model, clock,
+                                      tiny_dataset):
+        scheduler = make_scheduler(mild_model, clock)
+        scheduler.submit(tiny_dataset.images[0])        # (C, H, W)
+        result, = scheduler.flush()
+        assert result.logits.shape == (1, 4)
+
+    def test_bad_deadline_and_unknown_model(self, mild_model, clock,
+                                            tiny_dataset):
+        scheduler = make_scheduler(mild_model, clock)
+        with pytest.raises(ValueError):
+            scheduler.submit(tiny_dataset.images[0], deadline_ms=0.0)
+        with pytest.raises(KeyError):
+            scheduler.submit(tiny_dataset.images[0], model="nope")
+
+    def test_bad_scheduler_params(self, clock):
+        with pytest.raises(ValueError):
+            Scheduler(clock=clock, batch_window_ms=-1.0)
+        with pytest.raises(ValueError):
+            Scheduler(clock=clock, latency_budget_ms=0.0)
+        with pytest.raises(TypeError):
+            Scheduler(clock=object())
+
+    def test_bad_max_batch(self, mild_model, clock):
+        scheduler = Scheduler(clock=clock)
+        with pytest.raises(ValueError):
+            scheduler.register("x", mild_model, max_batch=0)
+
+    def test_wrong_image_shape_rejected_at_submit(self, mild_model,
+                                                  clock):
+        """Malformed images must fail fast at submit, never poison a
+        flush batch alongside well-formed requests."""
+        scheduler = make_scheduler(mild_model, clock)
+        with pytest.raises(ValueError):
+            scheduler.submit(np.zeros((3, 8, 8)))      # wrong H, W
+        with pytest.raises(ValueError):
+            scheduler.submit(np.zeros((2, 1, 16, 16)))  # wrong channels
+        assert scheduler.pending_requests() == 0
+
+    def test_failed_execution_requeues_batch(self, mild_model, clock,
+                                             tiny_dataset):
+        """An executor failure loses no co-batched requests."""
+        scheduler = make_scheduler(mild_model, clock)
+        scheduler.submit(tiny_dataset.images[0])
+        scheduler.submit(tiny_dataset.images[1])
+        session = scheduler.sessions[0].session
+        original = session.submit_many
+
+        def boom(groups, record=None):
+            raise RuntimeError("executor died")
+
+        session.submit_many = boom
+        with pytest.raises(RuntimeError):
+            scheduler.flush()
+        assert scheduler.pending_requests() == 2       # nothing lost
+        session.submit_many = original
+        assert len(scheduler.flush()) == 2
+
+    def test_router_only_sees_shape_compatible_sessions(self, mild_model,
+                                                        clock,
+                                                        tiny_dataset):
+        """With mixed image sizes registered, requests route among the
+        sessions that actually serve their shape; a shape nobody serves
+        is rejected with the registered shapes listed."""
+        from repro.core import HeatViT
+        from repro.vit import VisionTransformer, ViTConfig
+
+        small_config = ViTConfig(name="small", image_size=8, patch_size=4,
+                                 embed_dim=24, depth=2, num_heads=3,
+                                 num_classes=4)
+        small = HeatViT(VisionTransformer(small_config,
+                                          rng=np.random.default_rng(3)),
+                        {1: 0.6}, rng=np.random.default_rng(4))
+        small.eval()
+        scheduler = Scheduler(clock=clock, batch_window_ms=5.0)
+        scheduler.register("small", small)          # (3, 8, 8)
+        scheduler.register("large", mild_model)     # (3, 16, 16)
+        large_id = scheduler.submit(tiny_dataset.images[0])
+        small_id = scheduler.submit(np.zeros((3, 8, 8)))
+        results = {r.request_id: r.session for r in scheduler.flush()}
+        assert results == {large_id: "large", small_id: "small"}
+        with pytest.raises(ValueError, match="registered shapes"):
+            scheduler.submit(np.zeros((3, 32, 32)))
+
+    def test_events_log_is_bounded(self, mild_model, clock, tiny_dataset):
+        scheduler = Scheduler(clock=clock, batch_window_ms=100.0,
+                              max_events=2)
+        scheduler.register("default", mild_model)
+        for i in range(4):
+            scheduler.submit(tiny_dataset.images[i])
+            scheduler.flush()
+        assert len(scheduler.events) == 2
+        assert scheduler.events[-1].request_ids == [3]   # newest kept
+        with pytest.raises(ValueError):
+            Scheduler(clock=clock, max_events=0)
+
+    def test_estimate_tracks_operating_point(self, mild_model, clock):
+        """ServedModel.estimate_ms follows set_keep_ratios retuning
+        automatically -- no manual invalidation required."""
+        scheduler = make_scheduler(mild_model, clock)
+        served = scheduler.sessions[0]
+        before = served.estimate_ms
+        mild_model.set_keep_ratios([0.5])
+        assert served.estimate_ms <= before
+        assert served.estimate_ms == (
+            served.session.estimated_image_latency_ms)
+        mild_model.set_keep_ratios([0.8])
+        assert served.estimate_ms == before
+
+    def test_virtual_clock_monotonic(self):
+        clock = VirtualClock(start_ms=5.0)
+        assert clock.now() == 5.0
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestRequestQueue:
+    def make_request(self, request_id, arrival, deadline=None, images=1):
+        return Request(request_id=request_id,
+                       images=np.zeros((images, 3, 4, 4)),
+                       arrival_ms=arrival, deadline_ms=deadline)
+
+    def test_edf_order_with_fifo_ties(self):
+        queue = RequestQueue()
+        queue.push(self.make_request(0, arrival=0.0))              # no ddl
+        queue.push(self.make_request(1, arrival=1.0, deadline=9.0))
+        queue.push(self.make_request(2, arrival=2.0, deadline=4.0))
+        queue.push(self.make_request(3, arrival=3.0))              # no ddl
+        order = [r.request_id for r in queue.snapshot()]
+        assert order == [2, 1, 0, 3]
+        assert queue.earliest_deadline_ms == 4.0
+        assert queue.oldest_arrival_ms == 0.0
+
+    def test_pop_batch_respects_caps_but_takes_first(self):
+        queue = RequestQueue()
+        queue.push(self.make_request(0, arrival=0.0, images=5))
+        queue.push(self.make_request(1, arrival=1.0, images=5))
+        taken = queue.pop_batch(max_images=3)     # first always pops
+        assert [r.request_id for r in taken] == [0]
+        taken = queue.pop_batch(max_images=3)
+        assert [r.request_id for r in taken] == [1]
+        assert len(queue) == 0
+
+    def test_pop_batch_latency_budget(self):
+        queue = RequestQueue()
+        for i in range(4):
+            queue.push(self.make_request(i, arrival=float(i), images=2))
+        taken = queue.pop_batch(latency_budget_ms=5.0,
+                                cost_per_image_ms=1.0)
+        assert [r.request_id for r in taken] == [0, 1]   # 2 + 2 <= 5 < 6
+        assert queue.pending_images == 4
+
+    def test_push_rejects_empty(self):
+        queue = RequestQueue()
+        with pytest.raises(ValueError):
+            queue.push(self.make_request(0, arrival=0.0, images=0))
+
+
+class TestBackgroundThread:
+    def test_threaded_serving_smoke(self, mild_model, tiny_dataset):
+        """Real clock + background stepping; generous bounds, no flake."""
+        scheduler = Scheduler(clock=SystemClock(), batch_window_ms=1.0)
+        scheduler.register("default", mild_model)
+        scheduler.start(poll_ms=1.0)
+        try:
+            request_id = scheduler.submit(tiny_dataset.images[:3])
+            result = scheduler.wait_result(request_id, timeout_ms=10_000.0)
+            assert result.logits.shape == (3, 4)
+        finally:
+            scheduler.stop()
+
+    def test_stop_drains(self, mild_model, tiny_dataset):
+        scheduler = Scheduler(clock=SystemClock(), batch_window_ms=10_000.0)
+        scheduler.register("default", mild_model)
+        scheduler.start(poll_ms=1.0)
+        request_id = scheduler.submit(tiny_dataset.images[0])
+        leftovers = scheduler.stop()              # window never expired
+        assert request_id in [r.request_id for r in leftovers]
+        assert scheduler.stop() == []             # idempotent
+
+    def test_background_failure_wakes_waiters(self, mild_model,
+                                              tiny_dataset):
+        """A dying step thread surfaces its error instead of hanging
+        every wait_result caller forever."""
+        scheduler = Scheduler(clock=SystemClock(), batch_window_ms=1.0)
+        scheduler.register("default", mild_model)
+        session = scheduler.sessions[0].session
+
+        def boom(groups, record=None):
+            raise RuntimeError("executor died")
+
+        session.submit_many = boom
+        scheduler.start(poll_ms=1.0)
+        try:
+            request_id = scheduler.submit(tiny_dataset.images[0])
+            with pytest.raises(RuntimeError, match="background thread"):
+                scheduler.wait_result(request_id, timeout_ms=10_000.0)
+            assert scheduler.pending_requests() == 1   # requeued, not lost
+        finally:
+            scheduler._thread.join(timeout=5.0)
+            scheduler._thread = None
+            scheduler._stop_event = None
+
+    def test_register_after_start(self, mild_model, aggressive_model,
+                                  tiny_dataset):
+        """Late registration is safe against the stepping thread."""
+        scheduler = Scheduler(clock=SystemClock(), batch_window_ms=1.0)
+        scheduler.register("mild", mild_model)
+        scheduler.start(poll_ms=1.0)
+        try:
+            scheduler.register("aggressive", aggressive_model)
+            request_id = scheduler.submit(tiny_dataset.images[0],
+                                          model="aggressive")
+            result = scheduler.wait_result(request_id, timeout_ms=10_000.0)
+            assert result.session == "aggressive"
+        finally:
+            scheduler.stop()
+
+    def test_double_start_raises(self, mild_model):
+        scheduler = Scheduler(clock=SystemClock())
+        scheduler.register("default", mild_model)
+        scheduler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                scheduler.start()
+        finally:
+            scheduler.stop()
