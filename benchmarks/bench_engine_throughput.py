@@ -7,6 +7,11 @@ tiny matrices.  This benchmark times both paths on the same model and
 images, verifies the logits agree to within 1e-8, and reports the
 speedup.  Acceptance bar: >= 3x at batch 32 on the default config.
 
+Besides the human-readable table it writes a machine-readable
+``BENCH_engine.json`` (throughput, speedup, and the cost model's
+predicted-vs-simulator-measured batch latency error) so the perf
+trajectory is tracked across commits.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
@@ -16,6 +21,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -24,6 +30,10 @@ import numpy as np
 from repro.core import HeatViT
 from repro.data import SyntheticConfig, generate_dataset
 from repro.engine import BucketingPolicy, InferenceSession
+from repro.hardware.latency_table import (FINE_KEEP_RATIO_GRID,
+                                          build_cost_model,
+                                          cost_model_prediction_error,
+                                          simulated_model_batch_ms)
 from repro.vit import VisionTransformer, ViTConfig
 
 DEFAULT = dict(image_size=32, patch_size=8, embed_dim=48, depth=12,
@@ -47,7 +57,10 @@ def build(params, seed=0):
     data = generate_dataset(
         SyntheticConfig(image_size=params["image_size"], num_classes=8),
         params["batch"], rng)
-    return model, data.images
+    cost_model = build_cost_model(config,
+                                  keep_ratios=FINE_KEEP_RATIO_GRID,
+                                  extra_tokens=model.non_patch_slots)
+    return model, data.images, cost_model
 
 
 def time_best(fn, repeats):
@@ -73,6 +86,9 @@ def main(argv=None):
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit non-zero below this speedup "
                              "(default: 3.0 unless --tiny)")
+    parser.add_argument("--json", default="BENCH_engine.json",
+                        help="write machine-readable results here "
+                             "('' disables)")
     args = parser.parse_args(argv)
 
     params = dict(TINY if args.tiny else DEFAULT)
@@ -90,7 +106,7 @@ def main(argv=None):
         # 4-block model says nothing useful.
         min_speedup = 0.0 if args.tiny else 3.0
 
-    model, images = build(params)
+    model, images, cost_model = build(params)
     batch = params["batch"]
     policy = (BucketingPolicy(allow_padding=False) if args.no_padding
               else BucketingPolicy())
@@ -102,7 +118,8 @@ def main(argv=None):
 
     loop_time, ref = time_best(lambda: model.forward_pruned(images),
                                params["repeats"])
-    session = InferenceSession(model, batch_size=batch, policy=policy)
+    session = InferenceSession(model, batch_size=batch, policy=policy,
+                               cost_model=cost_model)
     engine_time, result = time_best(lambda: session.submit(images),
                                     params["repeats"])
 
@@ -122,6 +139,50 @@ def main(argv=None):
     print(f"buckets per stage: {buckets}   padded tokens total: {padded}")
     print(f"mean estimated accelerator latency: "
           f"{float(result.latency_ms.mean()):.3f} ms/image")
+
+    # Cost-model fidelity: the session's batch prediction vs the
+    # batch-aware FPGA simulator run directly at the operating point.
+    predicted_ms = session.estimated_batch_latency_ms(batch)
+    measured_ms = simulated_model_batch_ms(
+        model.config, batch, selector_blocks=model.selector_blocks,
+        keep_ratios=model.keep_ratios)
+    batch_error = abs(predicted_ms - measured_ms) / measured_ms
+    # Calibration fidelity over the paper's Table IV ratio range (the
+    # acceptance bound's grid); the bench grid's sub-0.5 ratios hit
+    # tile-quantization regimes on toy patch counts.
+    calibration = cost_model_prediction_error(
+        model.config, session.cost_model,
+        keep_ratios=[ratio for ratio, _ in session.cost_model.table.items()
+                     if ratio >= 0.5])
+    print(f"cost model: predicted {predicted_ms:.3f} ms vs simulator "
+          f"{measured_ms:.3f} ms for the batch "
+          f"({100 * batch_error:.1f}% error; calibration grid max "
+          f"{100 * calibration['max']:.1f}%)")
+
+    if args.json:
+        payload = {
+            "benchmark": "engine_throughput",
+            "tiny": bool(args.tiny),
+            "batch": batch,
+            "repeats": params["repeats"],
+            "loop_time_s": loop_time,
+            "engine_time_s": engine_time,
+            "loop_images_per_s": batch / loop_time,
+            "engine_images_per_s": batch / engine_time,
+            "speedup": speedup,
+            "max_logit_diff": diff,
+            "padded_tokens": padded,
+            "buckets_per_stage": buckets,
+            "predicted_batch_ms": predicted_ms,
+            "measured_sim_batch_ms": measured_ms,
+            "prediction_error": batch_error,
+            "calibration_max_error": calibration["max"],
+            "calibration_mean_error": calibration["mean"],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
 
     if diff > TOLERANCE:
         print(f"FAIL: logit mismatch {diff:.2e} > {TOLERANCE:.0e}")

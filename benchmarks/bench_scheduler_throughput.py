@@ -10,6 +10,11 @@ into bucketed batches -- verifies per-request logits agree to within
 overhead.  Acceptance bar: >= 2x at 32 single-image requests on the
 default config.
 
+Besides the human-readable table it writes a machine-readable
+``BENCH_scheduler.json`` (throughput, speedup, and the scheduler's
+predicted-vs-simulator-measured flush latency error) so the perf
+trajectory is tracked across commits.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scheduler_throughput.py
@@ -19,6 +24,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -27,6 +33,9 @@ import numpy as np
 from repro.core import HeatViT
 from repro.data import SyntheticConfig, generate_dataset
 from repro.engine import InferenceSession
+from repro.hardware.latency_table import (FINE_KEEP_RATIO_GRID,
+                                          build_cost_model,
+                                          simulated_model_batch_ms)
 from repro.serving import Scheduler, VirtualClock
 from repro.vit import VisionTransformer, ViTConfig
 
@@ -52,7 +61,10 @@ def build(params, seed=0):
     data = generate_dataset(
         SyntheticConfig(image_size=params["image_size"], num_classes=8),
         params["requests"], rng)
-    return model, data.images
+    cost_model = build_cost_model(config,
+                                  keep_ratios=FINE_KEEP_RATIO_GRID,
+                                  extra_tokens=model.non_patch_slots)
+    return model, data.images, cost_model
 
 
 def time_best(fn, repeats):
@@ -71,13 +83,15 @@ def serve_one_at_a_time(session, images):
          for i in range(images.shape[0])], axis=0)
 
 
-def serve_coalesced(model, images):
+def serve_coalesced(model, images, cost_model):
     """A burst of single-image requests through the scheduler."""
     scheduler = Scheduler(clock=VirtualClock(), batch_window_ms=10.0)
-    scheduler.register("default", model, max_batch=images.shape[0])
+    scheduler.register("default", model, max_batch=images.shape[0],
+                       cost_model=cost_model)
     ids = [scheduler.submit(images[i]) for i in range(images.shape[0])]
     results = {r.request_id: r for r in scheduler.flush()}
-    return np.concatenate([results[i].logits for i in ids], axis=0)
+    logits = np.concatenate([results[i].logits for i in ids], axis=0)
+    return logits, scheduler.events
 
 
 def main(argv=None):
@@ -91,6 +105,9 @@ def main(argv=None):
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit non-zero below this speedup "
                              "(default: 2.0 unless --tiny)")
+    parser.add_argument("--json", default="BENCH_scheduler.json",
+                        help="write machine-readable results here "
+                             "('' disables)")
     args = parser.parse_args(argv)
 
     params = dict(TINY if args.tiny else DEFAULT)
@@ -108,7 +125,7 @@ def main(argv=None):
         # 4-block model says nothing useful.
         min_speedup = 0.0 if args.tiny else 2.0
 
-    model, images = build(params)
+    model, images, cost_model = build(params)
     requests = params["requests"]
     print(f"model: {model.config.depth} blocks, "
           f"{model.config.num_tokens} tokens, selectors at "
@@ -116,11 +133,13 @@ def main(argv=None):
     print(f"{requests} single-image requests, best of "
           f"{params['repeats']} repeats\n")
 
-    session = InferenceSession(model, batch_size=requests)
+    session = InferenceSession(model, batch_size=requests,
+                               cost_model=cost_model)
     naive_time, naive = time_best(
         lambda: serve_one_at_a_time(session, images), params["repeats"])
-    sched_time, coalesced = time_best(
-        lambda: serve_coalesced(model, images), params["repeats"])
+    sched_time, (coalesced, events) = time_best(
+        lambda: serve_coalesced(model, images, cost_model),
+        params["repeats"])
 
     diff = float(np.abs(coalesced - naive).max())
     speedup = naive_time / sched_time
@@ -133,6 +152,41 @@ def main(argv=None):
     for name, seconds, throughput in rows:
         print(f"{name:<{width}}  {seconds:>10.4f}  {throughput:>10.1f}")
     print(f"\nspeedup: {speedup:.2f}x   max |logit diff|: {diff:.2e}")
+
+    # Cost-model fidelity: the scheduler's per-flush batch prediction
+    # vs the batch-aware FPGA simulator run at the operating point.
+    predicted_ms = sum(e.estimated_ms for e in events)
+    measured_ms = sum(
+        simulated_model_batch_ms(model.config, e.num_images,
+                                 selector_blocks=model.selector_blocks,
+                                 keep_ratios=model.keep_ratios)
+        for e in events)
+    flush_error = abs(predicted_ms - measured_ms) / measured_ms
+    print(f"cost model: predicted {predicted_ms:.3f} ms vs simulator "
+          f"{measured_ms:.3f} ms across {len(events)} flushes "
+          f"({100 * flush_error:.1f}% error)")
+
+    if args.json:
+        payload = {
+            "benchmark": "scheduler_throughput",
+            "tiny": bool(args.tiny),
+            "requests": requests,
+            "repeats": params["repeats"],
+            "naive_time_s": naive_time,
+            "scheduler_time_s": sched_time,
+            "naive_requests_per_s": requests / naive_time,
+            "scheduler_requests_per_s": requests / sched_time,
+            "speedup": speedup,
+            "max_logit_diff": diff,
+            "num_flushes": len(events),
+            "predicted_flush_ms": predicted_ms,
+            "measured_sim_flush_ms": measured_ms,
+            "prediction_error": flush_error,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
 
     if diff > TOLERANCE:
         print(f"FAIL: logit mismatch {diff:.2e} > {TOLERANCE:.0e}")

@@ -5,10 +5,12 @@ keep-ratio operating points of the same backbone register with one
 :class:`Scheduler`, requests arrive with mixed deadlines on a virtual
 clock, and the fidelity-first router sends loose-deadline traffic to
 the accurate model while tight deadlines degrade to the pruned one.
-Batch formation is driven by the FPGA-simulator latency tables built
-per served config (Eq. 18): a request near its deadline forces a
-flush, bursts beyond the batch cap leave a carried remainder that
-merges with the next wave.
+Batch formation is priced by a batch-aware cost model calibrated from
+the FPGA simulator (Eq. 18 marginals plus the per-batch weight-loading
+/ pipeline-fill overhead): a request near its deadline forces a flush,
+bursts beyond the batch cap leave a carried remainder that merges with
+the next wave.  Each flush prints the cost model's predicted batch
+latency next to the simulator's direct measurement of the same batch.
 
 Usage::
 
@@ -19,7 +21,9 @@ import numpy as np
 
 from repro.core import HeatViT
 from repro.data import SyntheticConfig, generate_dataset
-from repro.hardware.latency_table import build_latency_table
+from repro.hardware.latency_table import (FINE_KEEP_RATIO_GRID,
+                                          build_cost_model,
+                                          simulated_model_batch_ms)
 from repro.serving import HighestFidelityRouter, Scheduler, VirtualClock
 from repro.vit import VisionTransformer, ViTConfig
 
@@ -38,22 +42,27 @@ def main():
         model.eval()
 
     # 2. Register both under a fidelity-first router: requests get the
-    #    least-pruned session whose table-estimated latency meets their
-    #    deadline.  Latency tables come from the FPGA simulator for the
-    #    served config; a finer keep-ratio grid than the paper's Table
-    #    IV keeps the deeply-pruned stages out of the clip region.
-    grid = tuple(round(1.0 - 0.1 * i, 1) for i in range(10))
-    table = build_latency_table(config, keep_ratios=grid)
+    #    least-pruned session whose estimated batch cost meets their
+    #    deadline.  The cost model is calibrated from the FPGA
+    #    simulator for the served config (batch-size sweep -> per-batch
+    #    overhead + Eq. 18 marginals); the fine keep-ratio grid keeps
+    #    the deeply-pruned stages out of the Table IV clip region.
+    cost_model = build_cost_model(config,
+                                  keep_ratios=FINE_KEEP_RATIO_GRID,
+                                  extra_tokens=accurate.non_patch_slots)
     clock = VirtualClock()
     scheduler = Scheduler(clock=clock, router=HighestFidelityRouter(),
                           batch_window_ms=5.0)
     scheduler.register("accurate", accurate, max_batch=16,
-                       latency_table=table)
+                       cost_model=cost_model)
     scheduler.register("pruned", pruned, max_batch=16,
-                       latency_table=table)
+                       cost_model=cost_model)
+    print(f"cost model {cost_model.name!r}: batch overhead "
+          f"{cost_model.batch_overhead_ms:.3f} ms/launch")
     for served in scheduler.sessions:
         print(f"session {served.name!r}: "
-              f"{served.estimate_ms:.3f} ms/image estimated "
+              f"{served.marginal_image_ms:.3f} ms/image marginal, "
+              f"batch of 16 -> {served.batch_cost_ms(16):.3f} ms "
               f"(keep ratios {served.session.model.keep_ratios})")
 
     # 3. A scripted workload: a loose-deadline burst of small requests
@@ -62,9 +71,9 @@ def main():
     #    degrade to the pruned session to be served in time.
     data = generate_dataset(SyntheticConfig(image_size=32, num_classes=8),
                             160, rng)
-    estimate = {s.name: s.estimate_ms for s in scheduler.sessions}
-    loose = 16.0 * estimate["accurate"] + 10.0
-    tight = 12.0 * (estimate["pruned"] + estimate["accurate"]) / 2.0
+    cost = {s.name: s.batch_cost_ms for s in scheduler.sessions}
+    loose = cost["accurate"](16) + 10.0
+    tight = (cost["pruned"](12) + cost["accurate"](12)) / 2.0
     arrivals = [(0.0, data.images[i:i + 2], loose) for i in range(0, 16, 2)]
     arrivals += [(2.0 + 3.0 * i, data.images[16 + 12 * i:28 + 12 * i],
                   tight) for i in range(12)]
@@ -83,13 +92,25 @@ def main():
         if pending or scheduler.pending_requests():
             clock.advance(1.0)
 
-    # 4. What happened: flush events and per-session outcomes.
+    # 4. What happened: flush events (with the cost model's predicted
+    #    batch latency vs the simulator measuring the same batch
+    #    directly) and per-session outcomes.
+    models = {s.name: s.session.model for s in scheduler.sessions}
     print(f"\n{len(scheduler.events)} flushes on a "
-          f"{scheduler.batch_window_ms:.0f} ms window:")
+          f"{scheduler.batch_window_ms:.0f} ms window "
+          f"(predicted vs simulator-measured batch latency):")
     for event in scheduler.events:
+        model = models[event.session]
+        measured = simulated_model_batch_ms(
+            config, event.num_images,
+            selector_blocks=model.selector_blocks,
+            keep_ratios=model.keep_ratios)
+        error = 100.0 * abs(event.estimated_ms - measured) / measured
         print(f"  t={event.time_ms:5.1f} ms  {event.session:>8}  "
               f"{event.reason:>8}  {event.num_images:2d} images  "
-              f"carried {event.carried_requests}")
+              f"carried {event.carried_requests}  "
+              f"predicted {event.estimated_ms:6.3f} ms / measured "
+              f"{measured:6.3f} ms ({error:4.1f}% off)")
     for name in ("accurate", "pruned"):
         routed = [r for r in results.values() if r.session == name]
         met = sum(r.deadline_met for r in routed)

@@ -5,6 +5,7 @@ Subpackages
 ``repro.nn``        autodiff tensors, layers, optimizers (PyTorch substitute)
 ``repro.vit``       ViT backbones, analytical complexity (Table II), CKA
 ``repro.core``      the HeatViT token selector and training strategy
+``repro.cost``      unified batch-aware cost model (all batch pricing)
 ``repro.approx``    polynomial approximations of nonlinear functions
 ``repro.quant``     8-bit fixed-point quantization
 ``repro.hardware``  ZCU102 FPGA accelerator simulator + TX2 comparisons

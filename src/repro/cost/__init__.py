@@ -1,0 +1,15 @@
+"""Unified batch-aware cost model (the single batch-pricing oracle).
+
+All batch pricing in the repo flows through :class:`CostModel`: the
+engine's cost-aware bucket planner, ``InferenceSession`` batch
+estimates, the scheduler's budget/deadline flushes, and both request
+routers.  Calibrated instances come from
+:func:`repro.hardware.latency_table.build_cost_model`;
+:func:`paper_cost_model` is the degenerate zero-overhead instance built
+from the paper's measured Table IV.
+"""
+
+from repro.cost.model import (BatchCost, BatchPlan, CostModel,
+                              paper_cost_model)
+
+__all__ = ["BatchPlan", "BatchCost", "CostModel", "paper_cost_model"]

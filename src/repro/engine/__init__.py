@@ -9,13 +9,14 @@ forward instead of B single-image forwards.  Logits match the reference
 """
 
 from repro.engine.bucketing import (BucketingPolicy, BucketPlan,
-                                    group_exact, pack_groups, plan_buckets)
+                                    group_exact, pack_groups, plan_buckets,
+                                    plan_cost_ms)
 from repro.engine.executor import BucketedExecutor, EngineResult, StageStats
 from repro.engine.session import InferenceSession, SessionResult
 
 __all__ = [
-    "BucketingPolicy", "BucketPlan", "plan_buckets", "group_exact",
-    "pack_groups",
+    "BucketingPolicy", "BucketPlan", "plan_buckets", "plan_cost_ms",
+    "group_exact", "pack_groups",
     "BucketedExecutor", "EngineResult", "StageStats",
     "InferenceSession", "SessionResult",
 ]

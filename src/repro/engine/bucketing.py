@@ -11,6 +11,15 @@ This module is pure policy -- given the per-image sequence lengths it
 decides the grouping and padding; :mod:`repro.engine.executor` applies
 the plan.  Keeping it side-effect free makes the decisions unit-testable
 (``tests/engine/test_bucketing.py``).
+
+With a :class:`repro.cost.CostModel` the planner additionally merges on
+*price*: launching one more bucket costs a fixed per-bucket overhead
+(weight loading / pipeline fill), so a group whose total padding cost is
+smaller than that overhead batches into the longer bucket even when the
+pure length-gap heuristic would keep it separate.  The cost-aware plan
+is guaranteed never to price worse than the heuristic plan it replaces
+(the cheaper of the two is returned), and a zero-overhead model leaves
+the decisions exactly as the heuristic made them.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["BucketingPolicy", "BucketPlan", "plan_buckets",
-           "group_exact", "pack_groups"]
+           "plan_cost_ms", "group_exact", "pack_groups"]
 
 
 @dataclass(frozen=True)
@@ -110,24 +119,57 @@ def group_exact(lengths):
     return pairs
 
 
-def plan_buckets(lengths, policy=None):
+def plan_buckets(lengths, policy=None, cost_model=None):
     """Partition images into execution buckets.
 
     ``lengths``: per-image sequence lengths, ``(B,)``.  Returns a list of
     :class:`BucketPlan` covering every index exactly once, ordered by
     padded length descending.  With ``policy.allow_padding`` False this
     degenerates to one bucket per distinct length.
+
+    ``cost_model`` (a :class:`repro.cost.CostModel`) makes the planner
+    cost-aware: besides the heuristic length-gap merges, a group also
+    joins the current bucket when the modeled padding cost is *strictly*
+    smaller than the per-bucket launch overhead it saves.  The returned
+    plan never prices worse (per :func:`plan_cost_ms`) than the pure
+    heuristic plan; with a zero-overhead model the cost branch can never
+    fire and the decisions are identical to the heuristic's.
     """
     policy = BucketingPolicy() if policy is None else policy
     lengths = np.asarray(lengths)
     if lengths.size == 0:
         return []
+    heuristic = _plan_greedy(lengths, policy, None)
+    if cost_model is None or cost_model.is_zero_overhead:
+        # With nothing to save per launch the cost branch can never
+        # fire -- skip the second planning pass on the hot path.
+        return heuristic
+    cost_aware = _plan_greedy(lengths, policy, cost_model)
+    if (plan_cost_ms(cost_aware, cost_model)
+            < plan_cost_ms(heuristic, cost_model)):
+        return cost_aware
+    return heuristic
+
+
+def plan_cost_ms(plans, cost_model):
+    """Modeled per-block price of a bucket partition.
+
+    Every bucket pays one launch overhead and prices each member at the
+    *padded* length -- :meth:`repro.cost.CostModel.bucket_ms` summed
+    over the partition.
+    """
+    return cost_model.stage_cost_ms(
+        (plan.padded_length, plan.indices.size) for plan in plans)
+
+
+def _plan_greedy(lengths, policy, cost_model):
+    """One greedy planning pass over the descending length groups."""
     plans = []
     current_length = None
     current_members = []     # (length, indices) accepted into the bucket
     for length, indices in group_exact(lengths):
-        if (current_length is not None
-                and policy.may_merge(current_length, length, indices.size)):
+        if current_length is not None and _accept_merge(
+                policy, cost_model, current_length, length, indices.size):
             current_members.append((length, indices))
             continue
         if current_members:
@@ -137,6 +179,20 @@ def plan_buckets(lengths, policy=None):
     if current_members:
         plans.append(_finish(current_members, current_length))
     return plans
+
+
+def _accept_merge(policy, cost_model, padded_length, length, group_size):
+    if policy.may_merge(padded_length, length, group_size):
+        return True
+    if cost_model is None or not policy.allow_padding:
+        return False
+    # Cost-aware merge: joining prices every member at the padded
+    # length; standing alone opens a new bucket and pays its launch
+    # overhead.  Merge exactly when padding costs less than the saved
+    # overhead (strict, so a zero-overhead model never merges here).
+    padding_cost = group_size * (cost_model.block_ms(padded_length)
+                                 - cost_model.block_ms(length))
+    return padding_cost < cost_model.bucket_overhead_ms
 
 
 def pack_groups(group_sizes, max_batch=None):

@@ -87,11 +87,15 @@ class BucketedExecutor:
     model: the HeatViT model (callers should put it in ``eval()`` mode;
         :class:`repro.engine.InferenceSession` does so automatically).
     policy: a :class:`BucketingPolicy`; ``None`` uses the defaults.
+    cost_model: optional :class:`repro.cost.CostModel`; when given the
+        bucket planner merges on price (padding cost vs saved bucket
+        launch overhead) on top of the heuristic limits.
     """
 
-    def __init__(self, model, policy=None):
+    def __init__(self, model, policy=None, cost_model=None):
         self.model = model
         self.policy = BucketingPolicy() if policy is None else policy
+        self.cost_model = cost_model
 
     # ------------------------------------------------------------------
     def run(self, images, record=None):
@@ -187,7 +191,8 @@ class BucketedExecutor:
                                     has_package, stage_counts)
         result.tokens_per_stage.append(stage_counts)
         lengths = np.array([s.shape[0] for s in sequences])
-        plans = plan_buckets(lengths, self.policy)
+        plans = plan_buckets(lengths, self.policy,
+                             cost_model=self.cost_model)
         result.stage_stats.append(StageStats(
             num_buckets=len(plans),
             bucket_sizes=[int(p.indices.size) for p in plans],

@@ -14,6 +14,14 @@ Typical use::
     result.latency_ms        # (B,) estimated accelerator latency
     result.images_per_second # measured host throughput
 
+Batch pricing flows through the session's
+:class:`repro.cost.CostModel`: :meth:`estimated_batch_cost` /
+:meth:`estimated_batch_latency_ms` price an n-image submission
+including the per-batch overhead (the scheduler's flush and routing
+decisions consume these), and the same model drives the executor's
+cost-aware bucket merging.  By default a calibrated model is built from
+the FPGA simulator for the served config.
+
 ``submit_many`` is the grouped variant the request scheduler
 (:mod:`repro.serving`) uses: it takes a list of per-request image
 arrays -- including remainders carried over from a previous partially
@@ -22,17 +30,18 @@ filled batch -- and returns one merged result plus per-request slices.
 
 from __future__ import annotations
 
+import math
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.latency import (LatencySparsityTable,
-                                latency_for_keep_ratios,
-                                latency_from_stage_counts)
+from repro.core.latency import LatencySparsityTable
+from repro.cost import BatchPlan, CostModel
 from repro.engine.bucketing import BucketingPolicy, pack_groups
 from repro.engine.executor import BucketedExecutor
-from repro.hardware.latency_table import build_latency_table
+from repro.hardware.latency_table import build_cost_model
 from repro.nn.tensor import Tensor
 
 __all__ = ["InferenceSession", "SessionResult"]
@@ -80,50 +89,114 @@ class InferenceSession:
     policy: bucketing policy (see :class:`BucketingPolicy`); ``None``
         uses the defaults, ``BucketingPolicy(allow_padding=False)``
         disables padding merges.
-    latency_table: a :class:`LatencySparsityTable` for the per-image
-        latency estimate.  ``None`` builds one from the FPGA simulator
-        for *this model's config* via
-        :func:`repro.hardware.latency_table.build_latency_table`; pass
-        :func:`repro.core.latency.paper_latency_table` output to use the
-        paper's measured Table IV instead.
+    cost_model: a :class:`repro.cost.CostModel` pricing this session's
+        batches.  ``None`` calibrates one from the FPGA simulator for
+        *this model's config* via
+        :func:`repro.hardware.latency_table.build_cost_model`; pass
+        :func:`repro.cost.paper_cost_model` output for the paper's
+        measured Table IV as a zero-overhead instance.
+    latency_table: legacy alternative to ``cost_model`` -- a bare
+        :class:`LatencySparsityTable`, wrapped as a zero-overhead cost
+        model (exactly the old ``n * per_image`` pricing).  Mutually
+        exclusive with ``cost_model``.
     """
 
     def __init__(self, model, batch_size=32, policy=None,
-                 latency_table=None):
+                 cost_model=None, latency_table=None):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if cost_model is not None and latency_table is not None:
+            raise ValueError(
+                "pass at most one of cost_model= or latency_table=")
         self.model = model
         self.batch_size = int(batch_size)
         self.policy = BucketingPolicy() if policy is None else policy
-        self.executor = BucketedExecutor(model, self.policy)
-        if latency_table is None:
-            latency_table = build_latency_table(model.config)
-        if not isinstance(latency_table, LatencySparsityTable):
-            raise TypeError("latency_table must be a LatencySparsityTable")
-        self.latency_table = latency_table
+        if cost_model is None:
+            if latency_table is None:
+                cost_model = build_cost_model(
+                    model.config, extra_tokens=model.non_patch_slots)
+            else:
+                if not isinstance(latency_table, LatencySparsityTable):
+                    raise TypeError(
+                        "latency_table must be a LatencySparsityTable")
+                cost_model = CostModel.zero_overhead(
+                    latency_table, num_patches=model.config.num_patches,
+                    extra_tokens=model.non_patch_slots,
+                    name=f"table-{model.config.name}")
+        if not isinstance(cost_model, CostModel):
+            raise TypeError("cost_model must be a repro.cost.CostModel")
+        self.cost_model = cost_model
+        self.executor = BucketedExecutor(model, self.policy,
+                                         cost_model=cost_model)
         self._estimated_latency = None
         self._estimate_version = None
 
+    @property
+    def latency_table(self):
+        """The cost model's marginal Eq. 18 table (legacy accessor)."""
+        return self.cost_model.table
+
     # ------------------------------------------------------------------
     @property
-    def estimated_image_latency_ms(self):
-        """Table-estimated per-image latency at the configured operating
-        point (the model's target keep ratios) -- what a request router
-        can compare across sessions *before* execution.  Cached against
-        the model's ``keep_ratios_version``, so retuning through
-        ``set_keep_ratios`` invalidates automatically; only direct
-        ``selector.keep_ratio`` assignment needs an explicit
+    def marginal_image_ms(self):
+        """Marginal (per-image) whole-model cost at the configured
+        operating point (the model's target keep ratios) -- the
+        ``per_image_ms`` term of every batch priced for this session.
+        Cached against the model's ``keep_ratios_version``, so retuning
+        through ``set_keep_ratios`` invalidates automatically; only
+        direct ``selector.keep_ratio`` assignment needs an explicit
         :meth:`invalidate_estimate`.
         """
         version = getattr(self.model, "keep_ratios_version", None)
         if (self._estimated_latency is None
                 or self._estimate_version != version):
             config = self.model.config
-            self._estimated_latency = latency_for_keep_ratios(
-                self.latency_table, config.depth,
-                self.model.selector_blocks, self.model.keep_ratios)
+            self._estimated_latency = self.cost_model.image_ms(
+                config.depth, self.model.selector_blocks,
+                self.model.keep_ratios)
             self._estimate_version = version
         return self._estimated_latency
+
+    @property
+    def estimated_image_latency_ms(self):
+        """Deprecated scalar hot path: use :meth:`marginal_image_ms`
+        (the marginal term) or :meth:`estimated_batch_cost` (the full
+        batch price, overhead included) instead."""
+        warnings.warn(
+            "estimated_image_latency_ms is deprecated; use "
+            "marginal_image_ms for the per-image marginal or "
+            "estimated_batch_cost for batch pricing",
+            DeprecationWarning, stacklevel=2)
+        return self.marginal_image_ms
+
+    def estimated_batch_cost(self, num_images):
+        """Price an ``num_images``-image submission on this session.
+
+        Returns the :class:`repro.cost.BatchCost` for executing the
+        images at the configured operating point, including one
+        per-batch overhead for every ``batch_size`` executor chunk the
+        submission is chopped into.  This is what the scheduler's
+        budget/deadline flushes and the routers' feasibility math
+        consume.
+        """
+        if num_images < 0:
+            raise ValueError("num_images must be >= 0")
+        num_batches = math.ceil(num_images / self.batch_size)
+        return self.cost_model.estimate(BatchPlan(
+            num_images=int(num_images),
+            per_image_ms=self.marginal_image_ms,
+            num_batches=num_batches))
+
+    def estimated_batch_latency_ms(self, sizes):
+        """Total estimated latency (ms) of one submission.
+
+        ``sizes`` is either an image count or a sequence of per-request
+        group sizes (as passed to :meth:`submit_many`); the groups share
+        the batch overheads of the chunks they pack into.
+        """
+        num_images = (int(sizes) if np.isscalar(sizes)
+                      else int(sum(int(s) for s in sizes)))
+        return self.estimated_batch_cost(num_images).total_ms
 
     def invalidate_estimate(self):
         self._estimated_latency = None
@@ -193,9 +266,8 @@ class InferenceSession:
         stage_stats = [stats for r in chunk_results for stats in
                        r.stage_stats]
         config = self.model.config
-        latency = latency_from_stage_counts(
-            self.latency_table, config.depth, self.model.selector_blocks,
-            tokens_per_stage, config.num_patches,
+        latency = self.cost_model.image_ms_from_counts(
+            config.depth, self.model.selector_blocks, tokens_per_stage,
             extra=self.model.non_patch_slots) if num_stages else (
                 np.full(batch, self.latency_table.model_latency(
                     [1.0] * config.depth)))

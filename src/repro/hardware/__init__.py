@@ -8,8 +8,12 @@ from repro.hardware.comparison import (PlatformResult, compare_platforms,
 from repro.hardware.device import (BRAM36_BYTES, TX2_CPU, TX2_GPU, ZCU102,
                                    FPGASpec, ProcessorSpec)
 from repro.hardware.gemm import GemmShape, TiledGemmEngine
-from repro.hardware.latency_table import (PAPER_TABLE4, block_latency_ms,
-                                          build_latency_table)
+from repro.hardware.latency_table import (DEFAULT_BATCH_SIZES, PAPER_TABLE4,
+                                          block_latency_ms,
+                                          build_cost_model,
+                                          build_latency_table,
+                                          cost_model_prediction_error,
+                                          simulated_model_batch_ms)
 from repro.hardware.resources import (PAPER_TABLE3, ResourceCount,
                                       approx_gelu_unit, approx_sigmoid_unit,
                                       approx_softmax_unit, buffer_brams,
@@ -32,6 +36,8 @@ __all__ = [
     "gemm_engine_resources", "buffer_brams", "selector_control",
     "PAPER_TABLE3", "PAPER_TABLE4",
     "build_latency_table", "block_latency_ms",
+    "build_cost_model", "simulated_model_batch_ms",
+    "cost_model_prediction_error", "DEFAULT_BATCH_SIZES",
     "TokenSelectionFlow", "FlowResult",
     "TilingChoice", "search_tiling",
     "PlatformResult", "compare_platforms", "speedup_breakdown",

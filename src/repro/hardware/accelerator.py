@@ -109,59 +109,80 @@ class ViTAcceleratorSim:
     # ------------------------------------------------------------------
     # Layer schedule
     # ------------------------------------------------------------------
-    def block_gemms(self, tokens):
-        """The six Table II GEMMs of one encoder block."""
+    def block_gemms(self, tokens, batch=1):
+        """The six Table II GEMMs of one encoder block.
+
+        ``batch > 1`` models back-to-back execution of a batch on the
+        same accelerator: weight-stationary layers stack the images
+        along the row (token) dimension -- the weight tiles are loaded
+        once for the whole batch -- while the per-head attention GEMMs
+        are independent per image and multiply the group count.
+        """
         cfg = self.config
         d = cfg.head_dim
         h = cfg.num_heads
+        rows = batch * tokens
         return [
-            ("qkv", GemmShape(tokens, cfg.embed_dim, 3 * cfg.embed_dim)),
-            ("qk_t", GemmShape(tokens, d, tokens, groups=h)),
-            ("att_v", GemmShape(tokens, tokens, d, groups=h)),
-            ("proj", GemmShape(tokens, cfg.embed_dim, cfg.embed_dim)),
-            ("fc1", GemmShape(tokens, cfg.embed_dim, cfg.mlp_hidden_dim)),
-            ("fc2", GemmShape(tokens, cfg.mlp_hidden_dim, cfg.embed_dim)),
+            ("qkv", GemmShape(rows, cfg.embed_dim, 3 * cfg.embed_dim)),
+            ("qk_t", GemmShape(tokens, d, tokens, groups=batch * h)),
+            ("att_v", GemmShape(tokens, tokens, d, groups=batch * h)),
+            ("proj", GemmShape(rows, cfg.embed_dim, cfg.embed_dim)),
+            ("fc1", GemmShape(rows, cfg.embed_dim, cfg.mlp_hidden_dim)),
+            ("fc2", GemmShape(rows, cfg.mlp_hidden_dim, cfg.embed_dim)),
         ]
 
-    def selector_gemms(self, tokens):
+    def selector_gemms(self, tokens, batch=1):
         """Token-selector GEMMs (classifier + attention branch, Fig. 7)."""
         cfg = self.config
         d = cfg.head_dim
         h = cfg.num_heads
         feat = max(d // 2, 2)
+        rows = batch * tokens
         return [
-            ("sel_feature", GemmShape(tokens, d, feat, groups=h)),
-            ("sel_cls1", GemmShape(tokens, 2 * feat, feat, groups=h)),
+            ("sel_feature", GemmShape(tokens, d, feat, groups=batch * h)),
+            ("sel_cls1", GemmShape(tokens, 2 * feat, feat,
+                                   groups=batch * h)),
             ("sel_cls2", GemmShape(tokens, feat, max(feat // 2, 2),
-                                   groups=h)),
-            ("sel_cls3", GemmShape(tokens, max(feat // 2, 2), 2, groups=h)),
-            ("sel_attn", GemmShape(tokens, h, h)),
+                                   groups=batch * h)),
+            ("sel_cls3", GemmShape(tokens, max(feat // 2, 2), 2,
+                                   groups=batch * h)),
+            ("sel_attn", GemmShape(rows, h, h)),
         ]
 
     def _nonlinear_cycles(self, elements):
         return math.ceil(elements / _NONLINEAR_LANES)
 
-    def block_cycles(self, tokens, with_selector=False):
-        """FPGA cycles + CPU nanoseconds for one block (+ selector)."""
+    def block_cycles(self, tokens, with_selector=False, batch=1):
+        """FPGA cycles + CPU nanoseconds for one block (+ selector).
+
+        ``batch`` sizes the workload for a whole batch executed in one
+        launch: compute and data movement scale with the image count
+        while weight-tile loads (the pipeline-fill overhead of the
+        weight-stationary GEMMs) are paid once -- the economy of scale
+        the batch-aware cost model calibrates against.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
         cfg = self.config
         cycles = {"gemm": 0, "nonlinear": 0, "selector_flow": 0}
-        for _, shape in self.block_gemms(tokens):
+        for _, shape in self.block_gemms(tokens, batch=batch):
             cycles["gemm"] += self.engine.latency_cycles(shape)
         # Softmax over h x N x N scores, GELU over N x hidden.
         cycles["nonlinear"] += self._nonlinear_cycles(
-            cfg.num_heads * tokens * tokens)
+            batch * cfg.num_heads * tokens * tokens)
         cycles["nonlinear"] += self._nonlinear_cycles(
-            tokens * cfg.mlp_hidden_dim)
+            batch * tokens * cfg.mlp_hidden_dim)
         if with_selector:
-            for _, shape in self.selector_gemms(tokens):
+            for _, shape in self.selector_gemms(tokens, batch=batch):
                 cycles["gemm"] += self.engine.latency_cycles(shape)
             # Fig. 9 flow: exponent+sum, divide+classify, concat/average;
             # each pass is streamed one token per cycle with small fixed
-            # sequencing overhead.
-            cycles["selector_flow"] += 3 * tokens + 64
+            # sequencing overhead paid once per launch.
+            cycles["selector_flow"] += 3 * batch * tokens + 64
             cycles["nonlinear"] += self._nonlinear_cycles(
-                tokens * cfg.num_heads)       # sigmoid of attention branch
-        cpu_ns = 2 * tokens * cfg.embed_dim / _CPU_LN_ELEMENTS_PER_S * 1e9
+                batch * tokens * cfg.num_heads)  # sigmoid of attn branch
+        cpu_ns = (2 * batch * tokens * cfg.embed_dim
+                  / _CPU_LN_ELEMENTS_PER_S * 1e9)
         return cycles, cpu_ns
 
     # ------------------------------------------------------------------

@@ -4,8 +4,10 @@ Builds the request-level serving story on top of
 :mod:`repro.engine`'s bucketed batch execution:
 
 * :class:`Scheduler` -- non-blocking ``submit``, deadline-aware batch
-  formation driven by the paper's latency-sparsity table (Eq. 18),
-  remainder carry-over between bursts, multi-model routing;
+  formation priced by each session's batch-aware
+  :class:`repro.cost.CostModel` (Eq. 18 marginals + calibrated
+  per-batch overhead), remainder carry-over between bursts, multi-model
+  routing;
 * :class:`RequestQueue` -- EDF-ordered pending requests with
   capacity/budget-capped batch popping;
 * routers -- :class:`LeastLatencyRouter` (fastest session that meets

@@ -65,33 +65,40 @@ class RequestQueue:
             return min(deadlines) if deadlines else None
 
     def pop_batch(self, max_images=None, latency_budget_ms=None,
-                  cost_per_image_ms=0.0):
+                  batch_cost_ms=None):
         """Remove and return the next batch of whole requests.
 
         Requests leave in EDF order; the batch is the longest prefix
         whose total image count stays within ``max_images`` and whose
-        estimated execution cost (``cost_per_image_ms`` per image) stays
-        within ``latency_budget_ms``.  The first request is always
-        taken -- a single request bigger than either cap must still run
-        (the session chunks internally) -- so the queue always drains.
+        estimated execution cost stays within ``latency_budget_ms``.
+        ``batch_cost_ms`` prices a candidate prefix by its *total* image
+        count (the session's batch-aware
+        ``estimated_batch_cost(n).total_ms``, so the per-batch overhead
+        is paid once by the whole prefix, not per request); with a
+        zero-overhead cost model this reduces exactly to the legacy
+        per-image accumulation.  The first request is always taken -- a
+        single request bigger than either cap must still run (the
+        session chunks internally) -- so the queue always drains.
         Requests are atomic: one request's images never split across
         flushes, which keeps its logits rows contiguous in one batch.
         """
+        if latency_budget_ms is not None and batch_cost_ms is None:
+            raise ValueError(
+                "latency_budget_ms requires a batch_cost_ms pricer")
         with self._lock:
             ordered = sorted(self._requests, key=_order_key)
-            taken, images, cost = [], 0, 0.0
+            taken, images = [], 0
             for request in ordered:
-                request_cost = request.num_images * cost_per_image_ms
                 if taken:
                     if (max_images is not None
                             and images + request.num_images > max_images):
                         break
                     if (latency_budget_ms is not None
-                            and cost + request_cost > latency_budget_ms):
+                            and batch_cost_ms(images + request.num_images)
+                            > latency_budget_ms):
                         break
                 taken.append(request)
                 images += request.num_images
-                cost += request_cost
             for request in taken:
                 self._requests.remove(request)
             return taken

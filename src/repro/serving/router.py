@@ -3,16 +3,17 @@
 The scheduler serves several :class:`repro.engine.InferenceSession`\\ s
 in one process -- typically the *same* HeatViT checkpoint at different
 keep-ratio operating points (paper Table IV rows), so routing trades
-accuracy against the table-estimated latency.  A router sees each
-request once, at acceptance, together with every registered session's
-per-image latency estimate (Eq. 18/19 via
-``InferenceSession.estimated_image_latency_ms``) and the current clock.
+accuracy against estimated latency.  A router sees each request once,
+at acceptance, together with every registered session's batch-aware
+:class:`repro.cost.CostModel` pricing (via ``ServedModel.batch_cost``)
+and the current clock.
 
 Cost convention: a request's estimated execution cost on a session is
-``num_images * session.estimated_image_latency_ms`` -- the accelerator
-processes images of a batch back to back, so a request's images pay the
-per-image latency each.  A session is *feasible* for a request when
-that cost fits inside the time left to the deadline; queueing delay is
+the session cost model's batch estimate for its image count -- the
+per-batch overhead (weight loading / pipeline fill) plus each image's
+Eq. 18/19 marginal cost; with a zero-overhead model this is exactly the
+legacy per-image sum.  A session is *feasible* for a request when that
+cost fits inside the time left to the deadline; queueing delay is
 bounded separately by the scheduler's deadline-aware flush.
 """
 
@@ -23,8 +24,9 @@ __all__ = ["Router", "LeastLatencyRouter", "HighestFidelityRouter",
 
 
 def request_cost_ms(served, request):
-    """Estimated execution cost of ``request`` on a served session."""
-    return served.estimate_ms * request.num_images
+    """Estimated execution cost of ``request`` on a served session --
+    the :class:`repro.cost.CostModel` batch price of its images."""
+    return served.batch_cost_ms(request.num_images)
 
 
 class Router:

@@ -6,9 +6,10 @@ them into large bucketed batches and executes each batch on one of
 several registered :class:`repro.engine.InferenceSession`\\ s (multiple
 HeatViT variants or keep-ratio operating points in one process).
 
-Batch formation is driven by the paper's latency-sparsity table
-(Eq. 18): every session carries a per-image latency estimate at its
-configured operating point, and a flush fires for the first of
+Batch formation is priced by each session's batch-aware
+:class:`repro.cost.CostModel` (Eq. 18 marginals plus the calibrated
+per-batch overhead, via ``InferenceSession.estimated_batch_cost``), and
+a flush fires for the first of
 
 * **deadline** -- the earliest queued deadline would no longer survive
   the batch's estimated execution time (a request near its deadline
@@ -58,14 +59,28 @@ class ServedModel:
     queue: RequestQueue = field(default_factory=RequestQueue)
 
     @property
-    def estimate_ms(self):
-        """Table-estimated per-image latency at the session's configured
-        operating point -- the routing cost and the flush-timing
-        estimate share this single number.  Delegates to the session's
-        cached estimate so ``invalidate_estimate`` (after
-        ``set_keep_ratios``) reaches routing and flush decisions too.
-        """
-        return self.session.estimated_image_latency_ms
+    def cost_model(self):
+        """The session's batch-aware pricing oracle."""
+        return self.session.cost_model
+
+    @property
+    def marginal_image_ms(self):
+        """Per-image marginal cost at the session's operating point.
+        Delegates to the session's cached estimate so
+        ``invalidate_estimate`` (after ``set_keep_ratios``) reaches
+        routing and flush decisions too."""
+        return self.session.marginal_image_ms
+
+    def batch_cost(self, num_images):
+        """Price an ``num_images`` flush on this target: the session's
+        :class:`repro.cost.BatchCost` (per-batch overhead included).
+        Routing feasibility and every flush trigger share this single
+        estimate."""
+        return self.session.estimated_batch_cost(num_images)
+
+    def batch_cost_ms(self, num_images):
+        """Scalar shorthand for ``batch_cost(num_images).total_ms``."""
+        return self.batch_cost(num_images).total_ms
 
     @property
     def image_shape(self):
@@ -142,20 +157,23 @@ class Scheduler:
     # Registration
     # ------------------------------------------------------------------
     def register(self, name, model=None, *, session=None, batch_size=32,
-                 policy=None, latency_table=None, max_batch=None):
+                 policy=None, cost_model=None, latency_table=None,
+                 max_batch=None):
         """Register a serving target under ``name``.
 
         Pass either a ready :class:`InferenceSession` or a HeatViT
         ``model`` (a session is built around it; with no explicit
-        ``latency_table`` the session builds one from the FPGA simulator
-        for the model's own config).  ``max_batch`` caps images per
-        flush; default is the session's ``batch_size``.
+        ``cost_model`` / ``latency_table`` the session calibrates a
+        batch-aware cost model from the FPGA simulator for the model's
+        own config).  ``max_batch`` caps images per flush; default is
+        the session's ``batch_size``.
         """
         if (model is None) == (session is None):
             raise ValueError("pass exactly one of model= or session=")
         if session is None:
             session = InferenceSession(model, batch_size=batch_size,
                                        policy=policy,
+                                       cost_model=cost_model,
                                        latency_table=latency_table)
         max_batch = session.batch_size if max_batch is None else int(max_batch)
         if max_batch < 1:
@@ -274,8 +292,8 @@ class Scheduler:
             return None
         if pending_images >= served.max_batch:
             return "capacity"
-        batch_cost = served.estimate_ms * min(pending_images,
-                                              served.max_batch)
+        batch_cost = served.batch_cost_ms(min(pending_images,
+                                              served.max_batch))
         if (self.latency_budget_ms is not None
                 and batch_cost >= self.latency_budget_ms):
             return "budget"
@@ -292,7 +310,7 @@ class Scheduler:
         requests = served.queue.pop_batch(
             max_images=served.max_batch,
             latency_budget_ms=self.latency_budget_ms,
-            cost_per_image_ms=served.estimate_ms)
+            batch_cost_ms=served.batch_cost_ms)
         try:
             result, slices = served.session.submit_many(
                 [r.images for r in requests])
@@ -306,7 +324,7 @@ class Scheduler:
             time_ms=now, session=served.name, reason=reason,
             request_ids=[r.request_id for r in requests],
             num_images=num_images,
-            estimated_ms=served.estimate_ms * num_images,
+            estimated_ms=served.batch_cost_ms(num_images),
             carried_requests=len(served.queue)))
         if (self.max_events is not None
                 and len(self.events) > self.max_events):

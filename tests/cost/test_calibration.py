@@ -1,0 +1,97 @@
+"""Calibration smoke: the simulator-fitted cost model predicts the
+batch-aware FPGA simulator within the acceptance bound.
+
+``build_cost_model`` sweeps the simulator over batch sizes and fits
+``latency(B) = overhead + B * marginal`` per keep ratio; these tests
+build it for the tiny test config and assert the fit's prediction error
+stays within 10% of directly simulated batch latency across batch sizes
+1..64 (the ISSUE acceptance bound), that the fitted overheads are real
+(positive: weight loads amortize), and that the fitted marginal table
+keeps the Eq. 18 monotonicity contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.latency_table import (DEFAULT_BATCH_SIZES,
+                                          block_latency_ms,
+                                          build_cost_model,
+                                          build_latency_table,
+                                          cost_model_prediction_error,
+                                          simulated_model_batch_ms)
+
+
+@pytest.fixture(scope="module")
+def cost_model(tiny_config):
+    return build_cost_model(tiny_config)
+
+
+class TestCalibrationSmoke:
+    def test_prediction_error_within_10_percent(self, tiny_config,
+                                                cost_model):
+        """Acceptance bound: within 10% across batch sizes 1-64."""
+        errors = cost_model_prediction_error(
+            tiny_config, cost_model, batch_sizes=range(1, 65))
+        assert errors["max"] <= 0.10
+        assert errors["mean"] <= 0.02
+
+    def test_whole_model_batch_prediction(self, tiny_config, cost_model):
+        """depth x per-bucket overhead + B x Eq. 19 marginal tracks the
+        directly simulated whole-model batch latency."""
+        selector_blocks, keep_ratios = [2], [0.8]
+        per_image = cost_model.image_ms(tiny_config.depth,
+                                        selector_blocks, keep_ratios)
+        for batch in (1, 4, 16, 64):
+            predicted = (cost_model.batch_overhead_ms
+                         + batch * per_image)
+            measured = simulated_model_batch_ms(
+                tiny_config, batch, selector_blocks=selector_blocks,
+                keep_ratios=keep_ratios)
+            assert predicted == pytest.approx(measured, rel=0.10)
+
+    def test_overheads_are_positive_and_consistent(self, tiny_config,
+                                                   cost_model):
+        """Weight loading / pipeline fill really amortizes: a nonzero
+        per-launch intercept, scaled by depth for the whole model."""
+        assert cost_model.bucket_overhead_ms > 0
+        assert cost_model.batch_overhead_ms == pytest.approx(
+            tiny_config.depth * cost_model.bucket_overhead_ms)
+
+    def test_marginal_below_single_image_latency(self, tiny_config,
+                                                 cost_model):
+        """The fitted slope strips the per-launch overhead, so it sits
+        below the B=1 measurement (which pays overhead + marginal) --
+        the economy of scale the old per-image table could not express."""
+        single = build_latency_table(tiny_config)
+        for ratio, marginal in cost_model.table.items():
+            assert marginal < single.latency(ratio)
+            assert marginal > 0
+
+    def test_table_monotone_in_keep_ratio(self, cost_model):
+        latencies = [lat for _, lat in cost_model.table.items()]
+        assert latencies == sorted(latencies)
+
+    def test_batch_one_matches_legacy_block_latency(self, tiny_config):
+        """batch=1 is the paper's Table IV setting: the batch-aware
+        simulator collapses to the per-image numbers exactly."""
+        for ratio in (0.5, 0.8, 1.0):
+            assert block_latency_ms(tiny_config, ratio, batch=1) == (
+                block_latency_ms(tiny_config, ratio))
+
+    def test_build_cost_model_validation(self, tiny_config):
+        with pytest.raises(ValueError):
+            build_cost_model(tiny_config, batch_sizes=(4,))
+        with pytest.raises(ValueError):
+            build_cost_model(tiny_config, batch_sizes=(0, 8))
+        with pytest.raises(ValueError):
+            block_latency_ms(tiny_config, 1.0, batch=0)
+
+    def test_simulated_model_batch_validation(self, tiny_config):
+        with pytest.raises(ValueError):
+            simulated_model_batch_ms(tiny_config, 4, selector_blocks=[1],
+                                     keep_ratios=[])
+
+    def test_default_sweep_is_sane(self):
+        assert DEFAULT_BATCH_SIZES[0] == 1
+        assert DEFAULT_BATCH_SIZES[-1] == 64
+        assert list(DEFAULT_BATCH_SIZES) == sorted(DEFAULT_BATCH_SIZES)

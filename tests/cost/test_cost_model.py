@@ -1,0 +1,155 @@
+"""Unit tests for the unified batch-aware cost model.
+
+The one invariant everything downstream leans on: a ZERO-overhead
+instance prices exactly like the legacy inline arithmetic
+(``n * per_image``), so scheduler flushes, router feasibility, and
+bucket plans are bit-identical to the pre-CostModel code under it;
+overheads only ever ADD (and amortize with batch size).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.latency import (LatencySparsityTable,
+                                latency_for_keep_ratios,
+                                latency_from_stage_counts,
+                                paper_latency_table)
+from repro.cost import BatchCost, BatchPlan, CostModel, paper_cost_model
+
+TABLE = LatencySparsityTable({0.5: 0.636, 0.7: 0.764, 1.0: 1.034})
+
+
+def make_model(batch_overhead=0.0, bucket_overhead=0.0, **kwargs):
+    return CostModel(TABLE, num_patches=196,
+                     batch_overhead_ms=batch_overhead,
+                     bucket_overhead_ms=bucket_overhead, **kwargs)
+
+
+class TestBatchPlanAndCost:
+    def test_batch_cost_terms(self):
+        cost = BatchCost(overhead_ms=2.0, marginal_ms=6.0, num_images=3)
+        assert cost.total_ms == 8.0
+        assert cost.amortized_image_ms == pytest.approx(8.0 / 3)
+        empty = BatchCost(overhead_ms=0.0, marginal_ms=0.0, num_images=0)
+        assert empty.total_ms == 0.0
+        assert empty.amortized_image_ms == 0.0
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            BatchPlan(num_images=-1, per_image_ms=1.0)
+        with pytest.raises(ValueError):
+            BatchPlan(num_images=1, per_image_ms=-1.0)
+        with pytest.raises(ValueError):
+            BatchPlan(num_images=1, per_image_ms=1.0, num_batches=0)
+        with pytest.raises(ValueError):
+            BatchPlan(num_images=1, per_image_ms=1.0, num_batches=-1)
+        BatchPlan(num_images=0, per_image_ms=1.0, num_batches=0)  # ok
+
+
+class TestCostModelValidation:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(TypeError):
+            CostModel({0.5: 1.0}, num_patches=196)
+        with pytest.raises(ValueError):
+            CostModel(TABLE, num_patches=0)
+        with pytest.raises(ValueError):
+            CostModel(TABLE, num_patches=196, extra_tokens=-1)
+        with pytest.raises(ValueError):
+            CostModel(TABLE, num_patches=196, batch_overhead_ms=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(TABLE, num_patches=196, bucket_overhead_ms=-0.1)
+        with pytest.raises(TypeError):
+            make_model().estimate("not a plan")
+        with pytest.raises(ValueError):
+            make_model().bucket_ms(10, -1)
+
+    def test_repr_mentions_overheads(self):
+        text = repr(make_model(batch_overhead=1.5, bucket_overhead=0.25))
+        assert "1.5" in text and "0.25" in text
+
+
+class TestZeroOverheadEquivalence:
+    """The degenerate instance reproduces the legacy numbers exactly."""
+
+    def test_estimate_is_n_times_per_image(self):
+        model = CostModel.zero_overhead(TABLE, num_patches=196)
+        assert model.is_zero_overhead
+        for n in (0, 1, 7, 64):
+            cost = model.estimate(BatchPlan(
+                num_images=n, per_image_ms=1.034,
+                num_batches=max(1, (n + 7) // 8) if n else 0))
+            assert cost.total_ms == n * 1.034       # exact, not approx
+            assert cost.overhead_ms == 0.0
+
+    def test_image_ms_delegates_to_eq19(self):
+        model = make_model()
+        expected = latency_for_keep_ratios(TABLE, depth=12,
+                                           selector_blocks=[3, 6, 9],
+                                           keep_ratios=[0.7, 0.7, 0.7])
+        assert model.image_ms(12, [3, 6, 9], [0.7, 0.7, 0.7]) == expected
+
+    def test_image_ms_from_counts_delegates_to_eq18(self):
+        model = make_model()
+        counts = [np.array([150.0, 99.0]), np.array([80.0, 50.0])]
+        expected = latency_from_stage_counts(
+            TABLE, depth=12, selector_blocks=[3, 6],
+            tokens_per_stage=counts, num_patches=196, extra=1)
+        np.testing.assert_array_equal(
+            model.image_ms_from_counts(12, [3, 6], counts), expected)
+
+    def test_paper_cost_model_matches_table4(self):
+        model = paper_cost_model("DeiT-T")
+        assert model.is_zero_overhead
+        assert model.num_patches == 196
+        assert model.table.items() == paper_latency_table("DeiT-T").items()
+        with pytest.raises(KeyError):
+            paper_cost_model("ViT-H")
+
+
+class TestOverheadPricing:
+    def test_overhead_paid_per_batch(self):
+        model = make_model(batch_overhead=5.0)
+        one = model.estimate(BatchPlan(4, 1.0, num_batches=1))
+        two = model.estimate(BatchPlan(4, 1.0, num_batches=2))
+        assert one.total_ms == pytest.approx(9.0)
+        assert two.total_ms == pytest.approx(14.0)
+
+    def test_batch_ms_shorthand(self):
+        model = make_model(batch_overhead=5.0)
+        assert model.batch_ms(4, 1.0) == pytest.approx(9.0)
+        assert model.batch_ms(0, 1.0) == 0.0
+
+    def test_amortization_improves_with_batch(self):
+        model = make_model(batch_overhead=5.0)
+        costs = [model.estimate(BatchPlan(n, 1.0)).amortized_image_ms
+                 for n in (1, 2, 8, 64)]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[-1] == pytest.approx(1.0 + 5.0 / 64)
+
+    def test_empty_batch_costs_nothing(self):
+        model = make_model(batch_overhead=5.0, bucket_overhead=1.0)
+        assert model.estimate(BatchPlan(0, 1.0, num_batches=0)).total_ms == 0
+        assert model.bucket_ms(100, 0) == 0.0
+
+
+class TestBucketPricing:
+    def test_block_ms_maps_lengths_to_ratios(self):
+        model = make_model()
+        # 197 tokens = CLS + all 196 patches -> ratio 1.0.
+        assert model.block_ms(197) == TABLE.latency(1.0)
+        assert model.block_ms(99) == TABLE.latency(98 / 196)
+        # Below the table floor: clipped, like every Eq. 18 lookup.
+        assert model.block_ms(3) == TABLE.latency(0.5)
+
+    def test_bucket_ms_prices_padded_length(self):
+        model = make_model(bucket_overhead=0.5)
+        padded = model.bucket_ms(197, 3)
+        assert padded == pytest.approx(0.5 + 3 * TABLE.latency(1.0))
+        # Members are priced at the PADDED length, not their own.
+        assert model.bucket_ms(197, 3) > model.bucket_ms(99, 3)
+
+    def test_stage_cost_sums_buckets(self):
+        model = make_model(bucket_overhead=0.5)
+        total = model.stage_cost_ms([(197, 2), (99, 4)])
+        assert total == pytest.approx(model.bucket_ms(197, 2)
+                                      + model.bucket_ms(99, 4))

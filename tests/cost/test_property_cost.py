@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) for the batch-aware cost model.
+
+The acceptance-criteria invariants, over random tables, overheads, and
+workloads: batch cost is monotone in batch size and padded length, a
+zero-overhead instance reproduces the legacy ``n * per_image`` numbers
+*exactly* (bit-equal, not approximately), and the cost-aware bucket
+planner never produces a plan pricing worse than the pure length-gap
+heuristic it replaces (and produces the identical plan under zero
+overhead).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import LatencySparsityTable
+from repro.cost import BatchPlan, CostModel
+from repro.engine import BucketingPolicy, plan_buckets, plan_cost_ms
+
+RATIO_GRID = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@st.composite
+def cost_models(draw, zero_overhead=False):
+    steps = draw(st.lists(
+        st.floats(0.0, 2.0, allow_nan=False, allow_infinity=False),
+        min_size=len(RATIO_GRID), max_size=len(RATIO_GRID)))
+    base = draw(st.floats(0.01, 5.0, allow_nan=False))
+    latencies = np.cumsum([base] + steps[1:])
+    table = LatencySparsityTable(dict(zip(RATIO_GRID, latencies)))
+    if zero_overhead:
+        return CostModel.zero_overhead(table, num_patches=196)
+    return CostModel(
+        table, num_patches=196,
+        batch_overhead_ms=draw(st.floats(0.0, 20.0, allow_nan=False)),
+        bucket_overhead_ms=draw(st.floats(0.0, 5.0, allow_nan=False)))
+
+
+lengths_strategy = st.lists(st.integers(2, 200), min_size=0, max_size=60)
+
+policy_strategy = st.builds(
+    BucketingPolicy,
+    allow_padding=st.booleans(),
+    pad_limit=st.integers(0, 32),
+    max_pad_fraction=st.floats(0.0, 1.0, allow_nan=False),
+    min_bucket=st.integers(1, 16),
+)
+
+
+class TestMonotonicity:
+    @given(model=cost_models(),
+           per_image=st.floats(0.0, 10.0, allow_nan=False),
+           sizes=st.lists(st.integers(0, 256), min_size=2, max_size=20),
+           chunk=st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_batch_cost_monotone_in_batch_size(self, model, per_image,
+                                               sizes, chunk):
+        """More images never price cheaper (chunk overheads included)."""
+        costs = []
+        for n in sorted(sizes):
+            batches = -(-n // chunk)           # ceil; 0 batches for n=0
+            costs.append(model.estimate(BatchPlan(
+                num_images=n, per_image_ms=per_image,
+                num_batches=batches)).total_ms)
+        assert all(a <= b + 1e-12 for a, b in zip(costs, costs[1:]))
+
+    @given(model=cost_models(),
+           lengths=st.lists(st.integers(1, 197), min_size=2, max_size=20),
+           count=st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_bucket_cost_monotone_in_padded_length(self, model, lengths,
+                                                   count):
+        """Padding a bucket longer never prices cheaper."""
+        costs = [model.bucket_ms(length, count)
+                 for length in sorted(lengths)]
+        assert all(a <= b + 1e-12 for a, b in zip(costs, costs[1:]))
+
+
+class TestZeroOverheadExactness:
+    @given(model=cost_models(zero_overhead=True),
+           per_image=st.floats(0.0, 50.0, allow_nan=False),
+           n=st.integers(0, 512), batches=st.integers(1, 16))
+    @settings(max_examples=300, deadline=None)
+    def test_reproduces_legacy_arithmetic_exactly(self, model, per_image,
+                                                  n, batches):
+        """total == n * per_image bit-for-bit: the refactor cannot have
+        changed any decision made under the old inline pricing."""
+        cost = model.estimate(BatchPlan(
+            num_images=n, per_image_ms=per_image,
+            num_batches=batches if n else 0))
+        assert cost.total_ms == per_image * n
+        assert cost.overhead_ms == 0.0
+
+
+class TestCostAwarePlanning:
+    @given(model=cost_models(), lengths=lengths_strategy,
+           policy=policy_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_never_prices_worse_than_heuristic(self, model, lengths,
+                                               policy):
+        lengths = np.asarray(lengths, dtype=int)
+        heuristic = plan_buckets(lengths, policy)
+        cost_aware = plan_buckets(lengths, policy, cost_model=model)
+        if lengths.size == 0:
+            assert cost_aware == []
+            return
+        assert (plan_cost_ms(cost_aware, model)
+                <= plan_cost_ms(heuristic, model) + 1e-9)
+        covered = sorted(int(i) for plan in cost_aware
+                         for i in plan.indices)
+        assert covered == list(range(lengths.size))
+
+    @given(model=cost_models(zero_overhead=True),
+           lengths=lengths_strategy, policy=policy_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_zero_overhead_keeps_heuristic_decisions(self, model, lengths,
+                                                     policy):
+        """With nothing to save per bucket, the cost branch can never
+        fire: the plan is IDENTICAL to the pure length-gap one."""
+        lengths = np.asarray(lengths, dtype=int)
+        heuristic = plan_buckets(lengths, policy)
+        cost_aware = plan_buckets(lengths, policy, cost_model=model)
+        assert len(cost_aware) == len(heuristic)
+        for ours, theirs in zip(cost_aware, heuristic):
+            assert ours.padded_length == theirs.padded_length
+            np.testing.assert_array_equal(ours.indices, theirs.indices)
+
+    @given(lengths=lengths_strategy, policy=policy_strategy,
+           model=cost_models())
+    @settings(max_examples=100, deadline=None)
+    def test_no_padding_policy_is_a_hard_constraint(self, lengths, policy,
+                                                    model):
+        """allow_padding=False survives any overhead: cost merges are an
+        optimization, not a way around the policy's hard switch."""
+        policy = BucketingPolicy(allow_padding=False,
+                                 pad_limit=policy.pad_limit,
+                                 max_pad_fraction=policy.max_pad_fraction,
+                                 min_bucket=policy.min_bucket)
+        for plan in plan_buckets(lengths, policy, cost_model=model):
+            assert not plan.needs_padding

@@ -4,12 +4,57 @@ import numpy as np
 import pytest
 
 from repro.core import HeatViT, PruningRecord
+from repro.core.latency import LatencySparsityTable
+from repro.cost import CostModel
 from repro.engine import (BucketedExecutor, BucketingPolicy, group_exact,
-                          plan_buckets)
+                          plan_buckets, plan_cost_ms)
 
 
 def covered_indices(plans):
     return sorted(int(i) for plan in plans for i in plan.indices)
+
+
+def flat_cost_model(bucket_overhead_ms, per_block_ms=1.0):
+    """Length-independent block cost: padding is free, only bucket
+    launches cost -- the cleanest lens on the merge rule."""
+    table = LatencySparsityTable({0.5: per_block_ms, 1.0: per_block_ms})
+    return CostModel(table, num_patches=196,
+                     bucket_overhead_ms=bucket_overhead_ms,
+                     batch_overhead_ms=bucket_overhead_ms)
+
+
+class TestCostAwarePlanBuckets:
+    def test_overhead_merges_what_the_heuristic_keeps_apart(self):
+        """Two big far-apart groups: the length-gap heuristic refuses
+        the merge (pad 10 > pad_limit), but with free padding and a
+        real bucket overhead one launch is strictly cheaper."""
+        lengths = [20] * 8 + [10] * 8
+        policy = BucketingPolicy(pad_limit=4)
+        assert len(plan_buckets(lengths, policy)) == 2
+        plans = plan_buckets(lengths, policy,
+                             cost_model=flat_cost_model(1.0))
+        assert len(plans) == 1
+        assert plans[0].padded_length == 20
+        assert covered_indices(plans) == list(range(16))
+
+    def test_expensive_padding_keeps_buckets_apart(self):
+        """Same shape, but padding costs more than the saved launch:
+        the cost branch must not fire and the heuristic plan stands."""
+        steep = CostModel(
+            LatencySparsityTable({0.5: 1.0, 1.0: 100.0}), num_patches=20,
+            bucket_overhead_ms=0.01, batch_overhead_ms=0.01)
+        lengths = [20] * 8 + [10] * 8
+        policy = BucketingPolicy(pad_limit=4)
+        plans = plan_buckets(lengths, policy, cost_model=steep)
+        assert [p.padded_length for p in plans] == [20, 10]
+
+    def test_plan_cost_ms_prices_partition(self):
+        model = flat_cost_model(2.0, per_block_ms=3.0)
+        plans = plan_buckets([20] * 4 + [10] * 4,
+                             BucketingPolicy(allow_padding=False))
+        # Two buckets of 4: each pays one launch + 4 members.
+        assert plan_cost_ms(plans, model) == pytest.approx(
+            2 * (2.0 + 4 * 3.0))
 
 
 class TestGroupExact:

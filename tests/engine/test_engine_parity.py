@@ -72,6 +72,26 @@ class TestLogitsParity:
                            seed=seed)
         assert_parity(model, tiny_dataset.images[:13])
 
+    def test_cost_driven_merging_preserves_parity(self, tiny_backbone,
+                                                  tiny_dataset):
+        """A huge bucket overhead makes the cost-aware planner merge
+        every stage into one maximally padded bucket; padded keys are
+        masked, so logits must still match the reference loop."""
+        from repro.core.latency import LatencySparsityTable
+        from repro.cost import CostModel
+
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4})
+        greedy = CostModel(
+            LatencySparsityTable({0.5: 1e-6, 1.0: 1e-6}),
+            num_patches=model.config.num_patches,
+            batch_overhead_ms=1e6, bucket_overhead_ms=1e6)
+        ref = model.forward_pruned(tiny_dataset.images[:16])
+        session = InferenceSession(model, batch_size=16, cost_model=greedy)
+        result = session.submit(tiny_dataset.images[:16])
+        np.testing.assert_allclose(result.logits, ref.data, rtol=0,
+                                   atol=TOLERANCE)
+        assert all(s.num_buckets == 1 for s in result.stage_stats)
+
     def test_chunking_matches_one_shot(self, tiny_backbone, tiny_dataset):
         """batch_size smaller than the submission exercises chunk merge."""
         model = make_model(tiny_backbone, {1: 0.6, 3: 0.4})
@@ -206,23 +226,73 @@ class TestSessionResult:
         assert result.latency_ms.dtype == np.float64
         assert np.all(result.latency_ms > 0)
 
-    def test_default_latency_table_is_per_config(self, tiny_backbone):
-        """With no explicit table the session builds one from the FPGA
-        simulator for ITS OWN config (not the paper's DeiT-T values)."""
-        from repro.hardware.latency_table import build_latency_table
+    def test_default_cost_model_is_per_config(self, tiny_backbone):
+        """With no explicit cost model the session calibrates one from
+        the FPGA simulator for ITS OWN config (not the paper's DeiT-T
+        values), batch overhead included."""
+        from repro.hardware.latency_table import build_cost_model
 
         model = make_model(tiny_backbone, {1: 0.6})
         session = InferenceSession(model, batch_size=8)
-        expected = build_latency_table(model.config)
-        assert session.latency_table.items() == expected.items()
-        assert session.estimated_image_latency_ms > 0
+        expected = build_cost_model(model.config)
+        assert session.cost_model.table.items() == expected.table.items()
+        assert session.latency_table.items() == expected.table.items()
+        assert session.cost_model.batch_overhead_ms == (
+            expected.batch_overhead_ms)
+        assert session.cost_model.batch_overhead_ms > 0
+        # Length -> keep-ratio conversion must use the model's real
+        # non-patch slot count (CLS + package), not a bare CLS default.
+        assert session.cost_model.extra_tokens == model.non_patch_slots
+        assert session.marginal_image_ms > 0
         # The estimate tracks the operating point automatically through
         # set_keep_ratios: pruning harder must not increase it.
-        loose = session.estimated_image_latency_ms
+        loose = session.marginal_image_ms
         model.set_keep_ratios([0.5])
-        assert session.estimated_image_latency_ms <= loose
+        assert session.marginal_image_ms <= loose
         model.set_keep_ratios([0.6])
-        assert session.estimated_image_latency_ms == loose
+        assert session.marginal_image_ms == loose
+
+    def test_estimated_image_latency_ms_deprecated(self, tiny_backbone):
+        """The scalar hot path still answers (the marginal) but warns."""
+        model = make_model(tiny_backbone, {1: 0.6})
+        session = InferenceSession(model, batch_size=8)
+        with pytest.deprecated_call():
+            value = session.estimated_image_latency_ms
+        assert value == session.marginal_image_ms
+
+    def test_estimated_batch_latency_includes_chunk_overheads(
+            self, tiny_backbone):
+        """Batch pricing pays one per-batch overhead per executor chunk
+        and accepts either an image count or per-request group sizes."""
+        from repro.cost import CostModel
+        from repro.core.latency import LatencySparsityTable
+
+        table = LatencySparsityTable({0.5: 1.0, 1.0: 1.0})
+        cost_model = CostModel(table, num_patches=16,
+                               batch_overhead_ms=3.0,
+                               bucket_overhead_ms=0.5)
+        model = make_model(tiny_backbone, {1: 0.6})
+        session = InferenceSession(model, batch_size=8,
+                                   cost_model=cost_model)
+        per_image = session.marginal_image_ms
+        cost = session.estimated_batch_cost(12)     # 2 chunks of <= 8
+        assert cost.overhead_ms == pytest.approx(2 * 3.0)
+        assert cost.marginal_ms == pytest.approx(12 * per_image)
+        assert session.estimated_batch_latency_ms(12) == pytest.approx(
+            cost.total_ms)
+        assert session.estimated_batch_latency_ms([5, 7]) == pytest.approx(
+            cost.total_ms)
+        assert session.estimated_batch_cost(0).total_ms == 0.0
+
+    def test_cost_model_and_table_are_exclusive(self, tiny_backbone):
+        from repro.cost import paper_cost_model
+
+        model = make_model(tiny_backbone, {1: 0.6})
+        with pytest.raises(ValueError):
+            InferenceSession(model, cost_model=paper_cost_model(),
+                             latency_table=paper_cost_model().table)
+        with pytest.raises(TypeError):
+            InferenceSession(model, cost_model=object())
 
     def test_invalid_batch_size(self, tiny_backbone):
         model = make_model(tiny_backbone, {1: 0.6})

@@ -48,8 +48,12 @@ class TestLeastLatencyRouter:
 
     def test_estimates_come_from_tables(self, scheduler):
         by_name = {s.name: s for s in scheduler.sessions}
-        assert by_name["mild"].estimate_ms == pytest.approx(40.0)
-        assert by_name["aggressive"].estimate_ms == pytest.approx(5.0)
+        assert by_name["mild"].marginal_image_ms == pytest.approx(40.0)
+        assert by_name["aggressive"].marginal_image_ms == pytest.approx(5.0)
+        # Bare latency tables wrap as ZERO-overhead cost models, so the
+        # batch price is exactly the legacy per-image sum.
+        assert by_name["mild"].cost_model.is_zero_overhead
+        assert by_name["mild"].batch_cost_ms(3) == pytest.approx(120.0)
 
     def test_best_effort_picks_global_minimum(self, scheduler,
                                               tiny_dataset):

@@ -139,18 +139,21 @@ class TestCapacityAndCarry:
     def test_latency_budget_caps_batch(self, mild_model, clock,
                                        tiny_dataset):
         scheduler = Scheduler(clock=clock, batch_window_ms=50.0,
-                              latency_budget_ms=1.0)
+                              latency_budget_ms=0.5)
         served = scheduler.register("default", mild_model, max_batch=100)
-        per_image = served.estimate_ms
-        budget_images = int(1.0 // per_image)
+        # Largest prefix whose batch-aware cost (overheads included)
+        # still fits the budget.
+        budget_images = max(n for n in range(1, 101)
+                            if served.batch_cost_ms(n) <= 0.5)
         assert budget_images >= 2                 # tiny model, cheap images
+        assert budget_images + 3 <= tiny_dataset.images.shape[0]
         for i in range(budget_images + 3):
             scheduler.submit(tiny_dataset.images[i])
         results = scheduler.step()
         event = scheduler.events[-1]
         assert event.reason == "budget"
         assert event.num_images <= budget_images
-        assert event.estimated_ms <= 1.0
+        assert event.estimated_ms <= 0.5
         assert event.carried_requests == (budget_images + 3
                                           - len(results))
 
@@ -337,17 +340,37 @@ class TestValidation:
             Scheduler(clock=clock, max_events=0)
 
     def test_estimate_tracks_operating_point(self, mild_model, clock):
-        """ServedModel.estimate_ms follows set_keep_ratios retuning
+        """ServedModel pricing follows set_keep_ratios retuning
         automatically -- no manual invalidation required."""
         scheduler = make_scheduler(mild_model, clock)
         served = scheduler.sessions[0]
-        before = served.estimate_ms
+        before = served.marginal_image_ms
+        before_batch = served.batch_cost_ms(4)
         mild_model.set_keep_ratios([0.5])
-        assert served.estimate_ms <= before
-        assert served.estimate_ms == (
-            served.session.estimated_image_latency_ms)
+        assert served.marginal_image_ms <= before
+        assert served.batch_cost_ms(4) <= before_batch
+        assert served.marginal_image_ms == (
+            served.session.marginal_image_ms)
         mild_model.set_keep_ratios([0.8])
-        assert served.estimate_ms == before
+        assert served.marginal_image_ms == before
+        assert served.batch_cost_ms(4) == before_batch
+
+    def test_flush_cost_includes_batch_overhead(self, mild_model, clock,
+                                                tiny_dataset):
+        """FlushEvent.estimated_ms is the CostModel batch price: the
+        per-batch overhead plus the per-image marginals, not a bare
+        per-image multiple."""
+        scheduler = make_scheduler(mild_model, clock)
+        served = scheduler.sessions[0]
+        assert served.cost_model.batch_overhead_ms > 0
+        for i in range(3):
+            scheduler.submit(tiny_dataset.images[i])
+        scheduler.flush()
+        event = scheduler.events[-1]
+        assert event.num_images == 3
+        assert event.estimated_ms == pytest.approx(
+            served.cost_model.batch_overhead_ms
+            + 3 * served.marginal_image_ms)
 
     def test_virtual_clock_monotonic(self):
         clock = VirtualClock(start_ms=5.0)
@@ -388,9 +411,27 @@ class TestRequestQueue:
         for i in range(4):
             queue.push(self.make_request(i, arrival=float(i), images=2))
         taken = queue.pop_batch(latency_budget_ms=5.0,
-                                cost_per_image_ms=1.0)
+                                batch_cost_ms=lambda n: n * 1.0)
         assert [r.request_id for r in taken] == [0, 1]   # 2 + 2 <= 5 < 6
         assert queue.pending_images == 4
+
+    def test_pop_batch_budget_prices_overhead_once(self):
+        """The prefix is priced as ONE batch: a fixed overhead is not
+        re-paid per request, so more requests fit than a per-request
+        accumulation would admit."""
+        queue = RequestQueue()
+        for i in range(4):
+            queue.push(self.make_request(i, arrival=float(i), images=2))
+        taken = queue.pop_batch(latency_budget_ms=10.0,
+                                batch_cost_ms=lambda n: 3.0 + n * 1.0)
+        assert [r.request_id for r in taken] == [0, 1, 2]  # 3 + 6 <= 10
+        assert queue.pending_images == 2
+
+    def test_pop_batch_budget_requires_pricer(self):
+        queue = RequestQueue()
+        queue.push(self.make_request(0, arrival=0.0, images=2))
+        with pytest.raises(ValueError):
+            queue.pop_batch(latency_budget_ms=5.0)
 
     def test_push_rejects_empty(self):
         queue = RequestQueue()
