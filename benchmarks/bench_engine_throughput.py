@@ -1,16 +1,25 @@
-"""Throughput: bucketed engine vs per-image ``forward_pruned`` loop.
+"""Throughput: bucketed engine backends vs per-image ``forward_pruned``.
 
-The engine's reason to exist is serving speed: the reference deployment
-path runs one image at a time (adaptive pruning gives every image its
-own length), so its throughput is bounded by Python-loop overhead on
-tiny matrices.  This benchmark times both paths on the same model and
-images, verifies the logits agree to within 1e-8, and reports the
-speedup.  Acceptance bar: >= 3x at batch 32 on the default config.
+The engine's reason to exist is serving speed.  This benchmark times
+three executions of the same images on the same model:
+
+* the reference per-image ``forward_pruned`` loop;
+* the bucketed engine on the ``tensor`` backend (float64 autograd
+  modules under ``no_grad``);
+* the bucketed engine on the ``fastpath`` backend (compiled fused
+  float32 kernels with workspace reuse; see
+  :mod:`repro.engine.fastpath`).
+
+It verifies the parity contract of each path -- tensor and float64
+fastpath within 1e-8 of the reference, float32 fastpath within 1e-5
+with IDENTICAL token-keep decisions and argmax -- and gates two
+speedups: engine-vs-loop and fastpath-vs-tensor.
 
 Besides the human-readable table it writes a machine-readable
-``BENCH_engine.json`` (throughput, speedup, and the cost model's
-predicted-vs-simulator-measured batch latency error) so the perf
-trajectory is tracked across commits.
+``BENCH_engine.json`` (per-backend throughput, speedups, parity, and
+the cost model's predicted-vs-simulator-measured batch latency error)
+so the perf trajectory is tracked across commits; CI uploads it as a
+workflow artifact.
 
 Usage::
 
@@ -27,7 +36,7 @@ import time
 
 import numpy as np
 
-from repro.core import HeatViT
+from repro.core import HeatViT, PruningRecord
 from repro.data import SyntheticConfig, generate_dataset
 from repro.engine import BucketingPolicy, InferenceSession
 from repro.hardware.latency_table import (FINE_KEEP_RATIO_GRID,
@@ -39,10 +48,14 @@ from repro.vit import VisionTransformer, ViTConfig
 DEFAULT = dict(image_size=32, patch_size=8, embed_dim=48, depth=12,
                num_heads=4, selectors={3: 0.7, 6: 0.5, 9: 0.35},
                batch=32, repeats=3)
-TINY = dict(image_size=16, patch_size=4, embed_dim=24, depth=4,
+# The tiny smoke serves 64-patch images: small enough for CI, large
+# enough that the backends are measured on real bucketing work instead
+# of pure python dispatch.
+TINY = dict(image_size=32, patch_size=4, embed_dim=24, depth=4,
             num_heads=3, selectors={1: 0.7, 2: 0.5},
-            batch=8, repeats=1)
+            batch=32, repeats=3)
 TOLERANCE = 1e-8
+FASTPATH32_TOLERANCE = 1e-5
 
 
 def build(params, seed=0):
@@ -63,20 +76,43 @@ def build(params, seed=0):
     return model, data.images, cost_model
 
 
-def time_best(fn, repeats):
-    """Best-of-N wall time (seconds) and the last return value."""
-    best, value = float("inf"), None
+def time_round_robin(paths, repeats, warmup=1):
+    """Interleaved best-of-N timing of several callables.
+
+    Each path gets ``warmup`` untimed calls (compilation, workspace
+    allocation, plan-cache fill), then the paths run in alternating
+    rounds so cache and frequency drift hit all of them equally --
+    back-to-back blocks systematically flatter whichever path runs
+    last.  Returns ``({name: best_seconds}, {name: last_value})``.
+    """
+    values = {}
+    for name, fn in paths:
+        for _ in range(warmup):
+            values[name] = fn()
+    best = {name: float("inf") for name, _ in paths}
     for _ in range(repeats):
-        start = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, value
+        for name, fn in paths:
+            start = time.perf_counter()
+            values[name] = fn()
+            best[name] = min(best[name], time.perf_counter() - start)
+    return best, values
+
+
+def keep_decisions_identical(record, record_ref):
+    if len(record.tokens_per_stage) != len(record_ref.tokens_per_stage):
+        return False
+    return all(np.array_equal(a, b)
+               for a, b in zip(record.tokens_per_stage,
+                               record_ref.tokens_per_stage))
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tiny", action="store_true",
                         help="small config for CI smoke runs")
+    parser.add_argument("--backend", choices=["tensor", "fastpath", "both"],
+                        default="both",
+                        help="which engine backends to run (default both)")
     parser.add_argument("--batch", type=int, default=None,
                         help="override the batch size")
     parser.add_argument("--repeats", type=int, default=None,
@@ -84,8 +120,12 @@ def main(argv=None):
     parser.add_argument("--no-padding", action="store_true",
                         help="disable padding merges in the bucketing policy")
     parser.add_argument("--min-speedup", type=float, default=None,
-                        help="exit non-zero below this speedup "
-                             "(default: 3.0 unless --tiny)")
+                        help="exit non-zero when engine-vs-loop speedup "
+                             "is below this (default: 3.0 unless --tiny)")
+    parser.add_argument("--min-fastpath-speedup", type=float, default=None,
+                        help="exit non-zero when fastpath-vs-tensor "
+                             "speedup is below this (default: 2.0; CI "
+                             "enforces it on the tiny smoke)")
     parser.add_argument("--json", default="BENCH_engine.json",
                         help="write machine-readable results here "
                              "('' disables)")
@@ -102,40 +142,115 @@ def main(argv=None):
         params["repeats"] = args.repeats
     min_speedup = args.min_speedup
     if min_speedup is None:
-        # Tiny smoke runs only check correctness; timing noise on a
-        # 4-block model says nothing useful.
+        # Tiny smoke runs only gate the backend comparison; loop-vs-
+        # engine timing noise on a 4-block model says nothing useful.
         min_speedup = 0.0 if args.tiny else 3.0
+    min_fastpath = args.min_fastpath_speedup
+    if min_fastpath is None:
+        min_fastpath = 2.0
+    run_tensor = args.backend in ("tensor", "both")
+    run_fastpath = args.backend in ("fastpath", "both")
 
     model, images, cost_model = build(params)
     batch = params["batch"]
+    repeats = params["repeats"]
     policy = (BucketingPolicy(allow_padding=False) if args.no_padding
               else BucketingPolicy())
     print(f"model: {model.config.depth} blocks, "
           f"{model.config.num_tokens} tokens, embed "
           f"{model.config.embed_dim}, selectors at "
           f"{dict(zip(model.selector_blocks, model.keep_ratios))}")
-    print(f"batch {batch}, best of {params['repeats']} repeats\n")
+    print(f"batch {batch}, best of {repeats} repeats (1 warmup)\n")
 
-    loop_time, ref = time_best(lambda: model.forward_pruned(images),
-                               params["repeats"])
-    session = InferenceSession(model, batch_size=batch, policy=policy,
-                               cost_model=cost_model)
-    engine_time, result = time_best(lambda: session.submit(images),
-                                    params["repeats"])
+    failures = []
+    backends = {}
+    record_ref = PruningRecord()
+    paths = [("loop",
+              lambda: model.forward_pruned(images, record=record_ref))]
+    sessions, records = {}, {}
 
-    diff = float(np.abs(result.logits - ref.data).max())
-    speedup = loop_time / engine_time
-    rows = [
-        ("per-image forward_pruned", loop_time, batch / loop_time),
-        ("bucketed engine", engine_time, batch / engine_time),
-    ]
+    def add_engine_path(name, dtype, label):
+        session = InferenceSession(model, batch_size=batch, policy=policy,
+                                   cost_model=cost_model, backend=name,
+                                   dtype=dtype)
+        record = PruningRecord()
+        sessions[label], records[label] = session, record
+        paths.append(
+            (label, lambda: session.submit(images, record=record)))
+
+    if run_tensor:
+        add_engine_path("tensor", None, "tensor")
+    if run_fastpath:
+        add_engine_path("fastpath", np.float32, "fastpath-f32")
+    times, values = time_round_robin(paths, repeats)
+    loop_time, ref = times["loop"], values["loop"]
+
+    rows = [("per-image forward_pruned", loop_time)]
+    tolerances = {"tensor": TOLERANCE, "fastpath-f32": FASTPATH32_TOLERANCE}
+    for label in sessions:
+        result = values[label]
+        diff = float(np.abs(result.logits - ref.data).max())
+        keeps = keep_decisions_identical(records[label], record_ref)
+        argmax_ok = bool((result.logits.argmax(axis=-1)
+                          == ref.data.argmax(axis=-1)).all())
+        if diff > tolerances[label]:
+            failures.append(f"{label}: logit diff {diff:.2e} > "
+                            f"{tolerances[label]:.0e}")
+        if not keeps:
+            failures.append(f"{label}: token-keep decisions diverged")
+        if not argmax_ok:
+            failures.append(f"{label}: argmax diverged")
+        backends[label] = {
+            "time_s": times[label],
+            "images_per_s": batch / times[label],
+            "speedup_vs_loop": loop_time / times[label],
+            "max_logit_diff": diff,
+            "keep_decisions_identical": keeps,
+            "argmax_identical": argmax_ok,
+        }
+        rows.append((f"bucketed engine [{label}]", times[label]))
+
+    tensor_time = times.get("tensor")
+    fastpath_time = times.get("fastpath-f32")
+    if run_fastpath:
+        # Parity-grade float64 compile: correctness checked, not timed.
+        record64 = PruningRecord()
+        session64 = InferenceSession(model, batch_size=batch, policy=policy,
+                                     cost_model=cost_model,
+                                     backend="fastpath", dtype=np.float64)
+        result64 = session64.submit(images, record=record64)
+        diff64 = float(np.abs(result64.logits - ref.data).max())
+        keeps64 = keep_decisions_identical(record64, record_ref)
+        if diff64 > TOLERANCE:
+            failures.append(f"fastpath-f64: logit diff {diff64:.2e} > "
+                            f"{TOLERANCE:.0e}")
+        if not keeps64:
+            failures.append("fastpath-f64: token-keep decisions diverged")
+        backends["fastpath-f64"] = {"max_logit_diff": diff64,
+                                    "keep_decisions_identical": keeps64,
+                                    "timed": False}
+    label = "tensor" if run_tensor else "fastpath-f32"
+    session, result = sessions[label], values[label]
+
     width = max(len(r[0]) for r in rows)
     print(f"{'path':<{width}}  {'time (s)':>10}  {'img/s':>10}")
-    for name, seconds, throughput in rows:
-        print(f"{name:<{width}}  {seconds:>10.4f}  {throughput:>10.1f}")
+    for name, seconds in rows:
+        print(f"{name:<{width}}  {seconds:>10.4f}  "
+              f"{batch / seconds:>10.1f}")
+    engine_time = tensor_time if tensor_time is not None else fastpath_time
+    speedup = loop_time / engine_time
+    print(f"\nengine vs loop speedup: {speedup:.2f}x")
+    fastpath_speedup = None
+    if tensor_time is not None and fastpath_time is not None:
+        fastpath_speedup = tensor_time / fastpath_time
+        print(f"fastpath vs tensor speedup: {fastpath_speedup:.2f}x "
+              f"(f32 max |logit diff| "
+              f"{backends['fastpath-f32']['max_logit_diff']:.2e}, "
+              f"f64 {backends['fastpath-f64']['max_logit_diff']:.2e}, "
+              f"keep decisions identical: "
+              f"{backends['fastpath-f32']['keep_decisions_identical']})")
     buckets = [s.num_buckets for s in result.stage_stats]
     padded = sum(s.padded_tokens for s in result.stage_stats)
-    print(f"\nspeedup: {speedup:.2f}x   max |logit diff|: {diff:.2e}")
     print(f"buckets per stage: {buckets}   padded tokens total: {padded}")
     print(f"mean estimated accelerator latency: "
           f"{float(result.latency_ms.mean()):.3f} ms/image")
@@ -164,13 +279,14 @@ def main(argv=None):
             "benchmark": "engine_throughput",
             "tiny": bool(args.tiny),
             "batch": batch,
-            "repeats": params["repeats"],
+            "repeats": repeats,
             "loop_time_s": loop_time,
-            "engine_time_s": engine_time,
             "loop_images_per_s": batch / loop_time,
+            "engine_time_s": engine_time,
             "engine_images_per_s": batch / engine_time,
             "speedup": speedup,
-            "max_logit_diff": diff,
+            "fastpath_speedup": fastpath_speedup,
+            "backends": backends,
             "padded_tokens": padded,
             "buckets_per_stage": buckets,
             "predicted_batch_ms": predicted_ms,
@@ -184,12 +300,17 @@ def main(argv=None):
             handle.write("\n")
         print(f"wrote {args.json}")
 
-    if diff > TOLERANCE:
-        print(f"FAIL: logit mismatch {diff:.2e} > {TOLERANCE:.0e}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
         return 1
     if speedup < min_speedup:
-        print(f"FAIL: speedup {speedup:.2f}x < required "
+        print(f"FAIL: engine speedup {speedup:.2f}x < required "
               f"{min_speedup:.1f}x")
+        return 1
+    if fastpath_speedup is not None and fastpath_speedup < min_fastpath:
+        print(f"FAIL: fastpath speedup {fastpath_speedup:.2f}x < "
+              f"required {min_fastpath:.1f}x")
         return 1
     print("OK")
     return 0

@@ -3,17 +3,20 @@
 The scheduler's reason to exist is request coalescing: many small
 independent requests (the realistic serving arrival shape) executed one
 at a time waste the engine's batching entirely.  This benchmark serves
-the same request stream twice -- once submitting each request alone,
-once through a :class:`repro.serving.Scheduler` that coalesces a burst
-into bucketed batches -- verifies per-request logits agree to within
-1e-8, and reports the speedup including all queue/routing/slicing
-overhead.  Acceptance bar: >= 2x at 32 single-image requests on the
-default config.
+the same request stream -- once submitting each request alone, then
+through a :class:`repro.serving.Scheduler` that coalesces a burst into
+bucketed batches, on each engine backend (``tensor`` and the compiled
+``fastpath``) -- verifies per-request logits, and reports the speedup
+including all queue/routing/slicing overhead.  Acceptance bar: >= 2x
+for the tensor backend at 32 single-image requests on the default
+config; the fastpath backend rides the same scheduler and is reported
+per backend.
 
 Besides the human-readable table it writes a machine-readable
-``BENCH_scheduler.json`` (throughput, speedup, and the scheduler's
-predicted-vs-simulator-measured flush latency error) so the perf
-trajectory is tracked across commits.
+``BENCH_scheduler.json`` (per-backend throughput, speedup, and the
+scheduler's predicted-vs-simulator-measured flush latency error) so the
+perf trajectory is tracked across commits; CI uploads it as a workflow
+artifact.
 
 Usage::
 
@@ -26,10 +29,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 
 import numpy as np
 
+from bench_engine_throughput import time_round_robin
 from repro.core import HeatViT
 from repro.data import SyntheticConfig, generate_dataset
 from repro.engine import InferenceSession
@@ -42,10 +45,11 @@ from repro.vit import VisionTransformer, ViTConfig
 DEFAULT = dict(image_size=32, patch_size=8, embed_dim=48, depth=12,
                num_heads=4, selectors={3: 0.7, 6: 0.5, 9: 0.35},
                requests=32, repeats=3)
-TINY = dict(image_size=16, patch_size=4, embed_dim=24, depth=4,
+TINY = dict(image_size=32, patch_size=4, embed_dim=24, depth=4,
             num_heads=3, selectors={1: 0.7, 2: 0.5},
-            requests=8, repeats=1)
+            requests=16, repeats=2)
 TOLERANCE = 1e-8
+FASTPATH32_TOLERANCE = 1e-4
 
 
 def build(params, seed=0):
@@ -67,44 +71,41 @@ def build(params, seed=0):
     return model, data.images, cost_model
 
 
-def time_best(fn, repeats):
-    """Best-of-N wall time (seconds) and the last return value."""
-    best, value = float("inf"), None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, value
-
-
 def serve_one_at_a_time(session, images):
     return np.concatenate(
         [session.submit(images[i][None]).logits
          for i in range(images.shape[0])], axis=0)
 
 
-def serve_coalesced(model, images, cost_model):
-    """A burst of single-image requests through the scheduler."""
+def make_coalesced_path(model, images, cost_model, backend):
+    """A burst of single-image requests through one scheduler flush."""
     scheduler = Scheduler(clock=VirtualClock(), batch_window_ms=10.0)
     scheduler.register("default", model, max_batch=images.shape[0],
-                       cost_model=cost_model)
-    ids = [scheduler.submit(images[i]) for i in range(images.shape[0])]
-    results = {r.request_id: r for r in scheduler.flush()}
-    logits = np.concatenate([results[i].logits for i in ids], axis=0)
-    return logits, scheduler.events
+                       cost_model=cost_model, backend=backend)
+
+    def run():
+        ids = [scheduler.submit(images[i]) for i in range(images.shape[0])]
+        results = {r.request_id: r for r in scheduler.flush()}
+        logits = np.concatenate([results[i].logits for i in ids], axis=0)
+        return logits, list(scheduler.events)
+
+    return run
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tiny", action="store_true",
                         help="small config for CI smoke runs")
+    parser.add_argument("--backend", choices=["tensor", "fastpath", "both"],
+                        default="both",
+                        help="which engine backends to serve (default both)")
     parser.add_argument("--requests", type=int, default=None,
                         help="number of single-image requests in the burst")
     parser.add_argument("--repeats", type=int, default=None,
                         help="best-of-N timing repeats")
     parser.add_argument("--min-speedup", type=float, default=None,
-                        help="exit non-zero below this speedup "
-                             "(default: 2.0 unless --tiny)")
+                        help="exit non-zero below this tensor-coalesced "
+                             "speedup (default: 2.0 unless --tiny)")
     parser.add_argument("--json", default="BENCH_scheduler.json",
                         help="write machine-readable results here "
                              "('' disables)")
@@ -124,6 +125,8 @@ def main(argv=None):
         # Tiny smoke runs only check correctness; timing noise on a
         # 4-block model says nothing useful.
         min_speedup = 0.0 if args.tiny else 2.0
+    backends = (["tensor", "fastpath"] if args.backend == "both"
+                else [args.backend])
 
     model, images, cost_model = build(params)
     requests = params["requests"]
@@ -131,30 +134,56 @@ def main(argv=None):
           f"{model.config.num_tokens} tokens, selectors at "
           f"{dict(zip(model.selector_blocks, model.keep_ratios))}")
     print(f"{requests} single-image requests, best of "
-          f"{params['repeats']} repeats\n")
+          f"{params['repeats']} repeats (1 warmup)\n")
 
-    session = InferenceSession(model, batch_size=requests,
-                               cost_model=cost_model)
-    naive_time, naive = time_best(
-        lambda: serve_one_at_a_time(session, images), params["repeats"])
-    sched_time, (coalesced, events) = time_best(
-        lambda: serve_coalesced(model, images, cost_model),
-        params["repeats"])
+    naive_session = InferenceSession(model, batch_size=requests,
+                                     cost_model=cost_model)
+    paths = [("naive",
+              lambda: serve_one_at_a_time(naive_session, images))]
+    for backend in backends:
+        paths.append((backend,
+                      make_coalesced_path(model, images, cost_model,
+                                          backend)))
+    times, values = time_round_robin(paths, params["repeats"])
+    naive_time, naive = times["naive"], values["naive"]
 
-    diff = float(np.abs(coalesced - naive).max())
-    speedup = naive_time / sched_time
-    rows = [
-        ("per-request submission", naive_time, requests / naive_time),
-        ("scheduler coalesced", sched_time, requests / sched_time),
-    ]
+    rows = [("per-request submission", naive_time)]
+    failures = []
+    backend_stats = {}
+    tolerance = {"tensor": TOLERANCE, "fastpath": FASTPATH32_TOLERANCE}
+    for backend in backends:
+        coalesced, events = values[backend]
+        diff = float(np.abs(coalesced - naive).max())
+        argmax_ok = bool((coalesced.argmax(axis=-1)
+                          == naive.argmax(axis=-1)).all())
+        if diff > tolerance[backend]:
+            failures.append(f"{backend}: logit diff {diff:.2e} > "
+                            f"{tolerance[backend]:.0e}")
+        if not argmax_ok:
+            failures.append(f"{backend}: argmax diverged")
+        backend_stats[backend] = {
+            "time_s": times[backend],
+            "requests_per_s": requests / times[backend],
+            "speedup": naive_time / times[backend],
+            "max_logit_diff": diff,
+            "argmax_identical": argmax_ok,
+            "num_flushes": len(events),
+        }
+        rows.append((f"scheduler coalesced [{backend}]", times[backend]))
+
     width = max(len(r[0]) for r in rows)
     print(f"{'path':<{width}}  {'time (s)':>10}  {'req/s':>10}")
-    for name, seconds, throughput in rows:
-        print(f"{name:<{width}}  {seconds:>10.4f}  {throughput:>10.1f}")
-    print(f"\nspeedup: {speedup:.2f}x   max |logit diff|: {diff:.2e}")
+    for name, seconds in rows:
+        print(f"{name:<{width}}  {seconds:>10.4f}  "
+              f"{requests / seconds:>10.1f}")
+    for backend in backends:
+        stats = backend_stats[backend]
+        print(f"\n[{backend}] speedup: {stats['speedup']:.2f}x   "
+              f"max |logit diff|: {stats['max_logit_diff']:.2e}")
 
     # Cost-model fidelity: the scheduler's per-flush batch prediction
     # vs the batch-aware FPGA simulator run at the operating point.
+    _, events = values[backends[0]]
     predicted_ms = sum(e.estimated_ms for e in events)
     measured_ms = sum(
         simulated_model_batch_ms(model.config, e.num_images,
@@ -162,10 +191,12 @@ def main(argv=None):
                                  keep_ratios=model.keep_ratios)
         for e in events)
     flush_error = abs(predicted_ms - measured_ms) / measured_ms
-    print(f"cost model: predicted {predicted_ms:.3f} ms vs simulator "
+    print(f"\ncost model: predicted {predicted_ms:.3f} ms vs simulator "
           f"{measured_ms:.3f} ms across {len(events)} flushes "
           f"({100 * flush_error:.1f}% error)")
 
+    gate_backend = "tensor" if "tensor" in backend_stats else backends[0]
+    speedup = backend_stats[gate_backend]["speedup"]
     if args.json:
         payload = {
             "benchmark": "scheduler_throughput",
@@ -173,12 +204,13 @@ def main(argv=None):
             "requests": requests,
             "repeats": params["repeats"],
             "naive_time_s": naive_time,
-            "scheduler_time_s": sched_time,
             "naive_requests_per_s": requests / naive_time,
-            "scheduler_requests_per_s": requests / sched_time,
+            "scheduler_time_s": times[gate_backend],
+            "scheduler_requests_per_s": requests / times[gate_backend],
             "speedup": speedup,
-            "max_logit_diff": diff,
-            "num_flushes": len(events),
+            "max_logit_diff": backend_stats[gate_backend]["max_logit_diff"],
+            "backends": backend_stats,
+            "num_flushes": backend_stats[gate_backend]["num_flushes"],
             "predicted_flush_ms": predicted_ms,
             "measured_sim_flush_ms": measured_ms,
             "prediction_error": flush_error,
@@ -188,8 +220,9 @@ def main(argv=None):
             handle.write("\n")
         print(f"wrote {args.json}")
 
-    if diff > TOLERANCE:
-        print(f"FAIL: logit mismatch {diff:.2e} > {TOLERANCE:.0e}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
         return 1
     if speedup < min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x < required "

@@ -1,0 +1,79 @@
+"""cProfile the serving hot path: one batched submission, top-N report.
+
+The tool behind the fast-path work in this repo: build a model, warm a
+session up (compile, workspace fill, plan cache), then profile repeated
+``InferenceSession.submit`` calls and print the top functions by the
+chosen sort key.  Run it before and after a perf change to see where
+the submit budget actually goes -- kernel time vs selector boundaries
+vs bucketing vs session bookkeeping.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_hotpath.py --tiny
+    PYTHONPATH=src python benchmarks/profile_hotpath.py --backend tensor --sort cumulative
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+
+import numpy as np
+
+from bench_engine_throughput import DEFAULT, TINY, build
+from repro.engine import InferenceSession
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="small config (matches the engine bench)")
+    parser.add_argument("--backend", choices=["tensor", "fastpath"],
+                        default="fastpath")
+    parser.add_argument("--dtype", choices=["float32", "float64"],
+                        default=None,
+                        help="fastpath compute dtype (default float32)")
+    parser.add_argument("--batch", type=int, default=None)
+    parser.add_argument("--calls", type=int, default=20,
+                        help="profiled submit calls (after 1 warmup)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows to print")
+    parser.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumulative", "ncalls"])
+    args = parser.parse_args(argv)
+
+    params = dict(TINY if args.tiny else DEFAULT)
+    if args.batch is not None:
+        if args.batch < 1:
+            parser.error("--batch must be >= 1")
+        params["batch"] = args.batch
+    model, images, cost_model = build(params)
+    dtype = None if args.dtype is None else np.dtype(args.dtype)
+    session = InferenceSession(model, batch_size=params["batch"],
+                               cost_model=cost_model,
+                               backend=args.backend, dtype=dtype)
+    result = session.submit(images)            # warmup: compile + buffers
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(args.calls):
+        result = session.submit(images)
+    profiler.disable()
+
+    print(f"backend={args.backend} dtype={session.dtype} "
+          f"batch={params['batch']} calls={args.calls} "
+          f"({result.images_per_second:.0f} img/s on the last call)\n")
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats(args.sort).print_stats(
+        args.top)
+    print(stream.getvalue())
+    if session.executor.workspace is not None:
+        print(f"workspace: {session.executor.workspace!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

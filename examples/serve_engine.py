@@ -6,10 +6,18 @@ through the bucketed executor, reporting predictions, measured host
 throughput, the per-stage bucketing decisions, and the estimated
 accelerator latency per image (paper Table IV lookup, Eq. 18).
 
+Pass ``--backend fastpath`` to serve through the compiled graph-free
+fast path (fused float32 kernels + workspace reuse; identical
+predictions, several times the throughput) instead of the float64
+Tensor reference modules.
+
 Usage::
 
     PYTHONPATH=src python examples/serve_engine.py
+    PYTHONPATH=src python examples/serve_engine.py --backend fastpath
 """
+
+import argparse
 
 import numpy as np
 
@@ -20,6 +28,12 @@ from repro.vit import VisionTransformer, ViTConfig
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=["tensor", "fastpath"],
+                        default="tensor",
+                        help="engine compute backend (fastpath = compiled "
+                             "float32 kernels)")
+    args = parser.parse_args()
     rng = np.random.default_rng(0)
 
     # 1. A deployment-shaped model: selectors prune progressively.
@@ -32,7 +46,10 @@ def main():
 
     # 2. One session serves many requests; buckets pad up to 4 tokens.
     session = InferenceSession(model, batch_size=32,
-                               policy=BucketingPolicy(pad_limit=4))
+                               policy=BucketingPolicy(pad_limit=4),
+                               backend=args.backend)
+    print(f"backend: {session.backend} "
+          f"(compute dtype {np.dtype(session.dtype).name})")
 
     # 3. Bursts of varying size, as a request queue would hand us.
     data_config = SyntheticConfig(image_size=32, num_classes=8)

@@ -21,21 +21,29 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["weighted_package", "gather_kept_tokens",
-           "prune_image_sequence"]
+           "prune_image_sequence", "prune_group_sequences"]
 
 _EPS = 1e-8
 
 
-def weighted_package(tokens, weights, eps=_EPS):
+def weighted_package(tokens, weights, eps=_EPS, dtype=None):
     """Score-weighted average of token rows (Eq. 10, numpy form).
 
     ``tokens``: ``(P, D)`` pruned-token features; ``weights``: ``(P,)``
     non-negative weights (the pruned tokens' *keep* scores, so the
     tokens the classifier was least sure about dominate the package).
     Returns the ``(D,)`` package token.
+
+    ``dtype=None`` keeps the tokens' float dtype (non-float inputs
+    compute in float64 as before) so float32 fast-path sequences are
+    not silently upcast on the gather path.
     """
-    tokens = np.asarray(tokens, dtype=np.float64)
-    weights = np.asarray(weights, dtype=np.float64)
+    tokens = np.asarray(tokens)
+    if dtype is None:
+        dtype = (tokens.dtype if np.issubdtype(tokens.dtype, np.floating)
+                 else np.float64)
+    tokens = np.asarray(tokens, dtype=dtype)
+    weights = np.asarray(weights, dtype=dtype)
     return ((tokens * weights[:, None]).sum(axis=0)
             / max(weights.sum(), eps))
 
@@ -50,7 +58,10 @@ def gather_kept_tokens(tokens, keep_flags, package=None):
     kept = tokens[np.asarray(keep_flags, dtype=bool)]
     if package is None:
         return kept
-    package = np.asarray(package).reshape(1, tokens.shape[-1])
+    # Cast the package row to the tokens' dtype so concatenation never
+    # silently upcasts a float32 fast-path sequence.
+    package = np.asarray(package, dtype=tokens.dtype).reshape(
+        1, tokens.shape[-1])
     return np.concatenate([kept, package], axis=0)
 
 
@@ -92,3 +103,63 @@ def prune_image_sequence(sequence, keep_flags, *, use_packager,
     body = gather_kept_tokens(patches, keep_flags, package=slot)
     new_sequence = np.concatenate([sequence[:1], body], axis=0)
     return new_sequence, has_package or (use_packager and pruned_any)
+
+
+def prune_group_sequences(sequences, keep_flags, *, use_packager,
+                          has_package, packages=None):
+    """Batched :func:`prune_image_sequence` for one exact group.
+
+    ``sequences`` is ``(g, T, D)`` -- images sharing the same layout
+    (same length, same ``has_package``); ``keep_flags`` is ``(g, N)``
+    over the patch tokens; ``packages`` is ``(g, D)`` freshly-packaged
+    tokens (required when ``use_packager`` and anything was pruned).
+
+    Semantically identical to calling :func:`prune_image_sequence` per
+    row (pinned by ``tests/core/test_heatvit.py`` /
+    ``tests/engine/test_fastpath.py``) -- boolean gathers and
+    concatenations of the same values -- but hoists the validation and
+    per-call overhead out of the serving engine's per-image loop.
+    Returns ``(new_sequences, new_has_package)`` lists of length ``g``.
+    """
+    x = np.asarray(sequences)
+    keep = np.asarray(keep_flags, dtype=bool)
+    stop = x.shape[1] - (1 if has_package else 0)
+    if keep.shape != (x.shape[0], stop - 1):
+        raise ValueError(
+            f"keep_flags shape {keep.shape} does not match "
+            f"{(x.shape[0], stop - 1)} patch tokens")
+    num_patches = keep.shape[1]
+    counts = keep.sum(axis=1)
+    if use_packager and (counts < num_patches).any():
+        if packages is None:
+            raise ValueError(
+                "use_packager with pruned tokens requires packages")
+        # Match gather_kept_tokens: the package row never upcasts the
+        # sequence dtype.
+        packages = np.asarray(packages, dtype=x.dtype)
+    out_sequences = [None] * x.shape[0]
+    out_flags = [None] * x.shape[0]
+    # One fancy-index gather per distinct kept-count: the packager rule
+    # (fresh package / carried slot / discard) is uniform within a
+    # count, so rows sharing one become a single dense copy.
+    for count in np.unique(counts):
+        rows = np.flatnonzero(counts == count)
+        pruned_any = count < num_patches
+        slot = None
+        if use_packager:
+            if pruned_any:
+                slot = packages[rows]
+            elif has_package:
+                slot = x[rows, stop]
+        width = 1 + int(count) + (0 if slot is None else 1)
+        block = np.empty((rows.size, width, x.shape[-1]), dtype=x.dtype)
+        block[:, 0] = x[rows, 0]
+        cols = np.nonzero(keep[rows])[1].reshape(rows.size, int(count))
+        block[:, 1:1 + int(count)] = x[rows[:, None], 1 + cols]
+        if slot is not None:
+            block[:, -1] = slot
+        flag = has_package or (use_packager and pruned_any)
+        for position, row in enumerate(rows):
+            out_sequences[row] = block[position]
+            out_flags[row] = flag
+    return out_sequences, out_flags

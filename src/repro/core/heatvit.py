@@ -23,6 +23,7 @@ from repro import nn
 from repro.nn.tensor import Tensor
 from repro.core.gather import prune_image_sequence
 from repro.core.selector import TokenSelector
+from repro.vit.attention import suppress_attention_recording
 from repro.vit.complexity import block_macs, token_selector_macs
 
 __all__ = ["HeatViT", "PruningRecord"]
@@ -244,7 +245,11 @@ class HeatViT(nn.Module):
         return record
 
     def _forward_pruned_single(self, image):
-        with nn.no_grad():
+        # Deployment semantics never read the recorded attention maps
+        # (they only feed the masked path's ranking signal and Fig. 5
+        # analysis), so skip the per-block (1, h, T, T) copies.
+        with suppress_attention_recording(
+                block.attn for block in self.backbone.blocks), nn.no_grad():
             x = self.backbone.embed(image)                # (1, 1+N, D)
             selector_pos = {b: i for i, b in enumerate(self.selector_blocks)}
             stage_tokens = []

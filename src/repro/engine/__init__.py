@@ -6,17 +6,27 @@ length-bucketed at every selector boundary (see
 :mod:`repro.engine.bucketing`) so each bucket executes as one vectorized
 forward instead of B single-image forwards.  Logits match the reference
 :meth:`repro.core.HeatViT.forward_pruned` loop to within 1e-8.
+
+Per-batch compute runs on one of two backends: the float64 autograd
+``"tensor"`` reference, or the compiled graph-free ``"fastpath"``
+(:mod:`repro.engine.fastpath`: fused float32/float64 kernels plus
+workspace buffer reuse) selected via
+``InferenceSession(model, backend="fastpath")``.
 """
 
 from repro.engine.bucketing import (BucketingPolicy, BucketPlan,
                                     group_exact, pack_groups, plan_buckets,
                                     plan_cost_ms)
-from repro.engine.executor import BucketedExecutor, EngineResult, StageStats
+from repro.engine.executor import (BACKENDS, BucketedExecutor, EngineResult,
+                                   StageStats)
+from repro.engine.fastpath import (CompiledModel, CompileError, Workspace,
+                                   compile_model)
 from repro.engine.session import InferenceSession, SessionResult
 
 __all__ = [
     "BucketingPolicy", "BucketPlan", "plan_buckets", "plan_cost_ms",
     "group_exact", "pack_groups",
-    "BucketedExecutor", "EngineResult", "StageStats",
+    "BACKENDS", "BucketedExecutor", "EngineResult", "StageStats",
     "InferenceSession", "SessionResult",
+    "compile_model", "CompiledModel", "CompileError", "Workspace",
 ]

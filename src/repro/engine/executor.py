@@ -21,24 +21,39 @@ vectorization while preserving those semantics exactly:
    attention weight), so padding buys batching without perturbing
    logits.
 
-The result matches ``forward_pruned`` to within accumulated BLAS
-rounding (well under the 1e-8 parity bound enforced by
-``tests/engine/test_engine_parity.py``).
+Two compute **backends** execute the plan:
+
+* ``"tensor"`` (default) -- the reference float64 autograd modules under
+  ``no_grad``; matches ``forward_pruned`` to within accumulated BLAS
+  rounding (well under the 1e-8 parity bound enforced by
+  ``tests/engine/test_engine_parity.py``).
+* ``"fastpath"`` -- a :class:`repro.engine.fastpath.CompiledModel`
+  running fused pure-ndarray kernels in float32 (or float64) with a
+  :class:`repro.engine.fastpath.Workspace` of scratch buffers reused
+  across blocks, selector stages, and bursts -- including the padded
+  bucket stacks themselves, so steady traffic reallocates nothing.
+  Parity: float64 within the same 1e-8 bound; float32 to ~1e-6 logits
+  with identical keep decisions (``tests/engine/test_fastpath.py``).
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import nn
 from repro.nn.tensor import Tensor
-from repro.core.gather import prune_image_sequence
+from repro.core.gather import prune_group_sequences
 from repro.engine.bucketing import BucketingPolicy, plan_buckets
-from repro.vit.attention import pad_token_sequences
+from repro.engine.fastpath import Workspace, compile_model, mask_to_bias
+from repro.vit.attention import (key_padding_mask, pad_token_sequences,
+                                 suppress_attention_recording)
 
-__all__ = ["BucketedExecutor", "EngineResult", "StageStats"]
+__all__ = ["BucketedExecutor", "EngineResult", "StageStats", "BACKENDS"]
+
+BACKENDS = ("tensor", "fastpath")
 
 
 @dataclass
@@ -69,11 +84,12 @@ class EngineResult:
 class _Group:
     """A set of images executing together between selector boundaries."""
 
-    __slots__ = ("x", "mask", "indices", "lengths", "has_package")
+    __slots__ = ("x", "mask", "bias", "indices", "lengths", "has_package")
 
-    def __init__(self, x, mask, indices, lengths, has_package):
+    def __init__(self, x, mask, bias, indices, lengths, has_package):
         self.x = x                      # (g, T, D) ndarray
         self.mask = mask                # (g, T) {0,1} ndarray or None
+        self.bias = bias                # (g, T) fastpath score bias or None
         self.indices = indices          # (g,) original image indices
         self.lengths = lengths          # (g,) real sequence lengths
         self.has_package = has_package  # (g,) bool
@@ -90,12 +106,38 @@ class BucketedExecutor:
     cost_model: optional :class:`repro.cost.CostModel`; when given the
         bucket planner merges on price (padding cost vs saved bucket
         launch overhead) on top of the heuristic limits.
+    backend: ``"tensor"`` (reference autograd modules) or ``"fastpath"``
+        (compiled fused kernels; see :mod:`repro.engine.fastpath`).
+    dtype: fast-path compute dtype, ``float32`` (default) or
+        ``float64``; the tensor backend is float64-only.
     """
 
-    def __init__(self, model, policy=None, cost_model=None):
+    def __init__(self, model, policy=None, cost_model=None,
+                 backend="tensor", dtype=None):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"choose from {BACKENDS}")
         self.model = model
         self.policy = BucketingPolicy() if policy is None else policy
         self.cost_model = cost_model
+        self.backend = backend
+        if backend == "fastpath":
+            self.compiled = compile_model(
+                model, dtype=np.float32 if dtype is None else dtype)
+            self.dtype = self.compiled.dtype
+            self.workspace = Workspace(self.dtype)
+        else:
+            if dtype is not None and np.dtype(dtype) != np.float64:
+                raise ValueError(
+                    "the tensor backend is float64-only; use "
+                    "backend='fastpath' for float32 serving")
+            self.compiled = None
+            self.dtype = np.dtype(np.float64)
+            self.workspace = None
+        # Bucket plans are deterministic in (lengths, policy, cost
+        # model); steady traffic repeats length distributions, so cache
+        # the planner's output per distribution.
+        self._plan_cache = {}
 
     # ------------------------------------------------------------------
     def run(self, images, record=None):
@@ -115,30 +157,24 @@ class BucketedExecutor:
         selector_pos = {b: i for i, b in enumerate(model.selector_blocks)}
         # Attention recording only feeds the masked training path's
         # ranking signal; in the serving hot path it would copy a
-        # (g, h, T, T) tensor per block per bucket for nothing.
-        attn_modules = [block.attn for block in model.backbone.blocks]
-        recording = [m.record_attention for m in attn_modules]
-        for module in attn_modules:
-            module.record_attention = False
-        try:
-            with nn.no_grad():
-                x = model.backbone.embed(images).data     # (B, 1+N, D)
-                groups = [_Group(x, None, np.arange(batch),
-                                 np.full(batch, x.shape[1]),
-                                 np.zeros(batch, dtype=bool))]
-                for block_index, block in enumerate(model.backbone.blocks):
-                    if block_index in selector_pos:
-                        selector = model.selectors[selector_pos[block_index]]
-                        groups = self._apply_selector(selector, groups,
-                                                      batch, result)
-                    groups = [self._run_block(block, group)
-                              for group in groups]
-                for group in groups:
-                    logits = model.backbone.classify(Tensor(group.x))
-                    result.logits[group.indices] = logits.data
-        finally:
-            for module, was_recording in zip(attn_modules, recording):
-                module.record_attention = was_recording
+        # (g, h, T, T) tensor per block per bucket for nothing.  The
+        # fast path never touches the Tensor modules at all.
+        recording_off = (suppress_attention_recording(
+            block.attn for block in model.backbone.blocks)
+            if self.backend == "tensor" else nullcontext())
+        with recording_off, nn.no_grad():
+            x = self._embed(images)                       # (B, 1+N, D)
+            groups = [_Group(x, None, None, np.arange(batch),
+                             np.full(batch, x.shape[1]),
+                             np.zeros(batch, dtype=bool))]
+            for block_index, block in enumerate(model.backbone.blocks):
+                if block_index in selector_pos:
+                    groups = self._apply_selector(
+                        selector_pos[block_index], groups, batch, result)
+                groups = [self._run_block(block_index, group)
+                          for group in groups]
+            for group in groups:
+                result.logits[group.indices] = self._classify(group.x)
         if record is not None:
             model.finalize_pruned_record(record, result.tokens_per_stage)
         return result
@@ -175,24 +211,137 @@ class BucketedExecutor:
         return self.run(images, record=record), slices
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _run_block(block, group):
+    # Backend dispatch
+    # ------------------------------------------------------------------
+    def _embed(self, images):
+        if self.backend == "fastpath":
+            return self.compiled.embed(images, self.workspace)
+        return self.model.backbone.embed(images).data
+
+    def _run_block(self, block_index, group):
+        if self.backend == "fastpath":
+            self.compiled.run_block(block_index, group.x, group.bias,
+                                    self.workspace)
+            return group
+        block = self.model.backbone.blocks[block_index]
         out = block(Tensor(group.x), key_mask=group.mask)
         group.x = out.data
         return group
 
-    def _apply_selector(self, selector, groups, batch, result):
+    def _selector_eval(self, selector_index, patches):
+        """Evaluate selector ``selector_index`` on dense ``(g, N, D)``
+        patches; returns ``(keep_bool, packages)``."""
+        if self.backend == "fastpath":
+            return self.compiled.select(selector_index, patches,
+                                        self.workspace)
+        selector = self.model.selectors[selector_index]
+        out = selector(Tensor(patches), hard=False)
+        # The selector's internal guard ensures >= 1 keep.
+        keep = out.decision.data > 0.5                    # (g, N)
+        return keep, out.package.data[:, 0, :]            # (g, D)
+
+    def _evaluate_selector(self, selector_index, exacts):
+        """Score every exact group at one boundary; returns one
+        ``(keep, packages)`` pair per group.
+
+        On the fast path all groups run as ONE ragged kernel pipeline
+        (per-token math identical to the dense per-group evaluation;
+        see :meth:`CompiledSelector.select_ragged`) -- the boundary cost
+        no longer scales with the number of distinct sequence lengths.
+        The tensor backend, and fall-back (non-compilable) selectors,
+        evaluate per group.
+        """
+        if self.backend == "fastpath":
+            stage = self.compiled.selectors[selector_index]
+            if stage.fallback_module is None:
+                dim = self.model.config.embed_dim
+                patches, counts = [], []
+                for x, indices, packaged in exacts:
+                    stop = x.shape[1] - (1 if packaged else 0)
+                    patches.append(np.ascontiguousarray(
+                        x[:, 1:stop, :]).reshape(-1, dim))
+                    counts.extend([stop - 1] * x.shape[0])
+                flat = np.concatenate(patches, axis=0)
+                keep_flat, packages = self.compiled.select_ragged(
+                    selector_index, flat, counts, self.workspace)
+                decisions, token_lo, image_lo = [], 0, 0
+                for x, indices, packaged in exacts:
+                    g = x.shape[0]
+                    n = x.shape[1] - (2 if packaged else 1)
+                    token_hi = token_lo + g * n
+                    decisions.append(
+                        (keep_flat[token_lo:token_hi].reshape(g, n),
+                         packages[image_lo:image_lo + g]))
+                    token_lo, image_lo = token_hi, image_lo + g
+                return decisions
+        decisions = []
+        for x, indices, packaged in exacts:
+            stop = x.shape[1] - (1 if packaged else 0)
+            decisions.append(self._selector_eval(selector_index,
+                                                 x[:, 1:stop, :]))
+        return decisions
+
+    def _classify(self, x):
+        if self.backend == "fastpath":
+            return self.compiled.classify(x, self.workspace)
+        return self.model.backbone.classify(Tensor(x)).data
+
+    def _stack_bucket(self, members, plan):
+        """Stack a planned bucket's sequences, padding if needed.
+
+        Returns ``(stacked, mask, bias)``.  On the fast path the stack
+        lives in the workspace pool, so recurring bucket shapes across
+        stages and bursts reuse the same memory instead of reallocating
+        per pad.
+        """
+        if self.backend == "fastpath":
+            dim = members[0].shape[-1]
+            stacked = self.workspace.take(
+                "bucket", (len(members), plan.padded_length, dim))
+            if plan.needs_padding:
+                stacked.fill(0.0)
+            for row, seq in enumerate(members):
+                stacked[row, :seq.shape[0]] = seq
+            if not plan.needs_padding:
+                return stacked, None, None
+            mask = key_padding_mask(plan.lengths, plan.padded_length,
+                                    dtype=self.dtype)
+            bias = mask_to_bias(
+                mask, self.dtype,
+                out=self.workspace.take("bucket_bias", mask.shape))
+            return stacked, mask, bias
+        if plan.needs_padding:
+            stacked, mask = pad_token_sequences(members, plan.padded_length)
+            return stacked, mask, None
+        return np.stack(members, axis=0), None, None
+
+    # ------------------------------------------------------------------
+    def _apply_selector(self, selector_index, groups, batch, result):
         """Selector boundary: regather every image, then re-bucket."""
         sequences = [None] * batch
         has_package = np.zeros(batch, dtype=bool)
         stage_counts = np.zeros(batch, dtype=int)
-        for exact in self._split_exact(groups):
-            self._select_and_gather(selector, exact, sequences,
-                                    has_package, stage_counts)
+        exacts = list(self._split_exact(groups))
+        decisions = self._evaluate_selector(selector_index, exacts)
+        for (x, indices, packaged), (keep, packages) in zip(exacts,
+                                                            decisions):
+            gathered, flags = prune_group_sequences(
+                x, keep, use_packager=self.model.use_packager,
+                has_package=packaged, packages=packages)
+            for row, image in enumerate(indices):
+                sequences[image] = gathered[row]
+                has_package[image] = flags[row]
+                stage_counts[image] = gathered[row].shape[0]
         result.tokens_per_stage.append(stage_counts)
         lengths = np.array([s.shape[0] for s in sequences])
-        plans = plan_buckets(lengths, self.policy,
-                             cost_model=self.cost_model)
+        cache_key = lengths.tobytes()
+        plans = self._plan_cache.get(cache_key)
+        if plans is None:
+            plans = plan_buckets(lengths, self.policy,
+                                 cost_model=self.cost_model)
+            if len(self._plan_cache) >= 256:       # bound the cache
+                self._plan_cache.pop(next(iter(self._plan_cache)))
+            self._plan_cache[cache_key] = plans
         result.stage_stats.append(StageStats(
             num_buckets=len(plans),
             bucket_sizes=[int(p.indices.size) for p in plans],
@@ -200,12 +349,8 @@ class BucketedExecutor:
         new_groups = []
         for plan in plans:
             members = [sequences[i] for i in plan.indices]
-            if plan.needs_padding:
-                stacked, mask = pad_token_sequences(members,
-                                                    plan.padded_length)
-            else:
-                stacked, mask = np.stack(members, axis=0), None
-            new_groups.append(_Group(stacked, mask, plan.indices,
+            stacked, mask, bias = self._stack_bucket(members, plan)
+            new_groups.append(_Group(stacked, mask, bias, plan.indices,
                                      plan.lengths.copy(),
                                      has_package[plan.indices]))
         return new_groups
@@ -218,7 +363,18 @@ class BucketedExecutor:
         pooling averages over every token it is given), so padding is
         stripped before the boundary.  Yields ``(x, indices,
         has_package)`` with ``x`` dense ``(g, T, D)``.
+
+        The shared-prefix boundary (one unpadded group, uniform length
+        and package state -- every first selector hits this) is passed
+        through without the per-row re-pooling copy.
         """
+        if len(groups) == 1 and groups[0].mask is None:
+            group = groups[0]
+            uniform = (group.lengths[0] == group.lengths).all()
+            if uniform and (group.has_package[0] == group.has_package).all():
+                yield (group.x, group.indices,
+                       bool(group.has_package[0]))
+                return
         pools = {}
         for group in groups:
             for row in range(group.indices.size):
@@ -229,19 +385,3 @@ class BucketedExecutor:
                 pools[key][1].append(int(group.indices[row]))
         for (length, packaged), (seqs, indices) in sorted(pools.items()):
             yield (np.stack(seqs, axis=0), np.asarray(indices), packaged)
-
-    def _select_and_gather(self, selector, exact, sequences, has_package,
-                           stage_counts):
-        x, indices, packaged = exact
-        stop = x.shape[1] - (1 if packaged else 0)
-        out = selector(Tensor(x[:, 1:stop, :]), hard=False)
-        keep = out.decision.data > 0.5                    # (g, N)
-        packages = out.package.data[:, 0, :]              # (g, D)
-        use_packager = self.model.use_packager
-        for row, image in enumerate(indices):
-            sequence, new_packaged = prune_image_sequence(
-                x[row], keep[row], use_packager=use_packager,
-                has_package=packaged, package=packages[row])
-            sequences[image] = sequence
-            has_package[image] = new_packaged
-            stage_counts[image] = sequence.shape[0]

@@ -1,0 +1,32 @@
+"""Compiled graph-free inference fast path for the serving engine.
+
+The deployed token-pruned path used to execute through the float64
+autograd ``Tensor`` tape even under ``no_grad``; this subsystem lowers a
+model once into contiguous weight arrays plus fused ndarray kernels
+(:func:`compile_model` -> :class:`CompiledModel`) and reuses scratch
+memory across buckets and bursts (:class:`Workspace`).  The Tensor path
+remains the reference implementation; parity is enforced by
+``tests/engine/test_fastpath.py``.
+
+Select it per session::
+
+    session = InferenceSession(model, backend="fastpath")            # float32
+    session = InferenceSession(model, backend="fastpath",
+                               dtype=np.float64)                     # parity-grade
+"""
+
+from repro.engine.fastpath.compiled import (CompileError, CompiledBlock,
+                                            CompiledModel, CompiledSelector,
+                                            compile_model)
+from repro.engine.fastpath.kernels import (MASK_BIAS, fused_layer_norm,
+                                           gelu_exact, gelu_rational,
+                                           gelu_tanh, mask_to_bias,
+                                           masked_softmax)
+from repro.engine.fastpath.workspace import Workspace
+
+__all__ = [
+    "compile_model", "CompiledModel", "CompiledBlock", "CompiledSelector",
+    "CompileError", "Workspace",
+    "fused_layer_norm", "masked_softmax", "gelu_exact", "gelu_rational",
+    "gelu_tanh", "mask_to_bias", "MASK_BIAS",
+]

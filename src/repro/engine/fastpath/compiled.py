@@ -1,0 +1,519 @@
+"""Graph-free compiled inference for ViT / HeatViT serving.
+
+:func:`compile_model` walks a :class:`repro.vit.VisionTransformer` or a
+:class:`repro.core.HeatViT` once, extracts every weight into contiguous
+arrays of the target dtype, and returns a :class:`CompiledModel` whose
+methods run pure-ndarray fused kernels (:mod:`.kernels`) with scratch
+from a :class:`.Workspace` -- no autograd tape, no per-op ``Tensor``
+allocations, no ``(3, B, h, N, d)`` transpose round-trip in attention.
+
+Compile-time fusions
+--------------------
+* **Pre-fused, pre-scaled QKV**: the qkv projection is one GEMM whose
+  query columns are pre-multiplied by the ``1/sqrt(d)`` attention scale,
+  so the score matmul needs no separate scaling pass.
+* **Attention layout**: Q/K/V are strided views into the one
+  ``(B, T, 3, h, d)`` qkv buffer; the batched matmuls consume the views
+  directly instead of materializing the reference path's transposed
+  5-D copy, and the only explicit copy is the single head-merge back to
+  ``(B, T, D)``.
+* **LayerNorm affine / biases**: stored contiguous in the target dtype,
+  applied in place by :func:`.kernels.fused_layer_norm`.
+* **Token selectors** are compiled to the same ndarray kernels (LN ->
+  per-head scoring MLPs -> attention branch -> Eq. 8 combine -> Eq. 10
+  packager), so keep/prune decisions on the fast path come from the
+  exact same arithmetic as the compiled blocks.  A selector whose
+  classifier is not the stock :class:`MultiHeadTokenClassifier` (e.g.
+  the Fig. 12 conv ablation) falls back to invoking the original Tensor
+  module under ``no_grad`` -- slower, still correct.
+
+The Tensor path stays the reference implementation: float64 compiles
+match it to well under the engine's 1e-8 bound, float32 to ~1e-6 logits
+with (empirically pinned) identical token-keep decisions and argmax.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.engine.fastpath.kernels import (fused_layer_norm, gelu_exact,
+                                           gelu_rational, gelu_tanh,
+                                           masked_softmax)
+from repro.engine.fastpath.workspace import Workspace
+
+__all__ = ["compile_model", "CompiledModel", "CompiledBlock",
+           "CompiledSelector", "CompileError"]
+
+_EPS = 1e-8          # mirrors repro.core.selector._EPS
+
+
+class CompileError(TypeError):
+    """A module the fast path cannot lower (and cannot fall back on)."""
+
+
+def _contig(array, dtype):
+    return np.ascontiguousarray(array, dtype=dtype)
+
+
+def _fold_norm_affine(norm, linear, dtype):
+    """Fold a LayerNorm's affine into the Linear that consumes it.
+
+    ``(xn * w + b) @ W + c  ==  xn @ (diag(w) W) + (b W + c)`` -- exact
+    up to rounding order, one full-tensor multiply and add cheaper per
+    invocation.  Returns fresh ``(weight, bias)`` arrays in ``dtype``.
+    """
+    w = np.asarray(norm.weight.data, dtype=dtype)
+    b = np.asarray(norm.bias.data, dtype=dtype)
+    weight = np.asarray(linear.weight.data, dtype=dtype)
+    bias = (np.zeros(weight.shape[1], dtype=dtype) if linear.bias is None
+            else np.asarray(linear.bias.data, dtype=dtype))
+    return w[:, None] * weight, bias + b @ weight
+
+
+_GELU_KERNELS = {"exact": gelu_exact, "rational": gelu_rational,
+                 "tanh": gelu_tanh}
+
+
+def _compile_activation(module, dtype, gelu):
+    """Map an activation Module to an in-place ``fn(x, ws, key)``."""
+    if isinstance(module, nn.GELU):
+        return _GELU_KERNELS[gelu]
+    if isinstance(module, nn.ReLU):
+        return lambda x, ws, key: np.maximum(x, 0.0, out=x)
+    if isinstance(module, nn.Sigmoid):
+        return lambda x, ws, key: special.expit(x, out=x)
+    if isinstance(module, nn.Hardswish):
+        def hardswish(x, ws, key):
+            scratch = ws.take(key + "0", x.shape)
+            np.clip(x + 3.0, 0.0, 6.0, out=scratch)
+            scratch /= 6.0
+            x *= scratch
+            return x
+        return hardswish
+    if isinstance(module, nn.Identity):
+        return lambda x, ws, key: x
+
+    def fallback(x, ws, key):
+        with nn.no_grad():
+            result = module(Tensor(np.asarray(x, dtype=np.float64)))
+        x[...] = result.data.astype(dtype, copy=False)
+        return x
+    return fallback
+
+
+def _compile_mlp(sequential, dtype, gelu):
+    """Lower a ``Sequential`` of Linear / activation modules to a step
+    program executed by :func:`_run_mlp`."""
+    steps = []
+    for module in sequential:
+        if isinstance(module, nn.Linear):
+            weight = _contig(module.weight.data, dtype)
+            bias = (None if module.bias is None
+                    else _contig(module.bias.data, dtype))
+            steps.append(("linear", weight, bias))
+        else:
+            steps.append(("act", _compile_activation(module, dtype, gelu)))
+    return steps
+
+
+def _run_mlp(steps, x, ws, prefix):
+    """Execute a compiled MLP program; returns a workspace buffer."""
+    for index, step in enumerate(steps):
+        if step[0] == "linear":
+            _, weight, bias = step
+            out = ws.take(f"{prefix}{index}",
+                          x.shape[:-1] + (weight.shape[1],))
+            np.matmul(x, weight, out=out)
+            if bias is not None:
+                out += bias
+            x = out
+        else:
+            x = step[1](x, ws, f"{prefix}{index}s")
+    return x
+
+
+class CompiledBlock:
+    """One transformer encoder block lowered to fused ndarray kernels.
+
+    Both LayerNorms' affine transforms are folded into the GEMM that
+    consumes them at compile time (``(xn * w + b) @ W`` becomes
+    ``xn @ (diag(w) W) + b W``), so at run time each LN stops at the
+    normalized activations -- the "pre-scaled LayerNorm affine" fusion.
+    """
+
+    __slots__ = ("num_heads", "head_dim", "embed_dim", "hidden_dim",
+                 "eps1", "qkv_w", "qkv_b", "proj_w", "proj_b",
+                 "eps2", "fc1_w", "fc1_b", "fc2_w", "fc2_b", "act")
+
+    def __init__(self, block, dtype, gelu):
+        attn = block.attn
+        self.num_heads = attn.num_heads
+        self.head_dim = attn.head_dim
+        self.embed_dim = attn.embed_dim
+        self.eps1 = block.norm1.eps
+        self.eps2 = block.norm2.eps
+        # Pre-fused QKV: norm1's affine folded in, and the attention
+        # scale pre-multiplied onto the query columns (features [0, D)
+        # of the qkv output are Q).
+        qkv_w, qkv_b = _fold_norm_affine(block.norm1, attn.qkv, dtype)
+        qkv_w[:, :self.embed_dim] *= dtype.type(attn.scale)
+        qkv_b[:self.embed_dim] *= dtype.type(attn.scale)
+        self.qkv_w = _contig(qkv_w, dtype)
+        self.qkv_b = _contig(qkv_b, dtype)
+        self.proj_w = _contig(attn.proj.weight.data, dtype)
+        self.proj_b = _contig(attn.proj.bias.data, dtype)
+        fc1_w, fc1_b = _fold_norm_affine(block.norm2, block.mlp.fc1, dtype)
+        self.fc1_w = _contig(fc1_w, dtype)
+        self.fc1_b = _contig(fc1_b, dtype)
+        self.fc2_w = _contig(block.mlp.fc2.weight.data, dtype)
+        self.fc2_b = _contig(block.mlp.fc2.bias.data, dtype)
+        self.hidden_dim = self.fc1_w.shape[1]
+        self.act = _compile_activation(block.mlp.act, dtype, gelu)
+
+    def forward(self, x, bias, ws):
+        """Pre-norm block, fully in place on ``x`` (``(B, T, D)``).
+
+        ``bias`` is the additive key-padding score bias ``(B, T)`` (or
+        ``None``); ``ws`` supplies every scratch buffer.
+        """
+        batch, tokens, dim = x.shape
+        h, d = self.num_heads, self.head_dim
+        normed = ws.take("blk_ln", (batch, tokens, dim))
+        fused_layer_norm(x, None, None, self.eps1, out=normed,
+                         ws=ws, key="blk_ln1")
+        qkv = ws.take("blk_qkv", (batch, tokens, 3 * dim))
+        np.matmul(normed, self.qkv_w, out=qkv)
+        qkv += self.qkv_b
+        split = qkv.reshape(batch, tokens, 3, h, d)
+        q = split[:, :, 0].transpose(0, 2, 1, 3)           # (B, h, T, d)
+        k = split[:, :, 1].transpose(0, 2, 3, 1)           # (B, h, d, T)
+        v = split[:, :, 2].transpose(0, 2, 1, 3)           # (B, h, T, d)
+        scores = ws.take("blk_scores", (batch, h, tokens, tokens))
+        np.matmul(q, k, out=scores)                        # Q pre-scaled
+        masked_softmax(scores, bias, ws, "blk_sm")
+        context = ws.take("blk_ctx", (batch, h, tokens, d))
+        np.matmul(scores, v, out=context)
+        merged = ws.take("blk_merge", (batch, tokens, dim))
+        # The one explicit head-merge copy: (B, h, T, d) -> (B, T, h*d).
+        np.copyto(merged.reshape(batch, tokens, h, d),
+                  context.transpose(0, 2, 1, 3))
+        attn_out = ws.take("blk_attn_out", (batch, tokens, dim))
+        np.matmul(merged, self.proj_w, out=attn_out)
+        attn_out += self.proj_b
+        x += attn_out                                      # residual 1
+        fused_layer_norm(x, None, None, self.eps2, out=normed,
+                         ws=ws, key="blk_ln2")
+        hidden = ws.take("blk_mlp", (batch, tokens, self.hidden_dim))
+        np.matmul(normed, self.fc1_w, out=hidden)
+        hidden += self.fc1_b
+        self.act(hidden, ws, "blk_act")
+        np.matmul(hidden, self.fc2_w, out=attn_out)        # reuse buffer
+        attn_out += self.fc2_b
+        x += attn_out                                      # residual 2
+        return x
+
+
+class CompiledSelector:
+    """A token selector lowered to ndarray kernels (eval semantics).
+
+    Reproduces :meth:`repro.core.TokenSelector.forward` with
+    ``hard=False`` and no incoming mask -- exactly what both deployment
+    paths execute: deterministic argmax decisions, the >=1-token guard,
+    and the Eq. 10 score-weighted packager.
+    """
+
+    __slots__ = ("dtype", "num_heads", "head_dim", "norm_w", "norm_b",
+                 "norm_eps", "feature_mlp", "classifier_mlp",
+                 "attention_mlp", "fallback_module")
+
+    def __init__(self, selector, dtype, gelu):
+        from repro.core.selector import MultiHeadTokenClassifier
+
+        self.dtype = dtype
+        self.fallback_module = None
+        if not isinstance(selector.classifier, MultiHeadTokenClassifier):
+            # Non-stock classifier (e.g. the Fig. 12 conv ablation):
+            # keep the Tensor module as an opaque unit.
+            self.fallback_module = selector
+            return
+        classifier = selector.classifier
+        self.num_heads = classifier.num_heads
+        self.head_dim = classifier.head_dim
+        self.norm_w = _contig(selector.norm.weight.data, dtype)
+        self.norm_b = _contig(selector.norm.bias.data, dtype)
+        self.norm_eps = selector.norm.eps
+        self.feature_mlp = _compile_mlp(classifier.feature_mlp, dtype, gelu)
+        self.classifier_mlp = _compile_mlp(classifier.classifier_mlp,
+                                           dtype, gelu)
+        self.attention_mlp = _compile_mlp(selector.attention_branch.mlp,
+                                          dtype, gelu)
+
+    def select(self, patches, ws):
+        """Score ``(g, N, D)`` patch tokens; returns ``(keep, packages)``
+        with ``keep`` boolean ``(g, N)`` and ``packages`` ``(g, D)``.
+        """
+        if self.fallback_module is not None:
+            with nn.no_grad():
+                out = self.fallback_module(
+                    Tensor(np.asarray(patches, dtype=np.float64)),
+                    hard=False)
+            keep = out.decision.data > 0.5
+            packages = out.package.data[:, 0, :].astype(self.dtype,
+                                                        copy=False)
+            return keep, packages
+
+        g, tokens, dim = patches.shape
+        h, d = self.num_heads, self.head_dim
+        normed = ws.take("sel_norm", (g, tokens, dim))
+        fused_layer_norm(patches, self.norm_w, self.norm_b, self.norm_eps,
+                         out=normed, ws=ws, key="sel_ln")
+        heads = normed.reshape(g, tokens, h, d)
+        # Per-head token scores (Eqs. 3-5): local features, masked-free
+        # global average, concat, classify, softmax.
+        local = _run_mlp(self.feature_mlp, heads.transpose(0, 2, 1, 3),
+                         ws, "sel_feat")                   # (g, h, N, f)
+        feat = local.shape[-1]
+        combined = ws.take("sel_comb", (g, h, tokens, 2 * feat))
+        combined[..., :feat] = local
+        gmean = np.add.reduce(local, axis=2, keepdims=True)
+        gmean /= tokens
+        combined[..., feat:] = gmean
+        per_head = _run_mlp(self.classifier_mlp, combined, ws, "sel_cls")
+        masked_softmax(per_head, ws=ws, key="sel_sm")      # (g, h, N, 2)
+        # Attention branch (Eqs. 6-7): head channel means -> MLP -> sigmoid.
+        head_stat = np.add.reduce(heads, axis=-1)          # (g, N, h)
+        head_stat /= d
+        importance = _run_mlp(self.attention_mlp, head_stat, ws, "sel_att")
+        special.expit(importance, out=importance)
+        # Eq. 8 combine: head-importance-weighted average of the scores.
+        weights = importance.transpose(0, 2, 1)[..., None]  # (g, h, N, 1)
+        per_head *= weights
+        scores = np.add.reduce(per_head, axis=1)            # (g, N, 2)
+        total = np.add.reduce(weights, axis=1)
+        total += self.dtype.type(_EPS)
+        scores /= total
+        keep_score = scores[..., 0]
+        keep = keep_score >= scores[..., 1]
+        # Degenerate guard: never prune every token of an image.
+        for row in np.flatnonzero(~keep.any(axis=1)):
+            keep[row, np.argmax(keep_score[row])] = True
+        # Eq. 10 packager on the RAW (un-normed) tokens, weighted by the
+        # pruned tokens' keep scores.
+        pruned_w = np.where(keep, self.dtype.type(0.0), keep_score)
+        packages = np.matmul(pruned_w[:, None, :], patches)[:, 0, :]
+        packages /= (pruned_w.sum(axis=1, keepdims=True)
+                     + self.dtype.type(_EPS))
+        return keep, packages
+
+    def select_ragged(self, flat, counts, ws):
+        """Score a ragged batch of images in ONE kernel pipeline.
+
+        ``flat``: ``(M, D)`` patch tokens of many images concatenated
+        along the token axis; ``counts``: ``(n,)`` per-image token
+        counts summing to ``M``.  This is the selector-boundary hot
+        path: every per-token op (LN, MLPs, softmax, sigmoid, Eq. 8)
+        is arithmetically identical to the dense :meth:`select`, and
+        the per-image reductions (Eq. 4 global pooling, the >=1-token
+        guard, the Eq. 10 packager) run as segment reductions
+        (``np.add.reduceat``) -- so one call replaces one
+        :meth:`select` per distinct sequence length.  Segment sums
+        accumulate sequentially instead of numpy's pairwise order, a
+        rounding-level (~1e-16 in float64) deviation only.
+
+        Returns ``(keep_flat, packages)``: boolean ``(M,)`` and
+        ``(n, D)``.  Raises :class:`CompileError` for fall-back
+        selectors (the executor then uses the per-group path).
+        """
+        if self.fallback_module is not None:
+            raise CompileError("ragged select unavailable for fall-back "
+                               "selectors")
+        m, dim = flat.shape
+        h, d = self.num_heads, self.head_dim
+        counts = np.asarray(counts)
+        starts = np.zeros(counts.size, dtype=np.intp)
+        np.cumsum(counts[:-1], out=starts[1:])
+        normed = ws.take("rag_norm", (m, dim))
+        fused_layer_norm(flat, self.norm_w, self.norm_b, self.norm_eps,
+                         out=normed, ws=ws, key="rag_ln")
+        heads = normed.reshape(m, h, d)
+        local = _run_mlp(self.feature_mlp, heads, ws, "rag_feat")  # (M,h,f)
+        feat = local.shape[-1]
+        gmean = np.add.reduceat(local, starts, axis=0)     # (n, h, f)
+        gmean /= counts[:, None, None]
+        combined = ws.take("rag_comb", (m, h, 2 * feat))
+        combined[..., :feat] = local
+        combined[..., feat:] = np.repeat(gmean, counts, axis=0)
+        per_head = _run_mlp(self.classifier_mlp, combined, ws, "rag_cls")
+        masked_softmax(per_head, ws=ws, key="rag_sm")      # (M, h, 2)
+        head_stat = np.add.reduce(heads, axis=-1)          # (M, h)
+        head_stat /= d
+        importance = _run_mlp(self.attention_mlp, head_stat, ws, "rag_att")
+        special.expit(importance, out=importance)
+        weights = importance[..., None]                    # (M, h, 1)
+        per_head *= weights
+        scores = np.add.reduce(per_head, axis=1)           # (M, 2)
+        total = np.add.reduce(weights, axis=1)
+        total += self.dtype.type(_EPS)
+        scores /= total
+        keep_score = scores[..., 0]
+        keep = keep_score >= scores[..., 1]
+        kept_any = np.logical_or.reduceat(keep, starts)
+        for image in np.flatnonzero(~kept_any):            # guard
+            lo = starts[image]
+            hi = lo + counts[image]
+            keep[lo + np.argmax(keep_score[lo:hi])] = True
+        pruned_w = np.where(keep, self.dtype.type(0.0), keep_score)
+        weighted = ws.take("rag_pkg", (m, dim))
+        np.multiply(flat, pruned_w[:, None], out=weighted)
+        packages = np.add.reduceat(weighted, starts, axis=0)
+        packages /= (np.add.reduceat(pruned_w, starts)[:, None]
+                     + self.dtype.type(_EPS))
+        return keep, packages
+
+
+class CompiledModel:
+    """Weights + kernels for the graph-free serving forward pass.
+
+    Buffers returned by :meth:`embed` / :meth:`forward` belong to the
+    model (they are mutated in place by subsequent block calls and
+    reused across invocations sharing a workspace); copy them if you
+    need them to survive the next call.
+    """
+
+    def __init__(self, config, dtype, blocks, selectors, embed_weights,
+                 head_weights, gelu):
+        self.config = config
+        self.dtype = dtype
+        self.gelu = gelu
+        self.blocks = blocks
+        self.selectors = selectors
+        (self.patch_w, self.patch_b, self.cls_token,
+         self.pos_embed) = embed_weights
+        # Final LayerNorm affine folded into the head GEMM.
+        (self.final_norm_eps, self.head_w, self.head_b) = head_weights
+        self._default_ws = Workspace(dtype)
+
+    # ------------------------------------------------------------------
+    def workspace(self, ws=None):
+        return self._default_ws if ws is None else ws
+
+    def embed(self, images, ws=None):
+        """Patch-embed + CLS + position embeddings: ``(B, 1+N, D)``."""
+        ws = self.workspace(ws)
+        images = np.asarray(images, dtype=self.dtype)
+        batch, channels, height, width = images.shape
+        p = self.config.patch_size
+        grid_h, grid_w = height // p, width // p
+        cols = images.reshape(batch, channels, grid_h, p, grid_w, p)
+        cols = cols.transpose(0, 2, 4, 1, 3, 5)
+        cols = cols.reshape(batch, grid_h * grid_w, channels * p * p)
+        out = ws.take("embed", (batch, 1 + grid_h * grid_w,
+                                self.patch_w.shape[1]))
+        np.matmul(cols, self.patch_w, out=out[:, 1:, :])
+        out[:, 1:, :] += self.patch_b
+        out[:, 0, :] = self.cls_token
+        out += self.pos_embed
+        return out
+
+    def run_block(self, index, x, bias=None, ws=None):
+        """Run block ``index`` in place on ``x``; see
+        :meth:`CompiledBlock.forward`."""
+        return self.blocks[index].forward(x, bias, self.workspace(ws))
+
+    def forward(self, tokens, key_mask=None, ws=None):
+        """Run the whole block stack over a token sequence.
+
+        ``tokens``: ``(B, T, D)`` (copied, the input is not mutated);
+        ``key_mask``: optional ``(B, T)`` {0,1} key-padding mask.
+        Selectors are NOT applied -- physically-pruned control flow
+        lives in :class:`repro.engine.BucketedExecutor`; this is the
+        dense stack the parity tests compare against the Tensor blocks.
+        """
+        from repro.engine.fastpath.kernels import mask_to_bias
+
+        ws = self.workspace(ws)
+        x = np.array(tokens, dtype=self.dtype)
+        bias = (None if key_mask is None
+                else mask_to_bias(key_mask, self.dtype))
+        for index in range(len(self.blocks)):
+            self.run_block(index, x, bias, ws)
+        return x
+
+    def select(self, stage, patches, ws=None):
+        """Apply compiled selector ``stage``; see
+        :meth:`CompiledSelector.select`."""
+        return self.selectors[stage].select(patches, self.workspace(ws))
+
+    def select_ragged(self, stage, flat, counts, ws=None):
+        """Ragged-batch form of :meth:`select`; see
+        :meth:`CompiledSelector.select_ragged`."""
+        return self.selectors[stage].select_ragged(flat, counts,
+                                                   self.workspace(ws))
+
+    def classify(self, x, ws=None):
+        """Final LayerNorm + head on the CLS row: ``(B, num_classes)``.
+
+        Only token 0 feeds the head, so the fast path norms just that
+        row (LayerNorm is per-token; identical to norming the full
+        sequence and slicing).  Returns a fresh array.
+        """
+        ws = self.workspace(ws)
+        batch = x.shape[0]
+        cls_row = ws.take("cls_norm", (batch, x.shape[-1]))
+        fused_layer_norm(x[:, 0, :], None, None, self.final_norm_eps,
+                         out=cls_row, ws=ws, key="cls_ln")
+        logits = np.matmul(cls_row, self.head_w)
+        logits += self.head_b
+        return logits
+
+
+def compile_model(model, dtype=np.float32, gelu="auto"):
+    """Compile a ``VisionTransformer`` or ``HeatViT`` for the fast path.
+
+    Parameters
+    ----------
+    model: the model to lower.  Weights are **copied** at compile time;
+        recompile after mutating parameters (e.g. loading a checkpoint).
+        Keep-ratio retuning needs no recompile (ratios only steer
+        training-time losses; eval decisions come from the weights).
+    dtype: ``numpy.float32`` (default: half the memory traffic,
+        ~1e-6-level logits vs the reference) or ``numpy.float64``
+        (reference-equivalent to well under 1e-8).
+    gelu: ``"auto"`` (default: exact erf for float64 parity, the
+        rational-erf kernel for float32 -- ~6e-7 activation error,
+        below the float32 noise floor), ``"exact"`` (erf everywhere),
+        ``"rational"``, or ``"tanh"`` (fastest, ~1e-3 deviation -- not
+        parity-grade).
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise CompileError(f"unsupported dtype {dtype}; use float32 or "
+                           f"float64")
+    if gelu == "auto":
+        gelu = "exact" if dtype == np.dtype(np.float64) else "rational"
+    if gelu not in ("exact", "rational", "tanh"):
+        raise CompileError(f"unknown gelu mode {gelu!r}")
+    backbone = getattr(model, "backbone", model)
+    for attr in ("patch_embed", "blocks", "norm", "head"):
+        if not hasattr(backbone, attr):
+            raise CompileError(
+                f"cannot compile {type(model).__name__}: expected a "
+                f"VisionTransformer(-backed) model with .{attr}")
+    blocks = [CompiledBlock(block, dtype, gelu)
+              for block in backbone.blocks]
+    selectors = [CompiledSelector(s, dtype, gelu)
+                 for s in getattr(model, "selectors", [])]
+    embed_weights = (
+        _contig(backbone.patch_embed.projection.weight.data, dtype),
+        _contig(backbone.patch_embed.projection.bias.data, dtype),
+        _contig(backbone.cls_token.data[0, 0], dtype),
+        _contig(backbone.pos_embed.data, dtype),
+    )
+    head_w, head_b = _fold_norm_affine(backbone.norm, backbone.head, dtype)
+    head_weights = (backbone.norm.eps, _contig(head_w, dtype),
+                    _contig(head_b, dtype))
+    return CompiledModel(backbone.config, dtype, blocks, selectors,
+                         embed_weights, head_weights, gelu)

@@ -1,0 +1,229 @@
+"""Fused pure-ndarray kernels for the serving fast path.
+
+Each routine here replaces a chain of 4-6 small autograd ``Tensor`` ops
+with one or two in-place passes over caller-provided buffers: no tape
+bookkeeping, no per-op allocations, and the caller's :class:`Workspace`
+scratch is reused across calls.  The float64 variants track the Tensor
+reference implementations (:mod:`repro.nn.functional`) to well under the
+engine's 1e-8 parity bound; float32 trades ~1e-6-level rounding for
+roughly half the memory traffic.
+
+Activation kernels share the signature ``fn(x, ws, key)``: ``x`` is
+transformed in place, scratch comes from the workspace under ``key``.
+
+Conventions
+-----------
+* ``out`` buffers are fully overwritten; aliasing ``out`` with an input
+  is only allowed where a kernel documents it.
+* Reductions go through ``np.add.reduce`` / ``np.maximum.reduce``
+  directly -- the ``ndarray.mean``/``max`` wrappers cost real time at
+  serving batch shapes -- and divide exactly like ``np.mean`` so parity
+  with the Tensor reference is preserved.
+* The masked softmax folds the key-padding bias into the single
+  max/exp/sum pass; a ``-1e9`` bias underflows to an exactly-zero
+  attention weight in both dtypes, preserving the engine's padding
+  invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+__all__ = ["fused_layer_norm", "masked_softmax", "gelu_exact",
+           "gelu_rational", "gelu_tanh", "mask_to_bias", "MASK_BIAS"]
+
+_SQRT_2 = np.sqrt(2.0)
+_SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
+
+#: Additive score penalty for masked attention keys.  Matches the
+#: Tensor reference (`repro.vit.attention`): exp(-1e9 - max) underflows
+#: to exactly 0.0 in float32 and float64 alike.
+MASK_BIAS = -1e9
+
+
+def mask_to_bias(key_mask, dtype, out=None):
+    """Turn a ``(B, T)`` {0,1} key mask into an additive score bias row.
+
+    Returns ``(1 - mask) * MASK_BIAS`` in ``dtype`` -- broadcast over
+    the score tensor's query axes by :func:`masked_softmax`.
+    """
+    mask = np.asarray(key_mask)
+    if out is None:
+        out = np.empty(mask.shape, dtype=dtype)
+    np.subtract(1.0, mask, out=out, casting="unsafe")
+    out *= MASK_BIAS
+    return out
+
+
+def masked_softmax(scores, bias=None, ws=None, key="sm"):
+    """Single-pass masked softmax over the last axis, in place.
+
+    ``scores``: ``(B, h, T, T)`` (or any >=2-D) attention scores,
+    overwritten with probabilities.  ``bias``: optional ``(B, T)``
+    additive key bias (from :func:`mask_to_bias`) broadcast over the
+    middle axes, folded in before the max/exp/sum pass so masked keys
+    get exactly zero weight.  With a :class:`Workspace` the row sums
+    run as one BLAS matvec (a ones-vector matmul, ~6x the speed of a
+    last-axis ``add.reduce`` at serving shapes) and the normalization
+    is a reciprocal-multiply; both deviate from the reference only in
+    summation/rounding order.  Returns ``scores``.
+    """
+    if bias is not None:
+        # (B, T) -> (B, 1, ..., 1, T) to match scores' rank.
+        bias = bias.reshape(bias.shape[0],
+                            *([1] * (scores.ndim - 2)), bias.shape[1])
+    if ws is None:
+        if bias is not None:
+            scores += bias
+        peak = np.maximum.reduce(scores, axis=-1, keepdims=True)
+        np.subtract(scores, peak, out=scores)
+        np.exp(scores, out=scores)
+        total = np.add.reduce(scores, axis=-1, keepdims=True)
+        scores /= total
+        return scores
+    t = scores.shape[-1]
+    flat = scores.reshape(-1, t)
+    # Softmax is shift-invariant, so the per-row max subtraction is
+    # purely for numerical range.  When the raw scores provably cannot
+    # overflow/underflow exp (|score| < 60: exp(+-60) is finite and
+    # normal in float32), skip the shift entirely -- two cheap
+    # contiguous whole-buffer reductions replace the slow last-axis
+    # row max plus a full-size subtract.  Out-of-range scores take the
+    # reference max-shifted path.
+    whole = scores.reshape(-1)
+    safe = (np.minimum.reduce(whole) > -60.0
+            and np.maximum.reduce(whole) < 60.0)
+    if bias is not None:
+        scores += bias
+    if safe:
+        # Masked keys sit at ~-1e9 after the bias: exp underflows to
+        # an exact 0.0, same as on the shifted path.
+        np.exp(flat, out=flat)
+    else:
+        peak = ws.take(key + "_max", (flat.shape[0], 1))
+        np.maximum.reduce(flat, axis=-1, keepdims=True, out=peak)
+        np.subtract(flat, peak, out=flat)
+        np.exp(flat, out=flat)
+    total = ws.take(key + "_sum", (flat.shape[0], 1))
+    np.matmul(flat, ws.ones(key + "_ones", (t, 1)), out=total)
+    np.reciprocal(total, out=total)
+    flat *= total
+    return scores
+
+
+def fused_layer_norm(x, weight, bias, eps, out, ws=None, key="ln"):
+    """LayerNorm over the last axis into ``out`` (``out`` may not alias
+    ``x``).
+
+    One centering pass, one variance reduction, then the affine applied
+    in place -- versus the reference's seven tape ops.  Matches
+    :func:`repro.nn.functional.layer_norm` (biased variance, additive
+    ``eps`` under the square root) up to summation/rounding order: with
+    a :class:`Workspace` the mean and variance run as BLAS matvecs
+    against a cached ``1/n`` vector.
+
+    ``weight``/``bias`` may be ``None`` when the affine has been folded
+    into the next GEMM's weights at compile time (see
+    :class:`repro.engine.fastpath.CompiledBlock`) -- the kernel then
+    stops at the normalized (zero-mean, unit-variance) activations.
+    """
+    n = x.shape[-1]
+    if ws is None:
+        mu = np.add.reduce(x, axis=-1, keepdims=True)
+        mu /= n
+        np.subtract(x, mu, out=out)
+        scratch = np.square(out)
+        var = np.add.reduce(scratch, axis=-1, keepdims=True)
+        var /= n
+    else:
+        mean_vec = ws.full(key + "_mv", (n, 1), 1.0 / n)
+        lead = x.shape[:-1]
+        mu = ws.take(key + "_mu", lead + (1,))
+        np.matmul(x, mean_vec, out=mu)
+        np.subtract(x, mu, out=out)
+        scratch = ws.take(key + "_sq", x.shape)
+        np.square(out, out=scratch)
+        var = ws.take(key + "_var", lead + (1,))
+        np.matmul(scratch, mean_vec, out=var)
+    var += eps
+    np.sqrt(var, out=var)
+    np.reciprocal(var, out=var)
+    out *= var
+    if weight is not None:
+        out *= weight
+        out += bias
+    return out
+
+
+def gelu_exact(x, ws, key):
+    """Exact (erf) GELU in place on ``x``.  Matches the Tensor
+    reference ``x/2 * (1 + erf(x/sqrt 2))`` -- the parity-grade float64
+    choice."""
+    scratch = ws.take(key + "0", x.shape)
+    np.multiply(x, 1.0 / _SQRT_2, out=scratch)
+    special.erf(scratch, out=scratch)
+    scratch += 1.0
+    scratch *= 0.5
+    x *= scratch
+    return x
+
+
+def gelu_rational(x, ws, key):
+    """GELU via the Abramowitz-Stegun 7.1.26 rational erf, in place.
+
+    ``scipy.special.erf`` has no fast float32 path (its single-precision
+    loop is as slow as the double one), so the float32 fast path uses
+    the classic 5-term rational approximation: max absolute erf error
+    1.5e-7 (float64), ~6e-7 in float32 arithmetic -- below the noise the
+    float32 matmul chain already carries, and ~5x faster.  Not used for
+    float64 compiles (parity-grade stays :func:`gelu_exact`).
+    """
+    t = ws.take(key + "0", x.shape)
+    poly = ws.take(key + "1", x.shape)
+    np.multiply(x, 1.0 / _SQRT_2, out=t)                  # u = x/sqrt(2)
+    u = ws.take(key + "2", x.shape)
+    u[...] = t
+    np.abs(t, out=t)
+    t *= 0.3275911
+    t += 1.0
+    np.reciprocal(t, out=t)                               # t = 1/(1+p|u|)
+    np.multiply(t, 1.061405429, out=poly)
+    poly += -1.453152027
+    poly *= t
+    poly += 1.421413741
+    poly *= t
+    poly += -0.284496736
+    poly *= t
+    poly += 0.254829592
+    poly *= t                                             # a-poly(t)
+    np.square(u, out=t)
+    np.negative(t, out=t)
+    np.exp(t, out=t)                                      # exp(-u^2)
+    poly *= t
+    np.subtract(1.0, poly, out=poly)                      # erf(|u|)
+    np.copysign(poly, u, out=poly)                        # erf(u)
+    poly += 1.0
+    poly *= 0.5
+    x *= poly
+    return x
+
+
+def gelu_tanh(x, ws, key):
+    """Tanh-approximated GELU in place on ``x`` (the cheapest option):
+    ``x/2 * (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))``.
+    Max absolute deviation from exact GELU is ~1e-3, so it is opt-in
+    (``compile_model(..., gelu="tanh")``) and excluded from the strict
+    parity suites.
+    """
+    scratch = ws.take(key + "0", x.shape)
+    np.square(x, out=scratch)
+    scratch *= x
+    scratch *= 0.044715
+    scratch += x
+    scratch *= _SQRT_2_OVER_PI
+    np.tanh(scratch, out=scratch)
+    scratch += 1.0
+    scratch *= 0.5
+    x *= scratch
+    return x

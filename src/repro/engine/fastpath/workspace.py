@@ -1,0 +1,101 @@
+"""Preallocated scratch buffers for the graph-free inference fast path.
+
+The Tensor reference path allocates a fresh ndarray for every
+intermediate of every op; at serving batch sizes that is dozens of
+short-lived ``(B, T, D)`` / ``(B, h, T, T)`` arrays per block.  A
+:class:`Workspace` keeps one buffer per ``(name, shape)`` pair and hands
+it back on every request, so the bucketed executor reuses the same
+scratch memory across blocks, selector stages, and bursts -- buckets of
+a recurring shape (the common case under steady traffic) allocate
+nothing at all after warm-up.
+
+Buffers are handed out dirty (no zeroing): every fast-path kernel fully
+overwrites its output, which is part of the kernel contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """A pool of named, shape-keyed scratch arrays of one dtype.
+
+    ``hits`` / ``misses`` count buffer reuses vs fresh allocations --
+    telemetry the reuse tests and the hot-path profiler read.
+
+    ``max_buffers`` bounds the pool: under image-adaptive pruning a
+    long-lived serving session sees an open-ended set of
+    ``(batch, padded_length)`` shapes, so without eviction the pool
+    would grow monotonically.  When full, the oldest buffer is dropped
+    (FIFO); callers holding a reference to an evicted buffer are
+    unaffected -- eviction only forgets it for future reuse.
+    """
+
+    def __init__(self, dtype=np.float32, max_buffers=512):
+        if max_buffers < 1:
+            raise ValueError("max_buffers must be >= 1")
+        self.dtype = np.dtype(dtype)
+        self.max_buffers = int(max_buffers)
+        self._buffers = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _insert(self, key, buffer):
+        self._buffers[key] = buffer
+        self.misses += 1
+        if len(self._buffers) > self.max_buffers:
+            self._buffers.pop(next(iter(self._buffers)))
+            self.evictions += 1
+        return buffer
+
+    def take(self, name, shape):
+        """Return the scratch buffer registered under ``(name, shape)``.
+
+        The same ``(name, shape)`` always returns the *same* array (up
+        to eviction), so callers must be done with a named buffer
+        before re-requesting it.  Contents are undefined (kernels
+        overwrite fully).
+        """
+        key = (name, shape)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            return self._insert(key, np.empty(shape, dtype=self.dtype))
+        self.hits += 1
+        return buffer
+
+    def full(self, name, shape, value):
+        """Return a buffer pre-filled with ``value`` (filled once, on
+        allocation -- callers must treat it as read-only).  Used for
+        the cached ones / ``1/n`` vectors behind the BLAS-backed row
+        reductions."""
+        key = (name, shape)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            return self._insert(key,
+                                np.full(shape, value, dtype=self.dtype))
+        self.hits += 1
+        return buffer
+
+    def ones(self, name, shape):
+        """Shorthand for :meth:`full` with value 1."""
+        return self.full(name, shape, 1.0)
+
+    def __len__(self):
+        return len(self._buffers)
+
+    @property
+    def nbytes(self):
+        """Total bytes currently held by the pool."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def clear(self):
+        """Drop every buffer (counters are kept)."""
+        self._buffers.clear()
+
+    def __repr__(self):
+        return (f"Workspace(dtype={self.dtype.name}, buffers={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")

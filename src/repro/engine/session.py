@@ -99,10 +99,20 @@ class InferenceSession:
         :class:`LatencySparsityTable`, wrapped as a zero-overhead cost
         model (exactly the old ``n * per_image`` pricing).  Mutually
         exclusive with ``cost_model``.
+    backend: ``"tensor"`` (default; the float64 autograd reference
+        modules under ``no_grad``) or ``"fastpath"`` (compiled fused
+        ndarray kernels with workspace buffer reuse -- see
+        :mod:`repro.engine.fastpath`).  Fast-path float64 matches the
+        tensor backend within the engine's 1e-8 parity bound; float32
+        (the fast-path default) trades ~1e-6-level logits for speed
+        while keeping identical token-keep decisions.
+    dtype: fast-path compute dtype (``float32`` default / ``float64``);
+        only valid with ``backend="fastpath"``.
     """
 
     def __init__(self, model, batch_size=32, policy=None,
-                 cost_model=None, latency_table=None):
+                 cost_model=None, latency_table=None,
+                 backend="tensor", dtype=None):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if cost_model is not None and latency_table is not None:
@@ -127,7 +137,10 @@ class InferenceSession:
             raise TypeError("cost_model must be a repro.cost.CostModel")
         self.cost_model = cost_model
         self.executor = BucketedExecutor(model, self.policy,
-                                         cost_model=cost_model)
+                                         cost_model=cost_model,
+                                         backend=backend, dtype=dtype)
+        self.backend = self.executor.backend
+        self.dtype = self.executor.dtype
         self._estimated_latency = None
         self._estimate_version = None
 

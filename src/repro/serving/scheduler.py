@@ -158,7 +158,7 @@ class Scheduler:
     # ------------------------------------------------------------------
     def register(self, name, model=None, *, session=None, batch_size=32,
                  policy=None, cost_model=None, latency_table=None,
-                 max_batch=None):
+                 max_batch=None, backend="tensor", dtype=None):
         """Register a serving target under ``name``.
 
         Pass either a ready :class:`InferenceSession` or a HeatViT
@@ -166,7 +166,9 @@ class Scheduler:
         ``cost_model`` / ``latency_table`` the session calibrates a
         batch-aware cost model from the FPGA simulator for the model's
         own config).  ``max_batch`` caps images per flush; default is
-        the session's ``batch_size``.
+        the session's ``batch_size``.  ``backend`` / ``dtype`` select
+        the session's compute backend (``"fastpath"`` runs the compiled
+        fused-kernel path; see :mod:`repro.engine.fastpath`).
         """
         if (model is None) == (session is None):
             raise ValueError("pass exactly one of model= or session=")
@@ -174,7 +176,8 @@ class Scheduler:
             session = InferenceSession(model, batch_size=batch_size,
                                        policy=policy,
                                        cost_model=cost_model,
-                                       latency_table=latency_table)
+                                       latency_table=latency_table,
+                                       backend=backend, dtype=dtype)
         max_batch = session.batch_size if max_batch is None else int(max_batch)
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")

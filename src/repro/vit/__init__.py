@@ -3,7 +3,8 @@
 from repro.vit.analysis import (attention_rollout, head_attention_grid,
                                 render_keep_mask, render_token_grid)
 from repro.vit.attention import (MultiHeadSelfAttention, key_padding_mask,
-                                 pad_token_sequences)
+                                 pad_token_sequences,
+                                 suppress_attention_recording)
 from repro.vit.block import FeedForward, TransformerBlock
 from repro.vit.cka import cls_token_cka_profile, linear_cka
 from repro.vit.complexity import (LayerCost, StagePlan, block_layer_costs,
@@ -18,6 +19,7 @@ from repro.vit.patch_embed import PatchEmbedding
 
 __all__ = [
     "MultiHeadSelfAttention", "key_padding_mask", "pad_token_sequences",
+    "suppress_attention_recording",
     "FeedForward", "TransformerBlock",
     "VisionTransformer", "PatchEmbedding",
     "linear_cka", "cls_token_cka_profile",

@@ -14,10 +14,10 @@ from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 
 __all__ = ["MultiHeadSelfAttention", "key_padding_mask",
-           "pad_token_sequences"]
+           "pad_token_sequences", "suppress_attention_recording"]
 
 
-def key_padding_mask(lengths, padded_length):
+def key_padding_mask(lengths, padded_length, dtype=np.float64):
     """Build a ``(B, T)`` {0,1} key mask from per-image real lengths.
 
     Position ``t`` of row ``b`` is 1 when ``t < lengths[b]``.  Feeding
@@ -26,24 +26,37 @@ def key_padding_mask(lengths, padded_length):
     to exactly ``0.0`` in the softmax, so real-token outputs are
     *unchanged* by the padding (the invariant the batched inference
     engine relies on; see ``tests/vit/test_masked_invariance.py``).
+
+    ``dtype`` sets the mask's float dtype so a float32 fast-path batch
+    is not silently upcast by a float64 mask.
     """
     lengths = np.asarray(lengths)
     positions = np.arange(int(padded_length))
-    return (positions[None, :] < lengths[:, None]).astype(np.float64)
+    return (positions[None, :] < lengths[:, None]).astype(dtype)
 
 
-def pad_token_sequences(sequences, padded_length=None, pad_value=0.0):
+def pad_token_sequences(sequences, padded_length=None, pad_value=0.0,
+                        dtype=None):
     """Stack variable-length token sequences with trailing padding.
 
     ``sequences`` is an iterable of ``(T_i, D)`` arrays.  Returns
     ``(stacked, mask)`` where ``stacked`` is ``(B, T_max, D)`` and
-    ``mask`` is the matching :func:`key_padding_mask`.  Zero padding is
-    safe through LayerNorm (normalizes to zeros) and, combined with the
-    mask, through attention.
+    ``mask`` is the matching :func:`key_padding_mask` in the same float
+    dtype.  Zero padding is safe through LayerNorm (normalizes to zeros)
+    and, combined with the mask, through attention.
+
+    ``dtype=None`` keeps the sequences' common float dtype (float64
+    inputs behave exactly as before; float32 fast-path sequences are no
+    longer silently upcast by the padding).  Pass an explicit dtype to
+    force one.
     """
     sequences = [np.asarray(s) for s in sequences]
     if not sequences:
         raise ValueError("no sequences to pad")
+    if dtype is None:
+        dtype = np.result_type(*sequences)
+        if not np.issubdtype(dtype, np.floating):
+            dtype = np.float64
     lengths = np.array([s.shape[0] for s in sequences])
     if padded_length is None:
         padded_length = int(lengths.max())
@@ -51,10 +64,38 @@ def pad_token_sequences(sequences, padded_length=None, pad_value=0.0):
         raise ValueError("padded_length shorter than a sequence")
     dim = sequences[0].shape[-1]
     stacked = np.full((len(sequences), int(padded_length), dim), pad_value,
-                      dtype=np.float64)
+                      dtype=dtype)
     for row, seq in enumerate(sequences):
         stacked[row, :seq.shape[0]] = seq
-    return stacked, key_padding_mask(lengths, padded_length)
+    return stacked, key_padding_mask(lengths, padded_length, dtype=dtype)
+
+
+class suppress_attention_recording:
+    """Context manager: pause attention-map recording on MSA modules.
+
+    The deployed serving paths (the bucketed engine and
+    ``HeatViT.forward_pruned``) have no use for the per-block
+    ``(B, h, N, N)`` attention copies -- recording only feeds the masked
+    training path's ranking signal and the Fig. 5 analysis -- so they
+    wrap execution in this context.  Previous flags (and any previously
+    recorded maps) are restored on exit, keeping analysis code paths
+    untouched.
+    """
+
+    def __init__(self, attention_modules):
+        self.modules = list(attention_modules)
+        self._saved = None
+
+    def __enter__(self):
+        self._saved = [m.record_attention for m in self.modules]
+        for module in self.modules:
+            module.record_attention = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        for module, flag in zip(self.modules, self._saved):
+            module.record_attention = flag
+        return False
 
 
 class MultiHeadSelfAttention(nn.Module):

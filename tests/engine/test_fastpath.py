@@ -1,0 +1,553 @@
+"""Parity and behavior suite for the compiled inference fast path.
+
+The Tensor modules are the reference implementation; the fast path must
+reproduce them:
+
+* float64 compiles match ``forward_pruned`` to within the engine's 1e-8
+  bound (near-bitwise in practice);
+* float32 compiles stay within 1e-5 logits with IDENTICAL token-keep
+  decisions and argmax;
+* both hold across batch sizes, packager settings, masked (padded
+  bucket) and unmasked execution, ragged buckets, and chunked
+  submissions.
+
+Also pinned here: workspace buffer reuse across submissions, the
+Tensor-module fallback for non-compilable selector classifiers, dtype
+handling of the padding/masking/gather helpers, and the
+attention-recording policy of the deployed paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import HeatViT, PruningRecord
+from repro.core.gather import (prune_group_sequences, prune_image_sequence,
+                               weighted_package)
+from repro.engine import (BucketedExecutor, BucketingPolicy, CompileError,
+                          InferenceSession, Workspace, compile_model)
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.vit.attention import (key_padding_mask, pad_token_sequences,
+                                 suppress_attention_recording)
+
+F64_TOL = 1e-8
+F32_TOL = 1e-5
+
+
+def make_model(backbone, selector_blocks, *, use_packager=True, seed=42,
+               classifier_factory=None):
+    model = HeatViT(backbone, selector_blocks,
+                    rng=np.random.default_rng(seed),
+                    use_packager=use_packager,
+                    classifier_factory=classifier_factory)
+    model.eval()
+    return model
+
+
+def assert_backend_parity(model, images, *, dtype, tol, batch_size=32,
+                          policy=None):
+    """Fast-path submission vs the per-image reference loop."""
+    record_ref = PruningRecord()
+    ref = model.forward_pruned(images, record=record_ref)
+    session = InferenceSession(model, batch_size=batch_size, policy=policy,
+                               backend="fastpath", dtype=dtype)
+    record = PruningRecord()
+    result = session.submit(images, record=record)
+    np.testing.assert_allclose(result.logits, ref.data, rtol=0, atol=tol)
+    # Identical keep decisions: the per-stage token counts are a direct
+    # function of every selector's keep mask.
+    assert len(record.tokens_per_stage) == len(record_ref.tokens_per_stage)
+    for counts, ref_counts in zip(record.tokens_per_stage,
+                                  record_ref.tokens_per_stage):
+        np.testing.assert_array_equal(counts, ref_counts)
+    np.testing.assert_array_equal(result.logits.argmax(axis=-1),
+                                  ref.data.argmax(axis=-1))
+    return result
+
+
+class TestCompiledForwardParity:
+    """compile_model on a plain backbone vs the Tensor block stack."""
+
+    @pytest.mark.parametrize("dtype,tol", [(np.float64, 1e-12),
+                                           (np.float32, F32_TOL)])
+    def test_dense_stack(self, tiny_backbone, tiny_dataset, dtype, tol):
+        images = tiny_dataset.images[:5]
+        compiled = compile_model(tiny_backbone, dtype=dtype)
+        with nn.no_grad():
+            x = tiny_backbone.embed(images)
+            ref = x
+            for block in tiny_backbone.blocks:
+                ref = block(ref)
+            ref_logits = tiny_backbone.classify(ref)
+        tokens = compiled.embed(images)
+        np.testing.assert_allclose(tokens, x.data, rtol=0, atol=tol)
+        hidden = compiled.forward(tokens)
+        np.testing.assert_allclose(hidden, ref.data, rtol=0, atol=tol)
+        np.testing.assert_allclose(compiled.classify(hidden),
+                                   ref_logits.data, rtol=0, atol=tol)
+
+    @pytest.mark.parametrize("dtype,tol", [(np.float64, 1e-12),
+                                           (np.float32, F32_TOL)])
+    def test_masked_stack(self, tiny_backbone, tiny_dataset, dtype, tol):
+        """Padded keys masked out: fastpath matches the Tensor blocks."""
+        images = tiny_dataset.images[:4]
+        compiled = compile_model(tiny_backbone, dtype=dtype)
+        tokens = compiled.embed(images)
+        mask = np.ones((4, tokens.shape[1]))
+        mask[:, -3:] = 0.0
+        with nn.no_grad():
+            ref = Tensor(np.asarray(tokens, dtype=np.float64))
+            for block in tiny_backbone.blocks:
+                ref = block(ref, key_mask=mask)
+        out = compiled.forward(tokens, key_mask=mask)
+        np.testing.assert_allclose(out, ref.data, rtol=0, atol=tol)
+
+    def test_forward_does_not_mutate_input(self, tiny_backbone,
+                                           tiny_dataset):
+        compiled = compile_model(tiny_backbone, dtype=np.float64)
+        tokens = np.array(compiled.embed(tiny_dataset.images[:2]))
+        before = tokens.copy()
+        compiled.forward(tokens)
+        np.testing.assert_array_equal(tokens, before)
+
+
+class TestEngineBackendParity:
+    """InferenceSession(backend="fastpath") vs forward_pruned."""
+
+    @pytest.mark.parametrize("batch", [1, 3, 8, 17])
+    @pytest.mark.parametrize("dtype,tol", [(np.float64, F64_TOL),
+                                           (np.float32, F32_TOL)])
+    def test_batches_both_dtypes(self, tiny_backbone, tiny_dataset, batch,
+                                 dtype, tol):
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4})
+        assert_backend_parity(model, tiny_dataset.images[:batch],
+                              dtype=dtype, tol=tol)
+
+    @pytest.mark.parametrize("use_packager", [True, False])
+    def test_packager_modes(self, tiny_backbone, tiny_dataset,
+                            use_packager):
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4},
+                           use_packager=use_packager)
+        assert_backend_parity(model, tiny_dataset.images[:11],
+                              dtype=np.float32, tol=F32_TOL)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeded_models_ragged_stages(self, tiny_backbone, tiny_dataset,
+                                         seed):
+        """Three selectors produce genuinely ragged per-stage buckets."""
+        model = make_model(tiny_backbone, {1: 0.8, 2: 0.55, 3: 0.35},
+                           seed=seed)
+        result = assert_backend_parity(model, tiny_dataset.images[:13],
+                                       dtype=np.float32, tol=F32_TOL)
+        assert len(result.tokens_per_stage) == 3
+
+    @pytest.mark.parametrize("policy", [
+        None,
+        BucketingPolicy(allow_padding=False),
+        BucketingPolicy(pad_limit=64, max_pad_fraction=1.0, min_bucket=64),
+    ], ids=["default", "no-padding", "greedy"])
+    def test_policy_invariance(self, tiny_backbone, tiny_dataset, policy):
+        model = make_model(tiny_backbone, {1: 0.6, 2: 0.45})
+        assert_backend_parity(model, tiny_dataset.images[:17],
+                              dtype=np.float64, tol=F64_TOL, policy=policy)
+
+    def test_chunked_matches_one_shot(self, tiny_backbone, tiny_dataset):
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4})
+        small = assert_backend_parity(model, tiny_dataset.images[:17],
+                                      dtype=np.float64, tol=F64_TOL,
+                                      batch_size=4)
+        large = assert_backend_parity(model, tiny_dataset.images[:17],
+                                      dtype=np.float64, tol=F64_TOL,
+                                      batch_size=17)
+        np.testing.assert_allclose(small.logits, large.logits, rtol=0,
+                                   atol=F64_TOL)
+
+    def test_selector_before_block_zero(self, tiny_backbone, tiny_dataset):
+        model = make_model(tiny_backbone, {0: 0.7, 2: 0.5})
+        assert_backend_parity(model, tiny_dataset.images[:9],
+                              dtype=np.float32, tol=F32_TOL)
+
+    def test_dense_no_selectors(self, tiny_backbone, tiny_dataset):
+        model = make_model(tiny_backbone, {})
+        assert_backend_parity(model, tiny_dataset.images[:5],
+                              dtype=np.float64, tol=F64_TOL)
+
+    def test_empty_batch(self, tiny_backbone):
+        model = make_model(tiny_backbone, {1: 0.6})
+        session = InferenceSession(model, batch_size=8, backend="fastpath")
+        result = session.submit(np.zeros((0, 3, 16, 16)))
+        assert result.logits.shape == (0, model.config.num_classes)
+
+    def test_scheduler_serves_fastpath_sessions(self, tiny_backbone,
+                                                tiny_dataset):
+        """End-to-end through the request scheduler."""
+        from repro.serving import Scheduler, VirtualClock
+
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4})
+        images = tiny_dataset.images[:6]
+        ref = model.forward_pruned(images)
+        scheduler = Scheduler(clock=VirtualClock())
+        scheduler.register("fast", model, batch_size=8,
+                           backend="fastpath", dtype=np.float64)
+        assert scheduler.sessions[0].session.backend == "fastpath"
+        ids = [scheduler.submit(images[i]) for i in range(6)]
+        results = {r.request_id: r for r in scheduler.flush()}
+        logits = np.concatenate([results[i].logits for i in ids], axis=0)
+        np.testing.assert_allclose(logits, ref.data, rtol=0, atol=F64_TOL)
+
+
+class TestCompiledSelector:
+    """Dense and ragged selector kernels vs the Tensor module."""
+
+    @pytest.mark.parametrize("dtype,tol", [(np.float64, 1e-12),
+                                           (np.float32, 1e-5)])
+    def test_dense_select_matches_module(self, tiny_backbone,
+                                         tiny_dataset, dtype, tol):
+        model = make_model(tiny_backbone, {1: 0.6})
+        compiled = compile_model(model, dtype=dtype)
+        patches = np.asarray(
+            compiled.embed(tiny_dataset.images[:6])[:, 1:, :])
+        keep, packages = compiled.select(0, patches)
+        with nn.no_grad():
+            out = model.selectors[0](
+                Tensor(np.asarray(patches, dtype=np.float64)), hard=False)
+        np.testing.assert_array_equal(keep, out.decision.data > 0.5)
+        np.testing.assert_allclose(packages, out.package.data[:, 0, :],
+                                   rtol=0, atol=tol)
+
+    def test_ragged_select_matches_dense_groups(self, tiny_backbone,
+                                                tiny_dataset):
+        """One ragged pipeline == one dense select per exact group."""
+        model = make_model(tiny_backbone, {1: 0.6})
+        compiled = compile_model(model, dtype=np.float64)
+        tokens = compiled.embed(tiny_dataset.images[:6])
+        groups = [np.array(tokens[:3, 1:, :]),
+                  np.array(tokens[3:, 1:14, :])]      # two lengths
+        flat = np.concatenate([g.reshape(-1, g.shape[-1])
+                               for g in groups], axis=0)
+        counts = [groups[0].shape[1]] * 3 + [groups[1].shape[1]] * 3
+        keep_flat, packages = compiled.select_ragged(0, flat, counts)
+        offset, image = 0, 0
+        for group in groups:
+            g, n = group.shape[0], group.shape[1]
+            keep_ref, packages_ref = compiled.select(0, group)
+            np.testing.assert_array_equal(
+                keep_flat[offset:offset + g * n].reshape(g, n), keep_ref)
+            np.testing.assert_allclose(packages[image:image + g],
+                                       packages_ref, rtol=0, atol=1e-12)
+            offset += g * n
+            image += g
+
+    def test_ragged_unavailable_for_fallback(self, tiny_backbone):
+        model = make_model(
+            tiny_backbone, {1: 0.6},
+            classifier_factory=lambda rng: _PlainClassifier(
+                tiny_backbone.config.embed_dim,
+                tiny_backbone.config.num_heads, rng))
+        compiled = compile_model(model)
+        with pytest.raises(CompileError, match="ragged"):
+            compiled.select_ragged(0, np.zeros((4, 24), np.float32),
+                                   [2, 2])
+
+
+class TestActivationLowering:
+    @pytest.mark.parametrize("activation", [nn.ReLU, nn.Hardswish,
+                                            nn.Sigmoid, nn.Identity])
+    def test_builtin_activations_compile(self, tiny_backbone,
+                                         tiny_dataset, activation):
+        """Selectors built with any stock activation lower natively and
+        keep reference parity."""
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4})
+        for selector in model.selectors:
+            for seq in (selector.classifier.feature_mlp,
+                        selector.classifier.classifier_mlp):
+                for name, module in list(seq._modules.items()):
+                    if isinstance(module, nn.GELU):
+                        seq.register_module(name, activation())
+        assert_backend_parity(model, tiny_dataset.images[:7],
+                              dtype=np.float64, tol=F64_TOL)
+
+    def test_unknown_activation_falls_back(self, tiny_backbone,
+                                           tiny_dataset):
+        """An activation the fast path cannot lower natively routes
+        through the Tensor module, still matching the reference."""
+
+        class Softsign(nn.Module):
+            def forward(self, x):
+                x = Tensor.ensure(x)
+                return x / (Tensor(np.abs(x.data)) + 1.0)
+
+        model = make_model(tiny_backbone, {1: 0.6})
+        for seq in (model.selectors[0].classifier.feature_mlp,
+                    model.selectors[0].classifier.classifier_mlp):
+            for name, module in list(seq._modules.items()):
+                if isinstance(module, nn.GELU):
+                    seq.register_module(name, Softsign())
+        assert_backend_parity(model, tiny_dataset.images[:7],
+                              dtype=np.float64, tol=F64_TOL)
+
+
+class TestConstruction:
+    def test_unknown_backend_rejected(self, tiny_backbone):
+        model = make_model(tiny_backbone, {1: 0.6})
+        with pytest.raises(ValueError, match="backend"):
+            InferenceSession(model, backend="gpu")
+        with pytest.raises(ValueError, match="backend"):
+            BucketedExecutor(model, backend="gpu")
+
+    def test_tensor_backend_is_float64_only(self, tiny_backbone):
+        model = make_model(tiny_backbone, {1: 0.6})
+        with pytest.raises(ValueError, match="float64-only"):
+            InferenceSession(model, backend="tensor", dtype=np.float32)
+        session = InferenceSession(model, backend="tensor",
+                                   dtype=np.float64)
+        assert session.dtype == np.float64
+
+    def test_compile_rejects_bad_dtype_and_gelu(self, tiny_backbone):
+        with pytest.raises(CompileError):
+            compile_model(tiny_backbone, dtype=np.float16)
+        with pytest.raises(CompileError):
+            compile_model(tiny_backbone, gelu="sigmoid")
+        with pytest.raises(CompileError):
+            compile_model(object())
+
+    def test_session_exposes_backend_and_dtype(self, tiny_backbone):
+        model = make_model(tiny_backbone, {1: 0.6})
+        session = InferenceSession(model, backend="fastpath")
+        assert session.backend == "fastpath"
+        assert session.dtype == np.float32
+        assert session.executor.compiled is not None
+
+    def test_gelu_tanh_compile_is_looser(self, tiny_backbone,
+                                         tiny_dataset):
+        """The tanh GELU is opt-in and NOT parity grade: close at the
+        1e-2 level but measurably off the exact activation."""
+        images = tiny_dataset.images[:3]
+        exact = compile_model(tiny_backbone, dtype=np.float64)
+        tanh = compile_model(tiny_backbone, dtype=np.float64, gelu="tanh")
+        a = exact.classify(exact.forward(exact.embed(images)))
+        b = tanh.classify(tanh.forward(tanh.embed(images)))
+        assert np.abs(a - b).max() < 1e-1
+        assert np.abs(a - b).max() > 0.0
+
+
+class TestWorkspaceReuse:
+    def test_no_new_buffers_on_repeat_submission(self, tiny_backbone,
+                                                 tiny_dataset):
+        """Steady traffic must reuse every scratch buffer: the second
+        identical submission allocates nothing."""
+        model = make_model(tiny_backbone, {1: 0.6, 3: 0.4})
+        session = InferenceSession(model, batch_size=8, backend="fastpath")
+        images = tiny_dataset.images[:8]
+        session.submit(images)
+        ws = session.executor.workspace
+        buffers, misses = len(ws), ws.misses
+        session.submit(images)
+        assert len(ws) == buffers
+        assert ws.misses == misses
+        assert ws.hits > 0
+        assert ws.nbytes > 0
+
+    def test_pool_is_bounded_by_eviction(self):
+        """An open-ended stream of shapes must not grow the pool past
+        max_buffers (long-lived sessions see arbitrarily many
+        (batch, padded_length) combinations)."""
+        ws = Workspace(np.float32, max_buffers=8)
+        for size in range(1, 50):
+            ws.take("bucket", (size, 4))
+        assert len(ws) == 8
+        assert ws.evictions == 50 - 1 - 8
+        # Hot keys keep being served from the pool after eviction churn.
+        survivor = ws.take("bucket", (49, 4))
+        assert ws.take("bucket", (49, 4)) is survivor
+        with pytest.raises(ValueError):
+            Workspace(np.float32, max_buffers=0)
+
+    def test_take_returns_same_buffer_and_clear(self):
+        ws = Workspace(np.float32)
+        a = ws.take("x", (4, 4))
+        b = ws.take("x", (4, 4))
+        assert a is b
+        assert ws.misses == 1 and ws.hits == 1
+        c = ws.take("x", (2, 4))
+        assert c is not a
+        ones = ws.ones("ones", (3, 1))
+        np.testing.assert_array_equal(ones, np.ones((3, 1), np.float32))
+        assert ws.full("mv", (4, 1), 0.25)[0, 0] == np.float32(0.25)
+        ws.clear()
+        assert len(ws) == 0
+
+
+class _PlainClassifier(nn.Module):
+    """A token classifier the fast path cannot lower (exercises the
+    Tensor-module fallback): one Linear scoring broadcast over heads."""
+
+    def __init__(self, embed_dim, num_heads, rng):
+        super().__init__()
+        self.num_heads = num_heads
+        self.score = nn.Linear(embed_dim, 2, rng=rng)
+
+    def forward(self, x, mask=None):
+        x = Tensor.ensure(x)
+        batch, tokens, _ = x.shape
+        probs = F.softmax(self.score(x), axis=-1)          # (B, N, 2)
+        probs = probs.reshape(batch, 1, tokens, 2)
+        return probs + Tensor(np.zeros((batch, self.num_heads, tokens, 2)))
+
+
+class TestSelectorFallback:
+    def test_non_stock_classifier_falls_back_with_parity(
+            self, tiny_backbone, tiny_dataset):
+        model = make_model(
+            tiny_backbone, {1: 0.6, 3: 0.4},
+            classifier_factory=lambda rng: _PlainClassifier(
+                tiny_backbone.config.embed_dim,
+                tiny_backbone.config.num_heads, rng))
+        compiled = compile_model(model, dtype=np.float64)
+        assert all(s.fallback_module is not None
+                   for s in compiled.selectors)
+        assert_backend_parity(model, tiny_dataset.images[:9],
+                              dtype=np.float64, tol=F64_TOL)
+
+    def test_stock_classifier_compiles_fully(self, tiny_backbone):
+        model = make_model(tiny_backbone, {1: 0.6})
+        compiled = compile_model(model)
+        assert all(s.fallback_module is None for s in compiled.selectors)
+
+
+class TestDtypeThreading:
+    """Satellite: float32 batches must not be upcast by padding/masks
+    or the gather path."""
+
+    def test_pad_token_sequences_preserves_float32(self):
+        seqs = [np.ones((3, 4), np.float32), np.ones((5, 4), np.float32)]
+        stacked, mask = pad_token_sequences(seqs)
+        assert stacked.dtype == np.float32
+        assert mask.dtype == np.float32
+
+    def test_pad_token_sequences_default_stays_float64(self):
+        seqs = [np.ones((3, 4)), np.ones((5, 4))]
+        stacked, mask = pad_token_sequences(seqs)
+        assert stacked.dtype == np.float64
+        assert mask.dtype == np.float64
+        # Non-float input also computes in float64.
+        stacked, _ = pad_token_sequences([np.ones((2, 4), dtype=int)])
+        assert stacked.dtype == np.float64
+
+    def test_pad_token_sequences_explicit_dtype(self):
+        seqs = [np.ones((3, 4)), np.ones((5, 4))]
+        stacked, mask = pad_token_sequences(seqs, dtype=np.float32)
+        assert stacked.dtype == np.float32
+        assert mask.dtype == np.float32
+
+    def test_key_padding_mask_dtype(self):
+        mask = key_padding_mask([2, 3], 4, dtype=np.float32)
+        assert mask.dtype == np.float32
+        np.testing.assert_array_equal(
+            mask, [[1, 1, 0, 0], [1, 1, 1, 0]])
+
+    def test_weighted_package_preserves_dtype(self):
+        tokens = np.ones((3, 4), np.float32)
+        out = weighted_package(tokens, np.array([1.0, 2.0, 0.5]))
+        assert out.dtype == np.float32
+        out64 = weighted_package(tokens.astype(np.float64), [1, 2, 0.5])
+        assert out64.dtype == np.float64
+
+    def test_group_gather_preserves_dtype(self, rng):
+        x = rng.normal(size=(3, 6, 4)).astype(np.float32)
+        keep = rng.random((3, 5)) > 0.4
+        keep[:, 0] = True
+        packages = rng.normal(size=(3, 4))     # float64 on purpose
+        sequences, flags = prune_group_sequences(
+            x, keep, use_packager=True, has_package=False,
+            packages=packages)
+        assert all(s.dtype == np.float32 for s in sequences)
+
+
+class TestGroupGatherEquivalence:
+    """prune_group_sequences must equal the per-image reference helper."""
+
+    @pytest.mark.parametrize("use_packager,has_package", [
+        (True, False), (True, True), (False, False), (False, True)])
+    def test_matches_per_image(self, rng, use_packager, has_package):
+        g, tokens, dim = 5, 8, 6
+        x = rng.normal(size=(g, tokens, dim))
+        n = tokens - 1 - (1 if has_package else 0)
+        keep = rng.random((g, n)) > 0.5
+        keep[:, -1] = True                      # >= 1 keep per image
+        keep[0, :] = True                       # one prune-free image
+        packages = rng.normal(size=(g, dim))
+        group_seqs, group_flags = prune_group_sequences(
+            x, keep, use_packager=use_packager, has_package=has_package,
+            packages=packages)
+        for row in range(g):
+            ref_seq, ref_flag = prune_image_sequence(
+                x[row], keep[row], use_packager=use_packager,
+                has_package=has_package, package=packages[row])
+            np.testing.assert_array_equal(group_seqs[row], ref_seq)
+            assert group_flags[row] == ref_flag
+
+    def test_shape_validation(self, rng):
+        x = rng.normal(size=(2, 6, 4))
+        with pytest.raises(ValueError, match="keep_flags"):
+            prune_group_sequences(x, np.ones((2, 9), bool),
+                                  use_packager=False, has_package=False)
+        keep = np.array([[True, False, True, True, True],
+                         [True, True, True, True, True]])
+        with pytest.raises(ValueError, match="packages"):
+            prune_group_sequences(x, keep, use_packager=True,
+                                  has_package=False)
+
+
+class TestAttentionRecordingPolicy:
+    """Satellite: deployed paths skip the (B, h, N, N) copies; the
+    analysis paths keep them."""
+
+    def _fresh_model(self, tiny_config):
+        from repro.vit import VisionTransformer
+
+        backbone = VisionTransformer(tiny_config,
+                                     rng=np.random.default_rng(3))
+        backbone.eval()
+        return make_model(backbone, {1: 0.6, 3: 0.4}, seed=7)
+
+    def test_forward_pruned_does_not_record(self, tiny_config,
+                                            tiny_dataset):
+        model = self._fresh_model(tiny_config)
+        model.forward_pruned(tiny_dataset.images[:3])
+        assert all(b.attn.last_attention is None
+                   for b in model.backbone.blocks)
+        assert all(b.attn.record_attention          # flag restored
+                   for b in model.backbone.blocks)
+
+    @pytest.mark.parametrize("backend", ["tensor", "fastpath"])
+    def test_engine_does_not_record(self, tiny_config, tiny_dataset,
+                                    backend):
+        model = self._fresh_model(tiny_config)
+        session = InferenceSession(model, batch_size=8, backend=backend)
+        session.submit(tiny_dataset.images[:5])
+        assert all(b.attn.last_attention is None
+                   for b in model.backbone.blocks)
+
+    def test_masked_forward_still_records(self, tiny_config,
+                                          tiny_dataset):
+        """The analysis / Fig. 5 path keeps the attention maps."""
+        model = self._fresh_model(tiny_config)
+        with nn.no_grad():
+            model.forward(tiny_dataset.images[:2])
+        for block in model.backbone.blocks:
+            attn = block.attn.last_attention
+            assert attn is not None
+            assert attn.shape[0] == 2
+            np.testing.assert_allclose(attn.sum(axis=-1), 1.0, atol=1e-9)
+
+    def test_suppression_restores_prior_state(self, tiny_config,
+                                              tiny_dataset):
+        model = self._fresh_model(tiny_config)
+        modules = [b.attn for b in model.backbone.blocks]
+        modules[0].record_attention = False      # mixed prior state
+        with suppress_attention_recording(modules):
+            assert all(not m.record_attention for m in modules)
+        assert not modules[0].record_attention
+        assert all(m.record_attention for m in modules[1:])

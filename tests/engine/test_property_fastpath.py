@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for the fused fast-path kernels.
+
+The fused masked softmax must behave like a softmax no matter the
+scores: every row sums to 1, masked (padded) keys carry exactly zero
+weight, and real-key probabilities match the Tensor reference softmax.
+Both the workspace (BLAS row sums + shift-free guard) and the
+self-contained fallback code paths are exercised, including scores
+large enough to force the max-shifted branch.  The fused LayerNorm is
+held against the Tensor reference, with and without its affine folded
+away.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.fastpath import (Workspace, fused_layer_norm,
+                                   gelu_exact, gelu_rational,
+                                   mask_to_bias, masked_softmax)
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+finite = st.floats(-30.0, 30.0, allow_nan=False, width=32)
+
+
+def scores_case(draw, max_b=4, max_h=3, max_t=12):
+    b = draw(st.integers(1, max_b))
+    h = draw(st.integers(1, max_h))
+    t = draw(st.integers(1, max_t))
+    values = draw(st.lists(finite, min_size=b * h * t * t,
+                           max_size=b * h * t * t))
+    scores = np.array(values, dtype=np.float64).reshape(b, h, t, t)
+    # Mask with at least one real key per image.
+    real = draw(st.lists(st.integers(1, t), min_size=b, max_size=b))
+    mask = np.zeros((b, t))
+    for row, keep in enumerate(real):
+        mask[row, :keep] = 1.0
+    return scores, mask
+
+
+@st.composite
+def scores_and_mask(draw):
+    return scores_case(draw)
+
+
+class TestMaskedSoftmaxProperties:
+    @given(case=scores_and_mask(), use_ws=st.booleans(),
+           scale=st.sampled_from([1.0, 100.0]))
+    @settings(max_examples=120, deadline=None)
+    def test_rows_sum_to_one_and_padded_keys_zero(self, case, use_ws,
+                                                  scale):
+        """Sum-to-1 and exact zeros on masked keys, on every code path
+        (``scale=100`` pushes scores outside the shift-free guard)."""
+        scores, mask = case
+        scores = scores * scale
+        ws = Workspace(np.float64) if use_ws else None
+        bias = mask_to_bias(mask, np.float64)
+        out = masked_softmax(scores.copy(), bias, ws=ws)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+        masked_cols = mask[:, None, None, :] == 0.0
+        assert (out[np.broadcast_to(masked_cols, out.shape)] == 0.0).all()
+        assert np.isfinite(out).all()
+
+    @given(case=scores_and_mask(), use_ws=st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_tensor_reference(self, case, use_ws):
+        """Same probabilities as the reference masked softmax chain."""
+        scores, mask = case
+        bias = (1.0 - mask)[:, None, None, :] * (-1e9)
+        ref = F.softmax(Tensor(scores + bias), axis=-1).data
+        ws = Workspace(np.float64) if use_ws else None
+        out = masked_softmax(scores.copy(),
+                             mask_to_bias(mask, np.float64), ws=ws)
+        np.testing.assert_allclose(out, ref, rtol=0, atol=1e-12)
+
+    @given(case=scores_and_mask())
+    @settings(max_examples=60, deadline=None)
+    def test_unmasked_matches_reference(self, case):
+        scores, _ = case
+        ref = F.softmax(Tensor(scores), axis=-1).data
+        out = masked_softmax(scores.copy(), ws=Workspace(np.float64))
+        np.testing.assert_allclose(out, ref, rtol=0, atol=1e-12)
+
+    @given(case=scores_and_mask(), use_ws=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_three_dimensional_scores(self, case, use_ws):
+        """The bias broadcast must follow the scores' rank (the docs
+        promise any >= 2-D scores, e.g. the selector's (M, h, 2))."""
+        scores4, mask = case
+        scores = scores4[:, 0]                  # (B, T, T)
+        bias = (1.0 - mask)[:, None, :] * (-1e9)
+        ref = F.softmax(Tensor(scores + bias), axis=-1).data
+        ws = Workspace(np.float64) if use_ws else None
+        out = masked_softmax(scores.copy(),
+                             mask_to_bias(mask, np.float64), ws=ws)
+        np.testing.assert_allclose(out, ref, rtol=0, atol=1e-12)
+
+
+@st.composite
+def token_batches(draw):
+    b = draw(st.integers(1, 5))
+    t = draw(st.integers(1, 6))
+    d = draw(st.integers(2, 16))
+    values = draw(st.lists(finite, min_size=b * t * d, max_size=b * t * d))
+    return np.array(values, dtype=np.float64).reshape(b, t, d)
+
+
+class TestFusedLayerNormProperties:
+    @given(x=token_batches(), use_ws=st.booleans())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_tensor_reference(self, x, use_ws):
+        dim = x.shape[-1]
+        rng = np.random.default_rng(dim)
+        weight = rng.normal(size=dim)
+        bias = rng.normal(size=dim)
+        ref = F.layer_norm(Tensor(x), Tensor(weight), Tensor(bias),
+                           eps=1e-6).data
+        out = np.empty_like(x)
+        ws = Workspace(np.float64) if use_ws else None
+        fused_layer_norm(x, weight, bias, 1e-6, out=out, ws=ws)
+        np.testing.assert_allclose(out, ref, rtol=0, atol=1e-12)
+
+    @given(x=token_batches(), use_ws=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_affine_folded_form(self, x, use_ws):
+        """weight=None stops at the normalized activations (the affine
+        lives in the next GEMM after compile-time folding)."""
+        ref = F.layer_norm(Tensor(x), Tensor(np.ones(x.shape[-1])),
+                           Tensor(np.zeros(x.shape[-1])), eps=1e-6).data
+        out = np.empty_like(x)
+        ws = Workspace(np.float64) if use_ws else None
+        fused_layer_norm(x, None, None, 1e-6, out=out, ws=ws)
+        np.testing.assert_allclose(out, ref, rtol=0, atol=1e-12)
+
+
+class TestGeluKernels:
+    @given(values=st.lists(st.floats(-8.0, 8.0, allow_nan=False),
+                           min_size=1, max_size=64))
+    @settings(max_examples=120, deadline=None)
+    def test_exact_matches_reference(self, values):
+        x = np.array(values, dtype=np.float64).reshape(1, -1)
+        ref = F.gelu(Tensor(x)).data
+        out = gelu_exact(x.copy(), Workspace(np.float64), "g")
+        np.testing.assert_allclose(out, ref, rtol=0, atol=1e-15)
+
+    @given(values=st.lists(st.floats(-8.0, 8.0, allow_nan=False),
+                           min_size=1, max_size=64))
+    @settings(max_examples=120, deadline=None)
+    def test_rational_close_to_exact(self, values):
+        """A&S 7.1.26: erf error <= 1.5e-7 => GELU error <= ~|x| * 1e-7."""
+        x = np.array(values, dtype=np.float64).reshape(1, -1)
+        ref = F.gelu(Tensor(x)).data
+        out = gelu_rational(x.copy(), Workspace(np.float64), "g")
+        bound = 2e-7 * np.maximum(np.abs(x), 1.0)
+        assert (np.abs(out - ref) <= bound).all()
+
+
+class TestWorkspacePooling:
+    @given(shapes=st.lists(st.tuples(st.integers(1, 6), st.integers(1, 6)),
+                           min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_reuse_is_keyed_by_name_and_shape(self, shapes):
+        ws = Workspace(np.float32)
+        first = {}
+        for shape in shapes:
+            buf = ws.take("s", shape)
+            assert buf.shape == shape
+            if shape in first:
+                assert buf is first[shape]
+            else:
+                first[shape] = buf
+        assert len(ws) == len(first)
+        assert ws.misses == len(first)
+        assert ws.hits == len(shapes) - len(first)
