@@ -12,23 +12,36 @@ for the tensor backend at 32 single-image requests on the default
 config; the fastpath backend rides the same scheduler and is reported
 per backend.
 
+A second section sweeps **multi-worker serving**
+(``Scheduler.register(..., workers=N)``: N executor processes fed by
+cost-model placement): the same burst served in-process (``workers=1``)
+and fanned out across process pools, verifying bitwise-identical logits
+per worker count and reporting the scaling.  ``--min-worker-scaling``
+gates the workers=2 speedup (CI runs 1.5x on the tiny config); on a
+single-CPU host the gate is skipped -- there is no parallel hardware
+for a second worker to use -- and recorded as skipped in the JSON.
+
 Besides the human-readable table it writes a machine-readable
-``BENCH_scheduler.json`` (per-backend throughput, speedup, and the
-scheduler's predicted-vs-simulator-measured flush latency error) so the
-perf trajectory is tracked across commits; CI uploads it as a workflow
-artifact.
+``BENCH_scheduler.json`` (per-backend throughput, speedup, the
+scheduler's predicted-vs-simulator-measured flush latency error, and
+the ``workers`` sweep with per-count throughput and the placement
+policy's online calibration) so the perf trajectory is tracked across
+commits; CI uploads it as a workflow artifact.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scheduler_throughput.py
     PYTHONPATH=src python benchmarks/bench_scheduler_throughput.py --tiny  # CI smoke
+    PYTHONPATH=src python benchmarks/bench_scheduler_throughput.py --workers 1,2,4
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 
 import numpy as np
 
@@ -44,10 +57,10 @@ from repro.vit import VisionTransformer, ViTConfig
 
 DEFAULT = dict(image_size=32, patch_size=8, embed_dim=48, depth=12,
                num_heads=4, selectors={3: 0.7, 6: 0.5, 9: 0.35},
-               requests=32, repeats=3)
+               requests=32, repeats=3, worker_requests=64)
 TINY = dict(image_size=32, patch_size=4, embed_dim=24, depth=4,
             num_heads=3, selectors={1: 0.7, 2: 0.5},
-            requests=16, repeats=2)
+            requests=16, repeats=2, worker_requests=64)
 TOLERANCE = 1e-8
 FASTPATH32_TOLERANCE = 1e-4
 
@@ -92,6 +105,65 @@ def make_coalesced_path(model, images, cost_model, backend):
     return run
 
 
+def run_worker_sweep(model, cost_model, params, counts, backend, repeats):
+    """Serve one burst at each worker count; returns the sweep stats.
+
+    ``workers=1`` is plain in-process execution (the honest baseline --
+    pool transport overhead counts *against* the pooled runs).  Pool
+    startup is excluded from timing; per-request logits must stay
+    bitwise identical across counts.
+    """
+    requests = params["worker_requests"]
+    rng = np.random.default_rng(123)
+    images = generate_dataset(
+        SyntheticConfig(image_size=params["image_size"], num_classes=8),
+        requests, rng).images
+    sweep = {}
+    reference = None
+    for workers in counts:
+        scheduler = Scheduler(clock=VirtualClock(), batch_window_ms=10.0)
+        scheduler.register("default", model, batch_size=requests,
+                           max_batch=requests, cost_model=cost_model,
+                           backend=backend, workers=workers)
+        served = scheduler.sessions[0]
+
+        def run():
+            ids = [scheduler.submit(images[i]) for i in range(requests)]
+            results = {r.request_id: r for r in scheduler.flush()}
+            return np.concatenate([results[i].logits for i in ids],
+                                  axis=0)
+
+        try:
+            logits = run()                                # warmup
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                logits = run()
+                best = min(best, time.perf_counter() - start)
+        finally:
+            scheduler.shutdown()
+        if reference is None:
+            reference = logits
+        sweep[workers] = {
+            "time_s": best,
+            "requests_per_s": requests / best,
+            "bitwise_identical": bool((logits == reference).all()),
+            "calibration": (None if served.placement is None
+                            else list(served.placement.calibration)),
+        }
+    baseline = sweep[counts[0]]["time_s"]
+    for workers in counts:
+        sweep[workers]["speedup_vs_1"] = baseline / sweep[workers]["time_s"]
+    return {
+        "backend": backend,
+        "requests": requests,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "counts": {str(workers): stats
+                   for workers, stats in sweep.items()},
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tiny", action="store_true",
@@ -106,6 +178,20 @@ def main(argv=None):
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit non-zero below this tensor-coalesced "
                              "speedup (default: 2.0 unless --tiny)")
+    parser.add_argument("--workers", default="1,2",
+                        help="comma-separated worker counts to sweep "
+                             "(1 = in-process baseline; '' disables "
+                             "the sweep)")
+    parser.add_argument("--worker-backend", default="tensor",
+                        choices=["tensor", "fastpath"],
+                        help="engine backend for the workers sweep")
+    parser.add_argument("--worker-requests", type=int, default=None,
+                        help="burst size for the workers sweep")
+    parser.add_argument("--min-worker-scaling", type=float, default=None,
+                        help="exit non-zero if the smallest swept "
+                             "count > 1 (workers=2 normally) scales "
+                             "below this multiple of workers=1 "
+                             "(skipped on single-CPU hosts)")
     parser.add_argument("--json", default="BENCH_scheduler.json",
                         help="write machine-readable results here "
                              "('' disables)")
@@ -195,6 +281,62 @@ def main(argv=None):
           f"{measured_ms:.3f} ms across {len(events)} flushes "
           f"({100 * flush_error:.1f}% error)")
 
+    # ------------------------------------------------------------------
+    # Multi-worker sweep: N executor processes vs in-process execution.
+    # ------------------------------------------------------------------
+    worker_counts = sorted({int(w) for w in args.workers.split(",") if w})
+    worker_sweep = None
+    worker_gate_failure = None
+    if worker_counts:
+        if worker_counts[0] != 1:
+            worker_counts.insert(0, 1)    # the baseline is always run
+        if args.worker_requests is not None:
+            if args.worker_requests < 1:
+                parser.error("--worker-requests must be >= 1")
+            params["worker_requests"] = args.worker_requests
+        worker_sweep = run_worker_sweep(
+            model, cost_model, params, worker_counts,
+            args.worker_backend, params["repeats"])
+        print(f"\nmulti-worker sweep [{args.worker_backend}] "
+              f"({worker_sweep['requests']} requests, "
+              f"{worker_sweep['cpu_count']} CPU(s)):")
+        print(f"{'workers':>8}  {'time (s)':>10}  {'req/s':>10}  "
+              f"{'scaling':>8}  bitwise")
+        for workers in worker_counts:
+            stats = worker_sweep["counts"][str(workers)]
+            print(f"{workers:>8}  {stats['time_s']:>10.4f}  "
+                  f"{stats['requests_per_s']:>10.1f}  "
+                  f"{stats['speedup_vs_1']:>7.2f}x  "
+                  f"{stats['bitwise_identical']}")
+            if not stats["bitwise_identical"]:
+                failures.append(
+                    f"workers={workers}: logits diverged from workers=1")
+        if args.min_worker_scaling is not None:
+            gated = [w for w in worker_counts if w > 1]
+            if not gated:
+                parser.error("--min-worker-scaling needs a worker "
+                             "count > 1 in --workers")
+            gate_count = min(gated)     # 2 in the standard sweep
+            scaling = worker_sweep["counts"][str(gate_count)][
+                "speedup_vs_1"]
+            worker_sweep["scaling_gate_workers"] = gate_count
+            if (worker_sweep["cpu_count"] or 1) < 2:
+                worker_sweep["scaling_gate"] = "skipped (single-CPU host)"
+                print(f"worker scaling gate SKIPPED: "
+                      f"{worker_sweep['cpu_count']} CPU(s) -- no "
+                      f"parallel hardware for a second worker "
+                      f"(measured {scaling:.2f}x)")
+            elif scaling < args.min_worker_scaling:
+                worker_sweep["scaling_gate"] = "failed"
+                worker_gate_failure = (
+                    f"workers={gate_count} scaling {scaling:.2f}x < "
+                    f"required {args.min_worker_scaling:.1f}x")
+            else:
+                worker_sweep["scaling_gate"] = "passed"
+                print(f"worker scaling gate passed: workers={gate_count} "
+                      f"at {scaling:.2f}x >= "
+                      f"{args.min_worker_scaling:.1f}x")
+
     gate_backend = "tensor" if "tensor" in backend_stats else backends[0]
     speedup = backend_stats[gate_backend]["speedup"]
     if args.json:
@@ -215,6 +357,8 @@ def main(argv=None):
             "measured_sim_flush_ms": measured_ms,
             "prediction_error": flush_error,
         }
+        if worker_sweep is not None:
+            payload["workers"] = worker_sweep
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
@@ -227,6 +371,9 @@ def main(argv=None):
     if speedup < min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x < required "
               f"{min_speedup:.1f}x")
+        return 1
+    if worker_gate_failure is not None:
+        print(f"FAIL: {worker_gate_failure}")
         return 1
     print("OK")
     return 0

@@ -22,11 +22,13 @@ from repro.engine.executor import (BACKENDS, BucketedExecutor, EngineResult,
 from repro.engine.fastpath import (CompiledModel, CompileError, Workspace,
                                    compile_model)
 from repro.engine.session import InferenceSession, SessionResult
+from repro.engine.spec import SessionSpec, SpecError
 
 __all__ = [
     "BucketingPolicy", "BucketPlan", "plan_buckets", "plan_cost_ms",
     "group_exact", "pack_groups",
     "BACKENDS", "BucketedExecutor", "EngineResult", "StageStats",
     "InferenceSession", "SessionResult",
+    "SessionSpec", "SpecError",
     "compile_model", "CompiledModel", "CompileError", "Workspace",
 ]

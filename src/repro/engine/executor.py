@@ -248,32 +248,31 @@ class BucketedExecutor:
         (per-token math identical to the dense per-group evaluation;
         see :meth:`CompiledSelector.select_ragged`) -- the boundary cost
         no longer scales with the number of distinct sequence lengths.
-        The tensor backend, and fall-back (non-compilable) selectors,
-        evaluate per group.
+        This includes hybrid-fallback (non-stock classifier) selectors,
+        whose classifier module is scored once per distinct length
+        inside the pipeline.  The tensor backend evaluates per group.
         """
         if self.backend == "fastpath":
-            stage = self.compiled.selectors[selector_index]
-            if stage.fallback_module is None:
-                dim = self.model.config.embed_dim
-                patches, counts = [], []
-                for x, indices, packaged in exacts:
-                    stop = x.shape[1] - (1 if packaged else 0)
-                    patches.append(np.ascontiguousarray(
-                        x[:, 1:stop, :]).reshape(-1, dim))
-                    counts.extend([stop - 1] * x.shape[0])
-                flat = np.concatenate(patches, axis=0)
-                keep_flat, packages = self.compiled.select_ragged(
-                    selector_index, flat, counts, self.workspace)
-                decisions, token_lo, image_lo = [], 0, 0
-                for x, indices, packaged in exacts:
-                    g = x.shape[0]
-                    n = x.shape[1] - (2 if packaged else 1)
-                    token_hi = token_lo + g * n
-                    decisions.append(
-                        (keep_flat[token_lo:token_hi].reshape(g, n),
-                         packages[image_lo:image_lo + g]))
-                    token_lo, image_lo = token_hi, image_lo + g
-                return decisions
+            dim = self.model.config.embed_dim
+            patches, counts = [], []
+            for x, indices, packaged in exacts:
+                stop = x.shape[1] - (1 if packaged else 0)
+                patches.append(np.ascontiguousarray(
+                    x[:, 1:stop, :]).reshape(-1, dim))
+                counts.extend([stop - 1] * x.shape[0])
+            flat = np.concatenate(patches, axis=0)
+            keep_flat, packages = self.compiled.select_ragged(
+                selector_index, flat, counts, self.workspace)
+            decisions, token_lo, image_lo = [], 0, 0
+            for x, indices, packaged in exacts:
+                g = x.shape[0]
+                n = x.shape[1] - (2 if packaged else 1)
+                token_hi = token_lo + g * n
+                decisions.append(
+                    (keep_flat[token_lo:token_hi].reshape(g, n),
+                     packages[image_lo:image_lo + g]))
+                token_lo, image_lo = token_hi, image_lo + g
+            return decisions
         decisions = []
         for x, indices, packaged in exacts:
             stop = x.shape[1] - (1 if packaged else 0)

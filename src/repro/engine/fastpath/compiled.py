@@ -77,31 +77,63 @@ _GELU_KERNELS = {"exact": gelu_exact, "rational": gelu_rational,
                  "tanh": gelu_tanh}
 
 
+def _relu_kernel(x, ws, key):
+    return np.maximum(x, 0.0, out=x)
+
+
+def _sigmoid_kernel(x, ws, key):
+    return special.expit(x, out=x)
+
+
+def _hardswish_kernel(x, ws, key):
+    scratch = ws.take(key + "0", x.shape)
+    np.clip(x + 3.0, 0.0, 6.0, out=scratch)
+    scratch /= 6.0
+    x *= scratch
+    return x
+
+
+def _identity_kernel(x, ws, key):
+    return x
+
+
+class _TensorActivation:
+    """Opaque activation executed through its reference Tensor module.
+
+    A class (not a closure) so compiled models stay picklable -- worker
+    processes receive compiled sessions by pickle or rebuild them from
+    a :class:`repro.engine.SessionSpec`.
+    """
+
+    __slots__ = ("module", "dtype")
+
+    def __init__(self, module, dtype):
+        self.module = module
+        self.dtype = dtype
+
+    def __call__(self, x, ws, key):
+        with nn.no_grad():
+            result = self.module(Tensor(np.asarray(x, dtype=np.float64)))
+        x[...] = result.data.astype(self.dtype, copy=False)
+        return x
+
+
 def _compile_activation(module, dtype, gelu):
-    """Map an activation Module to an in-place ``fn(x, ws, key)``."""
+    """Map an activation Module to an in-place ``fn(x, ws, key)``.
+
+    Every returned callable is picklable (module-level functions or
+    :class:`_TensorActivation` instances)."""
     if isinstance(module, nn.GELU):
         return _GELU_KERNELS[gelu]
     if isinstance(module, nn.ReLU):
-        return lambda x, ws, key: np.maximum(x, 0.0, out=x)
+        return _relu_kernel
     if isinstance(module, nn.Sigmoid):
-        return lambda x, ws, key: special.expit(x, out=x)
+        return _sigmoid_kernel
     if isinstance(module, nn.Hardswish):
-        def hardswish(x, ws, key):
-            scratch = ws.take(key + "0", x.shape)
-            np.clip(x + 3.0, 0.0, 6.0, out=scratch)
-            scratch /= 6.0
-            x *= scratch
-            return x
-        return hardswish
+        return _hardswish_kernel
     if isinstance(module, nn.Identity):
-        return lambda x, ws, key: x
-
-    def fallback(x, ws, key):
-        with nn.no_grad():
-            result = module(Tensor(np.asarray(x, dtype=np.float64)))
-        x[...] = result.data.astype(dtype, copy=False)
-        return x
-    return fallback
+        return _identity_kernel
+    return _TensorActivation(module, dtype)
 
 
 def _compile_mlp(sequential, dtype, gelu):
@@ -223,53 +255,78 @@ class CompiledSelector:
     ``hard=False`` and no incoming mask -- exactly what both deployment
     paths execute: deterministic argmax decisions, the >=1-token guard,
     and the Eq. 10 score-weighted packager.
+
+    A selector whose classifier is not the stock
+    :class:`MultiHeadTokenClassifier` (e.g. the Fig. 12 conv ablation)
+    compiles in **hybrid fallback** mode: the classifier stays an opaque
+    Tensor module, but the LayerNorm, attention branch, Eq. 8 combine,
+    guard, and packager still run as native kernels -- in float64, the
+    arithmetic the old whole-module fallback used -- so the ragged
+    single-pipeline boundary (:meth:`select_ragged`) is available for
+    every selector, stock or not.
     """
 
-    __slots__ = ("dtype", "num_heads", "head_dim", "norm_w", "norm_b",
-                 "norm_eps", "feature_mlp", "classifier_mlp",
-                 "attention_mlp", "fallback_module")
+    __slots__ = ("dtype", "score_dtype", "num_heads", "head_dim",
+                 "norm_w", "norm_b", "norm_eps", "feature_mlp",
+                 "classifier_mlp", "attention_mlp", "fallback_module",
+                 "classifier_module", "_fallback_ws")
 
     def __init__(self, selector, dtype, gelu):
         from repro.core.selector import MultiHeadTokenClassifier
 
         self.dtype = dtype
         self.fallback_module = None
+        self.classifier_module = None
+        self._fallback_ws = None
+        score_dtype = dtype
         if not isinstance(selector.classifier, MultiHeadTokenClassifier):
-            # Non-stock classifier (e.g. the Fig. 12 conv ablation):
-            # keep the Tensor module as an opaque unit.
+            # Hybrid fallback: score in float64 through the original
+            # classifier module (matches the reference bit-for-bit up to
+            # rounding order), native kernels for everything else.
             self.fallback_module = selector
-            return
-        classifier = selector.classifier
-        self.num_heads = classifier.num_heads
-        self.head_dim = classifier.head_dim
-        self.norm_w = _contig(selector.norm.weight.data, dtype)
-        self.norm_b = _contig(selector.norm.bias.data, dtype)
+            self.classifier_module = selector.classifier
+            score_dtype = np.dtype(np.float64)
+            gelu = "exact"
+            self._fallback_ws = Workspace(score_dtype)
+        self.score_dtype = score_dtype
+        self.num_heads = selector.num_heads
+        self.head_dim = selector.embed_dim // selector.num_heads
+        self.norm_w = _contig(selector.norm.weight.data, score_dtype)
+        self.norm_b = _contig(selector.norm.bias.data, score_dtype)
         self.norm_eps = selector.norm.eps
-        self.feature_mlp = _compile_mlp(classifier.feature_mlp, dtype, gelu)
-        self.classifier_mlp = _compile_mlp(classifier.classifier_mlp,
-                                           dtype, gelu)
+        if self.classifier_module is None:
+            classifier = selector.classifier
+            self.feature_mlp = _compile_mlp(classifier.feature_mlp,
+                                            score_dtype, gelu)
+            self.classifier_mlp = _compile_mlp(classifier.classifier_mlp,
+                                               score_dtype, gelu)
+        else:
+            self.feature_mlp = None
+            self.classifier_mlp = None
         self.attention_mlp = _compile_mlp(selector.attention_branch.mlp,
-                                          dtype, gelu)
+                                          score_dtype, gelu)
 
-    def select(self, patches, ws):
-        """Score ``(g, N, D)`` patch tokens; returns ``(keep, packages)``
-        with ``keep`` boolean ``(g, N)`` and ``packages`` ``(g, D)``.
+    def _scoring_input(self, tokens, ws):
+        """Cast to the scoring dtype and pick the scoring workspace.
+
+        Stock selectors score in the compile dtype with the caller's
+        workspace; hybrid fallbacks score in float64 with their own
+        scratch pool (the caller's pool is typed to the compile dtype).
         """
-        if self.fallback_module is not None:
-            with nn.no_grad():
-                out = self.fallback_module(
-                    Tensor(np.asarray(patches, dtype=np.float64)),
-                    hard=False)
-            keep = out.decision.data > 0.5
-            packages = out.package.data[:, 0, :].astype(self.dtype,
-                                                        copy=False)
-            return keep, packages
+        if self.classifier_module is None:
+            return tokens, ws
+        return np.asarray(tokens, dtype=self.score_dtype), self._fallback_ws
 
-        g, tokens, dim = patches.shape
+    def _classifier_scores_dense(self, normed, ws):
+        """Per-head keep/prune probabilities for dense ``(g, N, D)``
+        normed tokens: ``(g, h, N, 2)``."""
+        if self.classifier_module is not None:
+            with nn.no_grad():
+                scores = self.classifier_module(
+                    Tensor(np.ascontiguousarray(normed)))
+            return scores.data
+        g, tokens, dim = normed.shape
         h, d = self.num_heads, self.head_dim
-        normed = ws.take("sel_norm", (g, tokens, dim))
-        fused_layer_norm(patches, self.norm_w, self.norm_b, self.norm_eps,
-                         out=normed, ws=ws, key="sel_ln")
         heads = normed.reshape(g, tokens, h, d)
         # Per-head token scores (Eqs. 3-5): local features, masked-free
         # global average, concat, classify, softmax.
@@ -283,9 +340,23 @@ class CompiledSelector:
         combined[..., feat:] = gmean
         per_head = _run_mlp(self.classifier_mlp, combined, ws, "sel_cls")
         masked_softmax(per_head, ws=ws, key="sel_sm")      # (g, h, N, 2)
+        return per_head
+
+    def select(self, patches, ws):
+        """Score ``(g, N, D)`` patch tokens; returns ``(keep, packages)``
+        with ``keep`` boolean ``(g, N)`` and ``packages`` ``(g, D)``.
+        """
+        patches, ws = self._scoring_input(patches, ws)
+        sdt = self.score_dtype
+        g, tokens, dim = patches.shape
+        h, d = self.num_heads, self.head_dim
+        normed = ws.take("sel_norm", (g, tokens, dim))
+        fused_layer_norm(patches, self.norm_w, self.norm_b, self.norm_eps,
+                         out=normed, ws=ws, key="sel_ln")
+        per_head = self._classifier_scores_dense(normed, ws)
         # Attention branch (Eqs. 6-7): head channel means -> MLP -> sigmoid.
-        head_stat = np.add.reduce(heads, axis=-1)          # (g, N, h)
-        head_stat /= d
+        head_stat = np.add.reduce(normed.reshape(g, tokens, h, d), axis=-1)
+        head_stat /= d                                     # (g, N, h)
         importance = _run_mlp(self.attention_mlp, head_stat, ws, "sel_att")
         special.expit(importance, out=importance)
         # Eq. 8 combine: head-importance-weighted average of the scores.
@@ -293,7 +364,7 @@ class CompiledSelector:
         per_head *= weights
         scores = np.add.reduce(per_head, axis=1)            # (g, N, 2)
         total = np.add.reduce(weights, axis=1)
-        total += self.dtype.type(_EPS)
+        total += sdt.type(_EPS)
         scores /= total
         keep_score = scores[..., 0]
         keep = keep_score >= scores[..., 1]
@@ -302,11 +373,53 @@ class CompiledSelector:
             keep[row, np.argmax(keep_score[row])] = True
         # Eq. 10 packager on the RAW (un-normed) tokens, weighted by the
         # pruned tokens' keep scores.
-        pruned_w = np.where(keep, self.dtype.type(0.0), keep_score)
+        pruned_w = np.where(keep, sdt.type(0.0), keep_score)
         packages = np.matmul(pruned_w[:, None, :], patches)[:, 0, :]
         packages /= (pruned_w.sum(axis=1, keepdims=True)
-                     + self.dtype.type(_EPS))
-        return keep, packages
+                     + sdt.type(_EPS))
+        return keep, packages.astype(self.dtype, copy=False)
+
+    def _classifier_scores_ragged(self, normed, counts, starts, ws):
+        """Per-head probabilities for ragged tokens: ``(M, h, 2)``.
+
+        Stock selectors run one flat kernel pipeline with segment
+        reductions.  Hybrid fallbacks batch images of equal length into
+        dense classifier-module calls (the module's own global pooling
+        is per image either way) and scatter the scores back flat --
+        the boundary still costs one module call per *distinct length*,
+        not one per ``(length, package)`` group per padded bucket.
+        """
+        m = normed.shape[0]
+        h = self.num_heads
+        if self.classifier_module is not None:
+            per_head = np.empty((m, h, 2), dtype=self.score_dtype)
+            by_count = {}
+            for image, count in enumerate(counts):
+                by_count.setdefault(int(count), []).append(image)
+            for count, images in by_count.items():
+                dense = np.empty((len(images), count, normed.shape[1]),
+                                 dtype=self.score_dtype)
+                for row, image in enumerate(images):
+                    lo = starts[image]
+                    dense[row] = normed[lo:lo + count]
+                with nn.no_grad():
+                    scores = self.classifier_module(Tensor(dense))
+                scores = scores.data                       # (g, h, n, 2)
+                for row, image in enumerate(images):
+                    lo = starts[image]
+                    per_head[lo:lo + count] = scores[row].transpose(1, 0, 2)
+            return per_head
+        heads = normed.reshape(m, h, self.head_dim)
+        local = _run_mlp(self.feature_mlp, heads, ws, "rag_feat")  # (M,h,f)
+        feat = local.shape[-1]
+        gmean = np.add.reduceat(local, starts, axis=0)     # (n, h, f)
+        gmean /= counts[:, None, None]
+        combined = ws.take("rag_comb", (m, h, 2 * feat))
+        combined[..., :feat] = local
+        combined[..., feat:] = np.repeat(gmean, counts, axis=0)
+        per_head = _run_mlp(self.classifier_mlp, combined, ws, "rag_cls")
+        masked_softmax(per_head, ws=ws, key="rag_sm")      # (M, h, 2)
+        return per_head
 
     def select_ragged(self, flat, counts, ws):
         """Score a ragged batch of images in ONE kernel pipeline.
@@ -323,13 +436,15 @@ class CompiledSelector:
         accumulate sequentially instead of numpy's pairwise order, a
         rounding-level (~1e-16 in float64) deviation only.
 
+        Hybrid fallback selectors (non-stock classifiers) run the same
+        pipeline with the classifier scored per distinct length; see
+        :meth:`_classifier_scores_ragged`.
+
         Returns ``(keep_flat, packages)``: boolean ``(M,)`` and
-        ``(n, D)``.  Raises :class:`CompileError` for fall-back
-        selectors (the executor then uses the per-group path).
+        ``(n, D)``.
         """
-        if self.fallback_module is not None:
-            raise CompileError("ragged select unavailable for fall-back "
-                               "selectors")
+        flat, ws = self._scoring_input(flat, ws)
+        sdt = self.score_dtype
         m, dim = flat.shape
         h, d = self.num_heads, self.head_dim
         counts = np.asarray(counts)
@@ -338,25 +453,17 @@ class CompiledSelector:
         normed = ws.take("rag_norm", (m, dim))
         fused_layer_norm(flat, self.norm_w, self.norm_b, self.norm_eps,
                          out=normed, ws=ws, key="rag_ln")
-        heads = normed.reshape(m, h, d)
-        local = _run_mlp(self.feature_mlp, heads, ws, "rag_feat")  # (M,h,f)
-        feat = local.shape[-1]
-        gmean = np.add.reduceat(local, starts, axis=0)     # (n, h, f)
-        gmean /= counts[:, None, None]
-        combined = ws.take("rag_comb", (m, h, 2 * feat))
-        combined[..., :feat] = local
-        combined[..., feat:] = np.repeat(gmean, counts, axis=0)
-        per_head = _run_mlp(self.classifier_mlp, combined, ws, "rag_cls")
-        masked_softmax(per_head, ws=ws, key="rag_sm")      # (M, h, 2)
-        head_stat = np.add.reduce(heads, axis=-1)          # (M, h)
-        head_stat /= d
+        per_head = self._classifier_scores_ragged(normed, counts, starts,
+                                                  ws)
+        head_stat = np.add.reduce(normed.reshape(m, h, d), axis=-1)
+        head_stat /= d                                     # (M, h)
         importance = _run_mlp(self.attention_mlp, head_stat, ws, "rag_att")
         special.expit(importance, out=importance)
         weights = importance[..., None]                    # (M, h, 1)
         per_head *= weights
         scores = np.add.reduce(per_head, axis=1)           # (M, 2)
         total = np.add.reduce(weights, axis=1)
-        total += self.dtype.type(_EPS)
+        total += sdt.type(_EPS)
         scores /= total
         keep_score = scores[..., 0]
         keep = keep_score >= scores[..., 1]
@@ -365,13 +472,13 @@ class CompiledSelector:
             lo = starts[image]
             hi = lo + counts[image]
             keep[lo + np.argmax(keep_score[lo:hi])] = True
-        pruned_w = np.where(keep, self.dtype.type(0.0), keep_score)
+        pruned_w = np.where(keep, sdt.type(0.0), keep_score)
         weighted = ws.take("rag_pkg", (m, dim))
         np.multiply(flat, pruned_w[:, None], out=weighted)
         packages = np.add.reduceat(weighted, starts, axis=0)
         packages /= (np.add.reduceat(pruned_w, starts)[:, None]
-                     + self.dtype.type(_EPS))
-        return keep, packages
+                     + sdt.type(_EPS))
+        return keep, packages.astype(self.dtype, copy=False)
 
 
 class CompiledModel:

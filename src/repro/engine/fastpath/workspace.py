@@ -87,6 +87,18 @@ class Workspace:
     def __len__(self):
         return len(self._buffers)
 
+    # ------------------------------------------------------------------
+    # Pickling: scratch is process-local by nature (a worker process
+    # rebuilds its own buffers on first use), so only the configuration
+    # crosses the pickle boundary -- this also keeps compiled sessions
+    # cheap to ship to executor workers.
+    def __getstate__(self):
+        return {"dtype": self.dtype, "max_buffers": self.max_buffers}
+
+    def __setstate__(self, state):
+        self.__init__(dtype=state["dtype"],
+                      max_buffers=state["max_buffers"])
+
     @property
     def nbytes(self):
         """Total bytes currently held by the pool."""

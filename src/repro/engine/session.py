@@ -214,6 +214,15 @@ class InferenceSession:
     def invalidate_estimate(self):
         self._estimated_latency = None
 
+    def spec(self, metadata=None):
+        """Describe this session as a spawn-safe
+        :class:`repro.engine.SessionSpec` (config + weights + knobs) a
+        worker process can rebuild bit-for-bit.  Raises
+        :class:`repro.engine.SpecError` for models a config + weights
+        rebuild cannot reproduce (custom selector classifiers)."""
+        from repro.engine.spec import SessionSpec
+        return SessionSpec.from_session(self, metadata=metadata)
+
     # ------------------------------------------------------------------
     def submit(self, images, record=None):
         """Run a set of images; returns a :class:`SessionResult`.

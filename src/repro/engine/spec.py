@@ -1,0 +1,153 @@
+"""Spawn-safe serving-session specification: config + weights.
+
+A :class:`SessionSpec` is everything a fresh process needs to rebuild
+an :class:`repro.engine.InferenceSession` bit-for-bit: the backbone
+:class:`repro.vit.ViTConfig`, the selector layout (block -> keep
+ratio), the flat ``state_dict`` weights, and the session knobs (batch
+size, bucketing policy, cost model, backend, dtype).  The multi-worker
+serving backend (:mod:`repro.serving.worker`) ships one spec to each
+executor process at startup -- far cheaper and more robust than
+pickling a live session with its autograd module graph, and immune to
+anything process-local (workspace scratch, plan caches).
+
+Rebuild is exact: the child constructs the same float64 modules,
+overwrites every parameter with the spec's weights, and compiles the
+same backend, so child logits are bitwise identical to the parent's
+(asserted by ``tests/engine/test_spec.py``).
+
+Models the spec cannot describe -- non-stock selector classifiers
+(``classifier_factory``) or non-GELU selector activations, whose
+behavior is not captured by config + weights -- raise
+:class:`SpecError` from :meth:`SessionSpec.from_session`; callers fall
+back to pickling the session object itself (sessions and compiled
+models pickle cleanly; scratch workspaces serialize empty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SessionSpec", "SpecError"]
+
+
+class SpecError(TypeError):
+    """The session cannot be described by config + weights alone."""
+
+
+def _check_stock_selectors(model):
+    """Raise :class:`SpecError` unless every selector would be rebuilt
+    identically by ``HeatViT(backbone, selector_blocks)``.
+
+    ``load_state_dict`` only restores parameters; a custom classifier
+    module or a non-GELU activation changes *functions*, which a
+    rebuilt stock selector would silently not reproduce.
+    """
+    from repro import nn
+    from repro.core.selector import MultiHeadTokenClassifier
+
+    for index, selector in enumerate(model.selectors):
+        classifier = selector.classifier
+        if type(classifier) is not MultiHeadTokenClassifier:
+            raise SpecError(
+                f"selector {index} uses a non-stock classifier "
+                f"({type(classifier).__name__}); ship the session by "
+                f"pickle instead of a SessionSpec")
+        for mlp in (classifier.feature_mlp, classifier.classifier_mlp):
+            for module in mlp:
+                is_plain = isinstance(module, (nn.Linear, nn.GELU))
+                if not is_plain:
+                    raise SpecError(
+                        f"selector {index} uses a non-stock activation "
+                        f"({type(module).__name__}); ship the session "
+                        f"by pickle instead of a SessionSpec")
+
+
+@dataclass
+class SessionSpec:
+    """A rebuildable description of one serving session.
+
+    Attributes
+    ----------
+    config: the backbone :class:`repro.vit.ViTConfig`.
+    selector_blocks: ``{block_index: keep_ratio}`` selector layout.
+    tau: shared Gumbel-Softmax temperature (eval paths ignore it, but
+        the rebuilt model should match the original exactly).
+    use_packager: whether pruned tokens consolidate into a package.
+    state: the model's flat ``state_dict`` (name -> ndarray).
+    batch_size / policy / cost_model / backend / dtype: session knobs,
+        passed through to :class:`repro.engine.InferenceSession`.
+    """
+
+    config: object
+    selector_blocks: dict
+    tau: float
+    use_packager: bool
+    state: dict
+    batch_size: int = 32
+    policy: object = None
+    cost_model: object = None
+    backend: str = "tensor"
+    dtype: str = None
+    metadata: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_session(cls, session, metadata=None):
+        """Describe a live :class:`InferenceSession` as a spec.
+
+        Raises :class:`SpecError` when the session's model carries
+        behavior a config + weights rebuild cannot reproduce (custom
+        classifier modules, non-GELU selector activations).
+        """
+        model = session.model
+        if not hasattr(model, "selectors"):
+            raise SpecError(
+                f"{type(model).__name__} is not a HeatViT; SessionSpec "
+                f"rebuilds HeatViT-backed sessions only")
+        _check_stock_selectors(model)
+        tau = (model.selectors[0].tau if len(model.selectors) else 1.0)
+        dtype = (None if session.dtype is None
+                 else np.dtype(session.dtype).name)
+        return cls(
+            config=model.config,
+            selector_blocks={int(b): float(r) for b, r in
+                             zip(model.selector_blocks,
+                                 model.keep_ratios)},
+            tau=float(tau),
+            use_packager=bool(model.use_packager),
+            state=model.state_dict(),
+            batch_size=session.batch_size,
+            policy=session.policy,
+            cost_model=session.cost_model,
+            backend=session.backend,
+            dtype=dtype,
+            metadata=dict(metadata or {}))
+
+    def build_model(self):
+        """Rebuild the HeatViT in eval mode with the spec's weights."""
+        from repro.core import HeatViT
+        from repro.vit import VisionTransformer
+
+        rng = np.random.default_rng(0)   # weights are overwritten below
+        backbone = VisionTransformer(self.config, rng=rng)
+        model = HeatViT(backbone, dict(self.selector_blocks),
+                        tau=self.tau, use_packager=self.use_packager,
+                        rng=rng)
+        model.load_state_dict(self.state)
+        model.eval()
+        return model
+
+    def build(self):
+        """Rebuild the full :class:`InferenceSession`.
+
+        The rebuilt session executes bit-for-bit like the one the spec
+        was taken from: same weights, same bucketing policy and cost
+        model, same compiled backend and dtype.
+        """
+        from repro.engine.session import InferenceSession
+
+        return InferenceSession(
+            self.build_model(), batch_size=self.batch_size,
+            policy=self.policy, cost_model=self.cost_model,
+            backend=self.backend, dtype=self.dtype)

@@ -15,15 +15,21 @@ Builds the request-level serving story on top of
   session that meets the deadline);
 * clocks -- all serving time is in milliseconds;
   :class:`VirtualClock` makes scheduler behavior exactly simulable
-  (``tests/serving/harness.py``).
+  (``tests/serving/harness.py``);
+* multi-worker fan-out -- :class:`WorkerPool` executor processes
+  (spawn-safe via :class:`repro.engine.SessionSpec`) with
+  :class:`PlacementPolicy` cost-model placement and online calibration
+  (``Scheduler.register(..., workers=N)``).
 """
 
 from repro.serving.clock import Clock, SystemClock, VirtualClock
+from repro.serving.placement import Placement, PlacementPolicy
 from repro.serving.queue import RequestQueue
 from repro.serving.request import Request, RequestResult
 from repro.serving.router import (HighestFidelityRouter, LeastLatencyRouter,
                                   Router, request_cost_ms)
 from repro.serving.scheduler import FlushEvent, Scheduler, ServedModel
+from repro.serving.worker import WorkerPool, WorkerReply, worker_payload
 
 __all__ = [
     "Clock", "SystemClock", "VirtualClock",
@@ -31,4 +37,6 @@ __all__ = [
     "Router", "LeastLatencyRouter", "HighestFidelityRouter",
     "request_cost_ms",
     "Scheduler", "ServedModel", "FlushEvent",
+    "Placement", "PlacementPolicy",
+    "WorkerPool", "WorkerReply", "worker_payload",
 ]

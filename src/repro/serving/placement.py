@@ -1,0 +1,175 @@
+"""Cost-model placement of batches onto parallel executor workers.
+
+One scheduler fans flushed batches out to N executor processes
+(:mod:`repro.serving.worker`).  The :class:`PlacementPolicy` decides
+*which* worker runs each batch: the one with the lowest predicted
+completion time, where a worker's prediction is
+
+``completion = max(now, worker_free_at) + calibration * cost_model_ms``
+
+-- its in-flight backlog plus the batch's :class:`repro.cost.CostModel`
+estimate, corrected by an **online calibration** factor learned from
+the worker's own measured kernel timings (an EWMA of measured over
+predicted, the self-adaptive layer over the static FPGA-simulator fit;
+cf. SAWL's measured-cost policy tuning).  Heterogeneous workers -- a
+loaded core, a slower NUMA node -- therefore drift toward receiving
+less work without any configuration.
+
+The policy is a pure function of the times it is handed (no wall-clock
+reads), so the unit suite drives it with a virtual clock and asserts
+placement decisions exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PlacementPolicy", "Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One placement decision (the ticket handed back to the caller).
+
+    ``raw_ms`` is the uncalibrated cost-model estimate, ``predicted_ms``
+    the calibrated one actually charged to the worker's backlog;
+    ``start_ms`` / ``completion_ms`` bound the predicted execution
+    window.  Pass the ticket back to :meth:`PlacementPolicy.complete`
+    when the batch finishes.
+    """
+
+    worker: int
+    raw_ms: float
+    predicted_ms: float
+    start_ms: float
+    completion_ms: float
+
+
+class PlacementPolicy:
+    """Lowest-predicted-completion-time placement with online calibration.
+
+    Parameters
+    ----------
+    num_workers: size of the worker pool.
+    cost_model: optional :class:`repro.cost.CostModel`; when given,
+        completion predictions go through its
+        :meth:`~repro.cost.CostModel.completion_ms` (same arithmetic,
+        single pricing implementation).
+    smoothing: EWMA weight of each new measured/predicted observation
+        (the first observation seeds the factor directly).
+    """
+
+    def __init__(self, num_workers, cost_model=None, smoothing=0.25):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.num_workers = int(num_workers)
+        self.cost_model = cost_model
+        self.smoothing = float(smoothing)
+        self._free_at = [0.0] * self.num_workers
+        self._calibration = [1.0] * self.num_workers
+        self._in_flight = [0] * self.num_workers
+        self._observations = [0] * self.num_workers
+
+    # ------------------------------------------------------------------
+    @property
+    def calibration(self):
+        """Per-worker measured/predicted scale factors (1.0 = the cost
+        model is exact for that worker)."""
+        return tuple(self._calibration)
+
+    @property
+    def in_flight(self):
+        """Per-worker count of dispatched, not-yet-completed batches."""
+        return tuple(self._in_flight)
+
+    @property
+    def observations(self):
+        """Per-worker count of measured timings folded into calibration."""
+        return tuple(self._observations)
+
+    def predicted_ms(self, worker, raw_cost_ms):
+        """Calibrated execution-time prediction for one batch."""
+        return self._calibration[worker] * float(raw_cost_ms)
+
+    def completion_ms(self, worker, raw_cost_ms, now_ms=0.0):
+        """Predicted completion time of a batch dispatched to ``worker``
+        now: its backlog (bounded below by ``now_ms``) plus the
+        calibrated batch estimate."""
+        backlog = max(float(now_ms), self._free_at[worker])
+        if self.cost_model is not None:
+            return self.cost_model.completion_ms(
+                float(raw_cost_ms), backlog_ms=backlog,
+                calibration=self._calibration[worker])
+        return backlog + self.predicted_ms(worker, raw_cost_ms)
+
+    # ------------------------------------------------------------------
+    def assign(self, raw_cost_ms, now_ms=0.0):
+        """Place one batch; returns the :class:`Placement` ticket.
+
+        Picks the worker with the lowest predicted completion time
+        given its in-flight queue (ties break toward the lowest worker
+        index, so placement is deterministic) and charges the batch to
+        that worker's backlog.
+        """
+        if raw_cost_ms < 0:
+            raise ValueError("raw_cost_ms must be >= 0")
+        worker = min(range(self.num_workers),
+                     key=lambda w: (self.completion_ms(w, raw_cost_ms,
+                                                       now_ms), w))
+        start = max(float(now_ms), self._free_at[worker])
+        completion = self.completion_ms(worker, raw_cost_ms, now_ms)
+        self._free_at[worker] = completion
+        self._in_flight[worker] += 1
+        return Placement(worker=worker, raw_ms=float(raw_cost_ms),
+                         predicted_ms=completion - start,
+                         start_ms=start, completion_ms=completion)
+
+    def complete(self, placement, now_ms=None, measured_ms=None):
+        """Retire a ticket; fold the measured execution time into the
+        worker's calibration factor.
+
+        ``measured_ms`` is the worker's host-measured batch execution
+        time; when given, the worker's calibration EWMA moves toward
+        ``measured / raw`` and the worker's backlog is corrected by the
+        prediction error.  ``now_ms`` (when known) lets an emptied
+        worker's backlog collapse to the present instead of carrying a
+        stale prediction.
+        """
+        worker = placement.worker
+        if self._in_flight[worker] < 1:
+            raise ValueError(
+                f"worker {worker} has no in-flight batch to complete")
+        self._in_flight[worker] -= 1
+        if measured_ms is not None and placement.raw_ms > 0:
+            ratio = float(measured_ms) / placement.raw_ms
+            if self._observations[worker] == 0:
+                self._calibration[worker] = ratio
+            else:
+                a = self.smoothing
+                self._calibration[worker] = (
+                    (1.0 - a) * self._calibration[worker] + a * ratio)
+            self._observations[worker] += 1
+        if now_ms is not None:
+            if self._in_flight[worker] == 0:
+                self._free_at[worker] = float(now_ms)
+            elif measured_ms is not None:
+                corrected = (self._free_at[worker]
+                             - placement.predicted_ms + float(measured_ms))
+                self._free_at[worker] = max(float(now_ms), corrected)
+
+    def snapshot(self):
+        """Telemetry: per-worker backlog, calibration, and in-flight
+        counts (what the benchmark records per sweep point)."""
+        return {
+            "free_at_ms": tuple(self._free_at),
+            "calibration": self.calibration,
+            "in_flight": self.in_flight,
+            "observations": self.observations,
+        }
+
+    def __repr__(self):
+        cal = ", ".join(f"{c:.3f}" for c in self._calibration)
+        return (f"PlacementPolicy(workers={self.num_workers}, "
+                f"calibration=[{cal}])")

@@ -36,27 +36,50 @@ the real clock and collect responses with :meth:`wait_result`.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.engine.session import InferenceSession
 from repro.serving.clock import Clock, SystemClock
+from repro.serving.placement import PlacementPolicy
 from repro.serving.queue import RequestQueue
 from repro.serving.request import Request, RequestResult
 from repro.serving.router import LeastLatencyRouter
+from repro.serving.worker import WorkerPool
 
 __all__ = ["Scheduler", "ServedModel", "FlushEvent"]
 
 
 @dataclass
+class _InFlight:
+    """One batch dispatched to a worker, awaiting its reply."""
+
+    requests: list
+    ticket: object                  # repro.serving.Placement
+    reason: str
+
+
+@dataclass
 class ServedModel:
-    """One registered serving target."""
+    """One registered serving target.
+
+    With ``workers >= 2`` the target owns a
+    :class:`repro.serving.WorkerPool` of executor processes and a
+    :class:`repro.serving.PlacementPolicy`; flushed batches are then
+    dispatched (non-blocking) instead of executed inline, and
+    ``pending`` tracks the in-flight dispatches until their replies are
+    collected.
+    """
 
     name: str
     session: InferenceSession
     max_batch: int
     queue: RequestQueue = field(default_factory=RequestQueue)
+    pool: WorkerPool = None
+    placement: PlacementPolicy = None
+    pending: dict = field(default_factory=dict)
 
     @property
     def cost_model(self):
@@ -91,7 +114,12 @@ class ServedModel:
 @dataclass
 class FlushEvent:
     """Telemetry for one executed batch (asserted by the simulation
-    harness: flush timing, trigger reason, and remainder carry-over)."""
+    harness: flush timing, trigger reason, and remainder carry-over).
+
+    ``worker`` is the executor-process index for multi-worker targets
+    (the placement decision), ``None`` for in-process execution; for
+    dispatched batches ``estimated_ms`` is the placement policy's
+    calibrated prediction."""
 
     time_ms: float
     session: str
@@ -100,6 +128,7 @@ class FlushEvent:
     num_images: int
     estimated_ms: float
     carried_requests: int
+    worker: int = None
 
 
 class Scheduler:
@@ -149,6 +178,7 @@ class Scheduler:
         self._registry_lock = threading.Lock()
         self._step_lock = threading.Lock()
         self._next_id = 0
+        self._next_task_id = 0
         self._thread = None
         self._stop_event = None
         self._background_error = None
@@ -158,7 +188,8 @@ class Scheduler:
     # ------------------------------------------------------------------
     def register(self, name, model=None, *, session=None, batch_size=32,
                  policy=None, cost_model=None, latency_table=None,
-                 max_batch=None, backend="tensor", dtype=None):
+                 max_batch=None, backend="tensor", dtype=None,
+                 workers=1, worker_ctx="spawn"):
         """Register a serving target under ``name``.
 
         Pass either a ready :class:`InferenceSession` or a HeatViT
@@ -169,9 +200,25 @@ class Scheduler:
         the session's ``batch_size``.  ``backend`` / ``dtype`` select
         the session's compute backend (``"fastpath"`` runs the compiled
         fused-kernel path; see :mod:`repro.engine.fastpath`).
+
+        ``workers >= 2`` serves the target from a pool of that many
+        executor *processes* (see :mod:`repro.serving.worker`): each
+        flush is split into up to ``workers`` balanced shards and
+        dispatched without blocking to the worker with the lowest
+        cost-model-predicted completion time
+        (:class:`repro.serving.PlacementPolicy`, online-calibrated from
+        the workers' measured timings).  Results are reassembled per
+        request and are bitwise identical to in-process execution.
+        ``worker_ctx`` picks the multiprocessing start method
+        (``"spawn"`` default; the session is shipped as a
+        :class:`repro.engine.SessionSpec` when possible).  Call
+        :meth:`shutdown` (or use the scheduler as a context manager) to
+        join the pools deterministically.
         """
         if (model is None) == (session is None):
             raise ValueError("pass exactly one of model= or session=")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         if session is None:
             session = InferenceSession(model, batch_size=batch_size,
                                        policy=policy,
@@ -181,10 +228,18 @@ class Scheduler:
         max_batch = session.batch_size if max_batch is None else int(max_batch)
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        pool = placement = None
+        if workers > 1:
+            pool = WorkerPool(session, workers, ctx=worker_ctx)
+            placement = PlacementPolicy(workers,
+                                        cost_model=session.cost_model)
         served = ServedModel(name=name, session=session,
-                             max_batch=max_batch)
+                             max_batch=max_batch, pool=pool,
+                             placement=placement)
         with self._registry_lock:
             if name in self._served:
+                if pool is not None:
+                    pool.close()
                 raise ValueError(f"session {name!r} already registered")
             self._served[name] = served
         return served
@@ -251,6 +306,10 @@ class Scheduler:
     def pending_requests(self):
         return sum(len(s.queue) for s in self.sessions)
 
+    def in_flight_batches(self):
+        """Batches dispatched to worker pools, awaiting their replies."""
+        return sum(len(s.pending) for s in self.sessions)
+
     # ------------------------------------------------------------------
     # Batch formation and execution
     # ------------------------------------------------------------------
@@ -274,10 +333,19 @@ class Scheduler:
                     if reason is None:
                         break
                     completed.extend(self._execute(served, now, reason))
+                # Multi-worker targets complete asynchronously: pick up
+                # whatever replies have arrived, without blocking.
+                completed.extend(self._collect(served, block=False))
         return completed
 
-    def flush(self, model=None):
-        """Force-run everything pending (for ``model``, or everywhere)."""
+    def flush(self, model=None, wait=True):
+        """Force-run everything pending (for ``model``, or everywhere).
+
+        For multi-worker targets the queued batches are dispatched
+        across the pool and, with ``wait=True`` (default), their
+        results collected before returning; ``wait=False`` leaves them
+        in flight (pick them up via :meth:`step` or :meth:`drain`).
+        """
         completed = []
         with self._step_lock:
             targets = ([self._served[model]] if model is not None
@@ -286,6 +354,28 @@ class Scheduler:
                 while len(served.queue):
                     completed.extend(self._execute(served, self.clock.now(),
                                                    "forced"))
+                if wait:
+                    completed.extend(self._collect(served, block=True))
+        return completed
+
+    def drain(self, timeout_ms=None):
+        """Run every queued request and every in-flight batch to
+        completion; returns the newly completed results.
+
+        The deterministic end-of-stream operation: after it returns,
+        no request is queued and no batch is in flight on any worker.
+        ``timeout_ms`` bounds the wait for worker replies
+        (``TimeoutError`` on expiry); ``None`` waits until the pool
+        answers or a worker death is detected.
+        """
+        completed = []
+        with self._step_lock:
+            for served in self.sessions:
+                while len(served.queue):
+                    completed.extend(self._execute(served, self.clock.now(),
+                                                   "forced"))
+                completed.extend(self._collect(served, block=True,
+                                               timeout_ms=timeout_ms))
         return completed
 
     def _flush_reason(self, served, now):
@@ -309,11 +399,26 @@ class Scheduler:
             return "window"
         return None
 
+    def _log_event(self, event):
+        self.events.append(event)
+        if (self.max_events is not None
+                and len(self.events) > self.max_events):
+            del self.events[:len(self.events) - self.max_events]
+
+    def _store(self, completed):
+        with self._results_cond:
+            for item in completed:
+                self._results[item.request_id] = item
+            self._results_cond.notify_all()
+        return completed
+
     def _execute(self, served, now, reason):
         requests = served.queue.pop_batch(
             max_images=served.max_batch,
             latency_budget_ms=self.latency_budget_ms,
             batch_cost_ms=served.batch_cost_ms)
+        if served.pool is not None:
+            return self._dispatch(served, requests, now, reason)
         try:
             result, slices = served.session.submit_many(
                 [r.images for r in requests])
@@ -323,15 +428,12 @@ class Scheduler:
                 served.queue.push(request)
             raise
         num_images = sum(r.num_images for r in requests)
-        self.events.append(FlushEvent(
+        self._log_event(FlushEvent(
             time_ms=now, session=served.name, reason=reason,
             request_ids=[r.request_id for r in requests],
             num_images=num_images,
             estimated_ms=served.batch_cost_ms(num_images),
             carried_requests=len(served.queue)))
-        if (self.max_events is not None
-                and len(self.events) > self.max_events):
-            del self.events[:len(self.events) - self.max_events]
         completed = []
         for request, rows in zip(requests, slices):
             completed.append(RequestResult(
@@ -344,11 +446,171 @@ class Scheduler:
                 deadline_ms=request.deadline_ms,
                 tokens_per_stage=[stage[rows] for stage in
                                   result.tokens_per_stage]))
-        with self._results_cond:
-            for item in completed:
-                self._results[item.request_id] = item
-            self._results_cond.notify_all()
+        return self._store(completed)
+
+    # ------------------------------------------------------------------
+    # Multi-worker dispatch and reassembly
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _shard_requests(requests, num_shards):
+        """Split a popped batch into up to ``num_shards`` contiguous,
+        image-count-balanced shards (requests stay atomic, EDF order is
+        preserved -- shard 0 holds the earliest deadlines)."""
+        k = min(num_shards, len(requests))
+        if k <= 1:
+            return [requests]
+        total = sum(r.num_images for r in requests)
+        shards, current, images_done = [], [], 0
+        for index, request in enumerate(requests):
+            current.append(request)
+            images_done += request.num_images
+            remaining = len(requests) - index - 1
+            if (len(shards) + 1 < k and remaining >= 1
+                    and images_done * k >= total * (len(shards) + 1)):
+                shards.append(current)
+                current = []
+        shards.append(current)
+        return shards
+
+    def _dispatch(self, served, requests, now, reason):
+        """Fan a popped batch out across the worker pool, non-blocking.
+
+        Each shard goes to the worker with the lowest cost-model-
+        predicted completion time given its in-flight queue; replies
+        are reassembled by :meth:`_collect`.  Returns ``[]`` -- nothing
+        completes synchronously.
+        """
+        for shard in self._shard_requests(requests,
+                                          served.pool.num_workers):
+            num_images = sum(r.num_images for r in shard)
+            raw_ms = served.batch_cost_ms(num_images)
+            ticket = served.placement.assign(raw_ms, now_ms=now)
+            with self._results_cond:
+                task_id = self._next_task_id
+                self._next_task_id += 1
+            try:
+                served.pool.dispatch(task_id,
+                                     [r.images for r in shard],
+                                     ticket.worker)
+            except Exception:
+                served.placement.complete(ticket, now_ms=now)
+                for request in shard:
+                    served.queue.push(request)
+                raise
+            served.pending[task_id] = _InFlight(
+                requests=shard, ticket=ticket, reason=reason)
+            self._log_event(FlushEvent(
+                time_ms=now, session=served.name, reason=reason,
+                request_ids=[r.request_id for r in shard],
+                num_images=num_images,
+                estimated_ms=ticket.predicted_ms,
+                carried_requests=len(served.queue),
+                worker=ticket.worker))
+        return []
+
+    def _collect(self, served, block=False, timeout_ms=None):
+        """Reassemble finished worker batches into request results.
+
+        Non-blocking by default (used by :meth:`step`); ``block=True``
+        waits until every in-flight batch of this target has reported
+        (used by :meth:`flush` / :meth:`drain`), raising if a worker
+        died with batches in flight or ``timeout_ms`` expires.
+        """
+        completed = []
+        if served.pool is None:
+            return completed
+        deadline = (None if timeout_ms is None
+                    else time.monotonic() + timeout_ms / 1e3)
+        while served.pending:
+            replies = served.pool.poll(timeout_s=0.05 if block else 0.0)
+            if not replies:
+                # Dead workers are checked on *every* empty poll --
+                # including the non-blocking step() path, so background
+                # serving surfaces a lost worker instead of letting
+                # its requests hang until a client timeout.
+                self._check_lost_workers(served)
+                if not block:
+                    break
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"{len(served.pending)} in-flight batch(es) on "
+                        f"{served.name!r} not completed in {timeout_ms} ms")
+                continue
+            # Process every drained reply before surfacing any error:
+            # replies popped off the shared queue would otherwise be
+            # lost, stranding their pending entries forever.
+            first_error = None
+            for reply in replies:
+                try:
+                    completed.extend(self._finish_reply(served, reply))
+                except RuntimeError as exc:
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
         return completed
+
+    def _check_lost_workers(self, served):
+        """Surface worker deaths that strand in-flight batches.
+
+        The lost batches' requests are pushed back on the queue (the
+        worker never completed them) and their placement tickets
+        released before raising -- but the pool itself has lost a
+        process, so callers should :meth:`shutdown` rather than
+        re-dispatch into it.
+        """
+        alive = set(served.pool.alive_workers())
+        lost = [task_id for task_id, inflight in served.pending.items()
+                if inflight.ticket.worker not in alive]
+        if not lost:
+            return
+        now = self.clock.now()
+        for task_id in lost:
+            inflight = served.pending.pop(task_id)
+            served.placement.complete(inflight.ticket, now_ms=now)
+            for request in inflight.requests:
+                served.queue.push(request)
+        raise RuntimeError(
+            f"executor worker died with batch(es) {sorted(lost)} in "
+            f"flight on {served.name!r}; their requests were requeued "
+            f"-- shut the pool down")
+
+    def _finish_reply(self, served, reply):
+        inflight = served.pending.pop(reply.task_id, None)
+        if inflight is None:
+            # A reply for a batch _check_lost_workers already retired:
+            # the worker managed to enqueue its reply before dying (or
+            # the pipe drained late).  The requests were requeued and
+            # will be (or were) re-executed -- results are bitwise
+            # reproducible, so the stale copy is simply dropped.
+            return []
+        now = self.clock.now()
+        if reply.kind == "error":
+            served.placement.complete(inflight.ticket, now_ms=now)
+            # Never lose co-batched requests to one failing execution.
+            for request in inflight.requests:
+                served.queue.push(request)
+            raise RuntimeError(
+                f"worker {reply.worker} failed executing batch "
+                f"{reply.task_id} on {served.name!r}: {reply.error}\n"
+                f"{reply.tb}")
+        served.placement.complete(inflight.ticket, now_ms=now,
+                                  measured_ms=reply.wall_time_s * 1e3)
+        completed, offset = [], 0
+        for request in inflight.requests:
+            rows = slice(offset, offset + request.num_images)
+            offset += request.num_images
+            completed.append(RequestResult(
+                request_id=request.request_id,
+                logits=reply.logits[rows],
+                latency_ms=reply.latency_ms[rows],
+                session=served.name,
+                arrival_ms=request.arrival_ms,
+                completed_ms=now,
+                deadline_ms=request.deadline_ms,
+                tokens_per_stage=[stage[rows] for stage in
+                                  reply.tokens_per_stage]))
+        return self._store(completed)
 
     # ------------------------------------------------------------------
     # Result retrieval
@@ -409,11 +671,38 @@ class Scheduler:
         self._thread.start()
 
     def stop(self, drain=True):
-        """Stop the background thread; by default run remaining requests."""
+        """Stop the background thread; by default run remaining requests
+        (queued *and* in flight on worker pools) to completion."""
         if self._thread is None:
             return []
         self._stop_event.set()
         self._thread.join()
         self._thread = None
         self._stop_event = None
-        return self.flush() if drain else []
+        return self.drain() if drain else []
+
+    def shutdown(self, drain=True):
+        """Graceful end of life, deterministic and idempotent.
+
+        Joins the background stepping thread (if running), runs every
+        queued request and in-flight batch to completion (``drain=True``
+        default), then joins every worker pool's processes.  After it
+        returns no scheduler thread or executor process is alive --
+        what tests assert to guarantee no daemon-thread or process
+        leaks.  Returns the drained results.  The scheduler remains
+        usable for in-process targets afterwards, but multi-worker
+        targets are closed for good.
+        """
+        results = self.stop(drain=False)
+        if drain:
+            results = results + self.drain()
+        for served in self.sessions:
+            if served.pool is not None:
+                served.pool.close()
+        return results
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.shutdown(drain=exc_type is None)

@@ -1,0 +1,295 @@
+"""Multi-process execution backend: a pool of executor workers.
+
+A :class:`WorkerPool` spawns N OS processes, each owning a full
+:class:`repro.engine.InferenceSession` rebuilt in the child from a
+:class:`repro.engine.SessionSpec` (config + weights -- the spawn-safe
+road) or, for models a spec cannot describe, from the pickled session
+itself.  The parent dispatches flushed request batches to a chosen
+worker (see :class:`repro.serving.PlacementPolicy`) and collects
+replies from one shared result queue; each reply carries the worker's
+host-measured execution time, which feeds the placement policy's
+online calibration.
+
+Because every image's compute is independent of its batch neighbours
+(the engine's grouped-execution invariant), a batch executed by any
+worker returns logits bitwise identical to in-process execution --
+multi-worker serving changes *where* batches run, never *what* they
+compute.
+
+The pool is deliberately dumb: no queues of its own beyond transport,
+no policy.  Batch formation stays in the scheduler, placement in the
+policy, pricing in the cost model.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["WorkerPool", "WorkerReply", "worker_payload"]
+
+_SENTINEL = None
+_READY = "ready"
+
+#: BLAS/threading knobs capped to 1 in spawned workers: N workers x M
+#: BLAS threads oversubscribes the host and ruins scaling.
+_THREAD_VARS = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS")
+
+
+class _single_thread_blas_env:
+    """Temporarily default the BLAS thread vars to 1 in *this* process
+    so child processes started inside the block inherit the cap.
+
+    BLAS libraries read these variables when they load, which in a
+    spawn child happens during early module imports -- long before any
+    code of ours runs there -- so the cap must already be in the
+    environment the child inherits.  Only previously-unset variables
+    are touched, and they are restored on exit: an operator's explicit
+    thread configuration always wins, and nothing leaks into the
+    parent's environment after startup.
+    """
+
+    def __enter__(self):
+        self._added = []
+        for var in _THREAD_VARS:
+            if var not in os.environ:
+                os.environ[var] = "1"
+                self._added.append(var)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        for var in self._added:
+            if os.environ.get(var) == "1":
+                del os.environ[var]
+
+
+@dataclass
+class WorkerReply:
+    """One message from an executor worker.
+
+    ``kind`` is ``"ready"`` (startup handshake), ``"result"`` (a
+    completed batch) or ``"error"``.  Results carry the merged batch
+    arrays in submission order -- the parent re-slices them per request
+    -- plus ``wall_time_s``, the worker's measured host execution time
+    (the online-calibration signal).
+    """
+
+    kind: str
+    worker: int
+    task_id: int = None
+    logits: np.ndarray = None
+    tokens_per_stage: list = field(default_factory=list)
+    latency_ms: np.ndarray = None
+    wall_time_s: float = 0.0
+    error: str = None
+    tb: str = None
+
+
+def worker_payload(session):
+    """What to ship to a worker process for ``session``.
+
+    Prefers the spawn-safe :class:`repro.engine.SessionSpec` (config +
+    weights, rebuilt in the child); sessions a spec cannot describe
+    (custom selector classifiers) fall back to pickling the live
+    session object.
+    """
+    from repro.engine.spec import SpecError
+
+    try:
+        return session.spec()
+    except SpecError:
+        return session
+
+
+def _run_worker(worker_index, payload, task_queue,
+                result_queue):                       # pragma: no cover
+    """Executor-worker main loop (module-level: spawn must import it).
+
+    Rebuilds the session, signals readiness, then serves tasks until
+    the ``None`` sentinel arrives.  Every task failure is reported as
+    an error reply -- the worker itself survives to serve the next
+    batch.
+
+    (no-cover: this body runs inside child processes, outside the
+    parent's coverage tracer; ``tests/serving/test_workers.py``
+    exercises every branch through real pools.)
+    """
+    try:
+        session = (payload.build() if hasattr(payload, "build")
+                   else payload)
+    except Exception as exc:                             # pragma: no cover
+        result_queue.put(WorkerReply(
+            kind="error", worker=worker_index,
+            error=f"worker startup failed: {exc!r}",
+            tb=traceback.format_exc()))
+        return
+    result_queue.put(WorkerReply(kind=_READY, worker=worker_index))
+    while True:
+        task = task_queue.get()
+        if task is _SENTINEL:
+            break
+        task_id, image_groups = task
+        try:
+            result, _ = session.submit_many(image_groups)
+            result_queue.put(WorkerReply(
+                kind="result", worker=worker_index, task_id=task_id,
+                logits=result.logits,
+                tokens_per_stage=result.tokens_per_stage,
+                latency_ms=result.latency_ms,
+                wall_time_s=result.wall_time_s))
+        except Exception as exc:
+            result_queue.put(WorkerReply(
+                kind="error", worker=worker_index, task_id=task_id,
+                error=repr(exc), tb=traceback.format_exc()))
+
+
+class WorkerPool:
+    """N executor processes fed per-worker task queues.
+
+    Parameters
+    ----------
+    session: the :class:`repro.engine.InferenceSession` to replicate
+        (or a ready :class:`repro.engine.SessionSpec`).  Each worker
+        owns an independent rebuild -- weights are copied per process.
+    num_workers: pool size (>= 1).
+    ctx: multiprocessing start method; ``"spawn"`` (default) is the
+        portable, spawn-safe road the pool is tested under -- spawned
+        workers load their BLAS capped at one thread (inherited env,
+        see :class:`_single_thread_blas_env`).  ``"fork"`` trades that
+        and safety for instant startup on POSIX: forked workers
+        inherit the parent's already-initialized BLAS threading.
+    startup_timeout_s: how long to wait for every worker's ready
+        handshake before giving up.
+    """
+
+    def __init__(self, session, num_workers, ctx="spawn",
+                 startup_timeout_s=120.0):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        payload = (session if hasattr(session, "build")
+                   else worker_payload(session))
+        self._ctx = multiprocessing.get_context(ctx)
+        self.num_workers = int(num_workers)
+        self._task_queues = [self._ctx.Queue()
+                             for _ in range(self.num_workers)]
+        self._result_queue = self._ctx.Queue()
+        self._closed = False
+        self._processes = [
+            self._ctx.Process(
+                target=_run_worker,
+                args=(index, payload, self._task_queues[index],
+                      self._result_queue),
+                name=f"repro-serving-worker-{index}", daemon=True)
+            for index in range(self.num_workers)]
+        with _single_thread_blas_env():
+            for process in self._processes:
+                process.start()
+        self._await_ready(startup_timeout_s)
+
+    def _await_ready(self, timeout_s):
+        deadline = time.monotonic() + timeout_s
+        ready = set()
+        while len(ready) < self.num_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.close()
+                raise RuntimeError(
+                    f"worker pool startup timed out; ready: "
+                    f"{sorted(ready)} of {self.num_workers}")
+            try:
+                reply = self._result_queue.get(timeout=min(remaining, 0.2))
+            except queue_module.Empty:
+                dead = [p.name for p in self._processes
+                        if not p.is_alive() and p.exitcode not in (0, None)]
+                if dead:
+                    self.close()
+                    raise RuntimeError(
+                        f"worker(s) died during startup: {dead}")
+                continue
+            if reply.kind == "error":
+                self.close()
+                raise RuntimeError(
+                    f"worker {reply.worker} failed to start: "
+                    f"{reply.error}\n{reply.tb}")
+            ready.add(reply.worker)
+
+    # ------------------------------------------------------------------
+    def dispatch(self, task_id, image_groups, worker):
+        """Send one batch (a list of per-request image arrays) to
+        ``worker``.  Non-blocking: the reply arrives via :meth:`poll`.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker index {worker} out of range "
+                             f"0..{self.num_workers - 1}")
+        self._task_queues[worker].put((task_id, list(image_groups)))
+
+    def poll(self, timeout_s=0.0):
+        """Collect available replies; waits at most ``timeout_s`` for
+        the first one, then drains without blocking."""
+        replies = []
+        block = timeout_s > 0
+        while True:
+            try:
+                replies.append(self._result_queue.get(
+                    timeout=timeout_s if block else 0.0)
+                    if block else self._result_queue.get_nowait())
+            except queue_module.Empty:
+                break
+            block = False
+        return replies
+
+    def alive_workers(self):
+        """Indices of workers whose processes are still running."""
+        return [index for index, process in enumerate(self._processes)
+                if process.is_alive()]
+
+    @property
+    def closed(self):
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def close(self, timeout_s=30.0):
+        """Deterministic shutdown: sentinel every worker, join every
+        process (terminating stragglers), release the queues.
+        Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_queue, process in zip(self._task_queues,
+                                       self._processes):
+            if process.is_alive():
+                try:
+                    task_queue.put(_SENTINEL)
+                except (ValueError, OSError):     # pragma: no cover
+                    pass
+        deadline = time.monotonic() + timeout_s
+        for process in self._processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():                # pragma: no cover
+                process.terminate()
+                process.join(timeout=5.0)
+        for task_queue in self._task_queues:
+            task_queue.close()
+            task_queue.cancel_join_thread()
+        self._result_queue.close()
+        self._result_queue.cancel_join_thread()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        return (f"WorkerPool(workers={self.num_workers}, {state}, "
+                f"ctx={self._ctx.get_start_method()!r})")

@@ -239,16 +239,42 @@ class TestCompiledSelector:
             offset += g * n
             image += g
 
-    def test_ragged_unavailable_for_fallback(self, tiny_backbone):
+    def test_ragged_select_works_for_fallback(self, tiny_backbone,
+                                              tiny_dataset):
+        """Hybrid-fallback selectors (non-stock classifier) run the
+        ragged pipeline too, matching per-group dense evaluation and
+        the reference module's decisions."""
         model = make_model(
             tiny_backbone, {1: 0.6},
             classifier_factory=lambda rng: _PlainClassifier(
                 tiny_backbone.config.embed_dim,
                 tiny_backbone.config.num_heads, rng))
         compiled = compile_model(model)
-        with pytest.raises(CompileError, match="ragged"):
-            compiled.select_ragged(0, np.zeros((4, 24), np.float32),
-                                   [2, 2])
+        assert all(s.fallback_module is not None
+                   for s in compiled.selectors)
+        tokens = compiled.embed(tiny_dataset.images[:6])
+        groups = [np.array(tokens[:3, 1:, :]),
+                  np.array(tokens[3:, 1:14, :])]      # two lengths
+        flat = np.concatenate([g.reshape(-1, g.shape[-1])
+                               for g in groups], axis=0)
+        counts = [groups[0].shape[1]] * 3 + [groups[1].shape[1]] * 3
+        keep_flat, packages = compiled.select_ragged(0, flat, counts)
+        offset, image = 0, 0
+        for group in groups:
+            g, n = group.shape[0], group.shape[1]
+            keep_ref, packages_ref = compiled.select(0, group)
+            with nn.no_grad():
+                out = model.selectors[0](
+                    Tensor(np.asarray(group, dtype=np.float64)),
+                    hard=False)
+            np.testing.assert_array_equal(keep_ref,
+                                          out.decision.data > 0.5)
+            np.testing.assert_array_equal(
+                keep_flat[offset:offset + g * n].reshape(g, n), keep_ref)
+            np.testing.assert_allclose(packages[image:image + g],
+                                       packages_ref, rtol=0, atol=1e-6)
+            offset += g * n
+            image += g
 
 
 class TestActivationLowering:

@@ -1,0 +1,387 @@
+"""Multi-worker serving: pool parity, dispatch, drain, shutdown.
+
+One spawn-context pool (2 workers) is built per module and reused --
+startup is the expensive part.  The core claims:
+
+* pooled execution is **bitwise identical** to in-process execution
+  (logits, latency estimates, per-stage token counts, per-request
+  ordering);
+* dispatch is non-blocking (results arrive via collect, not inline);
+* ``drain``/``shutdown`` are deterministic: afterwards nothing is
+  queued, nothing is in flight, and no worker process or scheduler
+  thread is left alive.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import HeatViT
+from repro.data import SyntheticConfig, generate_dataset
+from repro.engine import InferenceSession, SessionSpec
+from repro.serving import (Request, Scheduler, SystemClock, VirtualClock,
+                           WorkerPool, worker_payload)
+
+
+@pytest.fixture(scope="module")
+def served_model(tiny_backbone):
+    model = HeatViT(tiny_backbone, {1: 0.7, 2: 0.5},
+                    rng=np.random.default_rng(21))
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def images():
+    rng = np.random.default_rng(22)
+    config = SyntheticConfig(image_size=16, num_classes=4)
+    return generate_dataset(config, 16, rng).images
+
+
+@pytest.fixture(scope="module")
+def pooled_scheduler(served_model):
+    scheduler = Scheduler(clock=VirtualClock(), batch_window_ms=10.0)
+    scheduler.register("tiny", served_model, batch_size=16, workers=2,
+                       worker_ctx="spawn")
+    yield scheduler
+    scheduler.shutdown()
+
+
+def submit_all(scheduler, images, **kwargs):
+    return [scheduler.submit(images[i], **kwargs)
+            for i in range(images.shape[0])]
+
+
+class TestPooledParity:
+    def test_bitwise_identical_to_in_process(self, pooled_scheduler,
+                                             served_model, images):
+        reference_session = InferenceSession(served_model, batch_size=16)
+        reference = reference_session.submit(images)
+        ids = submit_all(pooled_scheduler, images)
+        results = {r.request_id: r for r in pooled_scheduler.flush()}
+        assert sorted(results) == sorted(ids)
+        logits = np.concatenate([results[i].logits for i in ids])
+        latency = np.concatenate([results[i].latency_ms for i in ids])
+        np.testing.assert_array_equal(logits, reference.logits)
+        np.testing.assert_array_equal(latency, reference.latency_ms)
+        stages = len(reference.tokens_per_stage)
+        for request_index, request_id in enumerate(ids):
+            result = results[request_id]
+            assert result.session == "tiny"
+            assert len(result.tokens_per_stage) == stages
+            for stage in range(stages):
+                np.testing.assert_array_equal(
+                    result.tokens_per_stage[stage],
+                    reference.tokens_per_stage[stage][
+                        request_index:request_index + 1])
+
+    def test_flush_splits_across_both_workers(self, pooled_scheduler,
+                                              images):
+        pooled_scheduler.events.clear()
+        submit_all(pooled_scheduler, images)
+        pooled_scheduler.flush()
+        workers = {event.worker for event in pooled_scheduler.events}
+        assert workers == {0, 1}
+        assert all(event.worker is not None
+                   for event in pooled_scheduler.events)
+        # Balanced shards: 16 single-image requests over 2 workers.
+        assert sorted(event.num_images
+                      for event in pooled_scheduler.events) == [8, 8]
+
+    def test_calibration_learns_from_measured_timings(
+            self, pooled_scheduler, images):
+        served = pooled_scheduler.sessions[0]
+        before = sum(served.placement.observations)
+        submit_all(pooled_scheduler, images)
+        pooled_scheduler.flush()
+        assert sum(served.placement.observations) > before
+        assert all(scale > 0 for scale in served.placement.calibration)
+        assert served.placement.in_flight == (0, 0)
+
+
+class TestNonBlockingDispatch:
+    def test_flush_without_wait_leaves_batches_in_flight(
+            self, pooled_scheduler, images):
+        ids = submit_all(pooled_scheduler, images)
+        completed = pooled_scheduler.flush(wait=False)
+        assert completed == []
+        assert pooled_scheduler.in_flight_batches() > 0
+        assert pooled_scheduler.pending_requests() == 0
+        drained = pooled_scheduler.drain()
+        assert sorted(r.request_id for r in drained) == sorted(ids)
+        assert pooled_scheduler.in_flight_batches() == 0
+
+    def test_step_collects_in_flight_results(self, pooled_scheduler,
+                                             images):
+        ids = submit_all(pooled_scheduler, images)
+        pooled_scheduler.flush(wait=False)
+        collected = {}
+        deadline = 60.0
+        import time
+        start = time.monotonic()
+        while (len(collected) < len(ids)
+               and time.monotonic() - start < deadline):
+            for result in pooled_scheduler.step():
+                collected[result.request_id] = result
+        assert sorted(collected) == sorted(ids)
+
+
+class TestWorkerPoolDirect:
+    def test_error_reply_carries_traceback(self, served_model):
+        session = InferenceSession(served_model, batch_size=4)
+        with WorkerPool(session, 1, ctx="fork") as pool:
+            bad = [np.zeros((1, 5, 5, 5))]           # wrong image shape
+            pool.dispatch(7, bad, 0)
+            replies = pool.poll(timeout_s=60.0)
+            assert len(replies) == 1
+            reply = replies[0]
+            assert reply.kind == "error"
+            assert reply.task_id == 7
+            assert reply.error
+            assert "Traceback" in reply.tb
+            # The worker survives its task failure.
+            good = [np.zeros((1,) + (3, 16, 16))]
+            pool.dispatch(8, good, 0)
+            follow_up = pool.poll(timeout_s=60.0)
+            assert follow_up and follow_up[0].kind == "result"
+        assert pool.closed
+        assert pool.alive_workers() == []
+
+    def test_dispatch_validates(self, served_model):
+        session = InferenceSession(served_model, batch_size=4)
+        pool = WorkerPool(session, 1, ctx="fork")
+        try:
+            with pytest.raises(ValueError):
+                pool.dispatch(0, [], 5)
+        finally:
+            pool.close()
+        with pytest.raises(RuntimeError):
+            pool.dispatch(0, [], 0)
+        pool.close()                                  # idempotent
+
+    def test_worker_death_detected_on_drain(self, served_model, images):
+        scheduler = Scheduler(clock=VirtualClock())
+        scheduler.register("tiny", served_model, batch_size=16,
+                           workers=2, worker_ctx="fork")
+        pool = scheduler.sessions[0].pool
+        try:
+            # Kill one worker, then route a batch to it: the reply can
+            # never arrive, and a blocking drain must say so instead of
+            # hanging.
+            victim = pool._processes[0]
+            victim.terminate()
+            victim.join(timeout=30)
+            submit_all(scheduler, images[:4])
+            with pytest.raises(RuntimeError, match="died with batch"):
+                scheduler.drain()
+        finally:
+            scheduler.shutdown(drain=False)
+
+    def test_payload_prefers_spec(self, served_model, tiny_backbone):
+        session = InferenceSession(served_model, batch_size=4)
+        assert isinstance(worker_payload(session), SessionSpec)
+
+        from tests.engine.test_spec import _PlainClassifier
+        custom = HeatViT(
+            tiny_backbone, {1: 0.6}, rng=np.random.default_rng(5),
+            classifier_factory=lambda rng: _PlainClassifier(
+                tiny_backbone.config.embed_dim,
+                tiny_backbone.config.num_heads, rng))
+        custom.eval()
+        fallback = InferenceSession(custom, batch_size=4)
+        assert worker_payload(fallback) is fallback
+
+
+class _StubPool:
+    """A fake WorkerPool for deterministic _collect edge cases."""
+
+    def __init__(self, reply_batches, alive=(0, 1)):
+        self.num_workers = 2
+        self._reply_batches = [list(batch) for batch in reply_batches]
+        self._alive = list(alive)
+
+    def poll(self, timeout_s=0.0):
+        return self._reply_batches.pop(0) if self._reply_batches else []
+
+    def alive_workers(self):
+        return list(self._alive)
+
+
+def _pooled_served(scheduler, name, model, images, per_request=1):
+    """Register in-process, then wire a stub pool with two in-flight
+    single-request batches (worker 0 and worker 1)."""
+    from repro.serving import PlacementPolicy
+
+    served = scheduler.register(name, model, batch_size=16)
+    served.placement = PlacementPolicy(2)
+    pending_requests = []
+    for index, worker in enumerate((0, 1)):
+        request_id = scheduler.submit(images[index])
+        request = served.queue.pop_batch(max_images=per_request)[0]
+        assert request.request_id == request_id
+        ticket = served.placement.assign(5.0)
+        assert ticket.worker == worker
+        from repro.serving.scheduler import _InFlight
+        served.pending[100 + index] = _InFlight(
+            requests=[request], ticket=ticket, reason="forced")
+        pending_requests.append(request)
+    return served, pending_requests
+
+
+class TestCollectEdgeCases:
+    def test_error_reply_does_not_drop_sibling_results(
+            self, served_model, images):
+        """An error reply drained in the same poll() as a result reply
+        must not lose the result: both are processed, the error raises
+        afterwards, and the failed batch's requests are requeued."""
+        from repro.serving import WorkerReply
+
+        scheduler = Scheduler(clock=VirtualClock())
+        served, requests = _pooled_served(scheduler, "tiny", served_model,
+                                          images)
+        session = InferenceSession(served_model, batch_size=4)
+        result = session.submit(requests[1].images)
+        error_reply = WorkerReply(kind="error", worker=0, task_id=100,
+                                  error="boom", tb="Traceback: boom")
+        good_reply = WorkerReply(kind="result", worker=1, task_id=101,
+                                 logits=result.logits,
+                                 tokens_per_stage=result.tokens_per_stage,
+                                 latency_ms=result.latency_ms,
+                                 wall_time_s=result.wall_time_s)
+        served.pool = _StubPool([[error_reply, good_reply]])
+        with pytest.raises(RuntimeError, match="boom"):
+            scheduler._collect(served, block=False)
+        # The sibling result survived and is retrievable...
+        completed = scheduler.pop_result(requests[1].request_id)
+        assert completed is not None
+        np.testing.assert_array_equal(completed.logits, result.logits)
+        # ...and the failed batch's requests went back on the queue.
+        assert len(served.queue) == 1
+        assert served.pending == {}
+
+    def test_stale_reply_for_retired_batch_is_dropped(
+            self, served_model, images):
+        """A worker that enqueues its reply and then dies: the death
+        check retires + requeues the batch, and the late-drained reply
+        must be dropped, not crash collection or double-complete."""
+        from repro.serving import WorkerReply
+
+        scheduler = Scheduler(clock=VirtualClock())
+        served, requests = _pooled_served(scheduler, "tiny", served_model,
+                                          images)
+        session = InferenceSession(served_model, batch_size=4)
+        result = session.submit(requests[0].images)
+        stale = WorkerReply(kind="result", worker=0, task_id=100,
+                            logits=result.logits,
+                            tokens_per_stage=result.tokens_per_stage,
+                            latency_ms=result.latency_ms,
+                            wall_time_s=result.wall_time_s)
+        # First poll: empty while worker 0 is dead -> batch retired.
+        served.pool = _StubPool([[], [stale]], alive=[1])
+        with pytest.raises(RuntimeError, match="died with batch"):
+            scheduler._collect(served, block=False)
+        assert 100 not in served.pending
+        assert len(served.queue) == 1
+        # Second collect drains the stale reply: dropped silently.
+        assert scheduler._collect(served, block=False) == []
+        assert scheduler.pop_result(requests[0].request_id) is None
+        assert list(served.pending) == [101]
+
+    def test_step_surfaces_dead_worker(self, served_model, images):
+        """Non-blocking collection (the background-thread path) must
+        detect a dead worker instead of stranding its requests."""
+        scheduler = Scheduler(clock=VirtualClock())
+        served, requests = _pooled_served(scheduler, "tiny", served_model,
+                                          images)
+        served.pool = _StubPool([], alive=[1])       # worker 0 died
+        with pytest.raises(RuntimeError, match="died with batch"):
+            scheduler.step()
+        # The dead worker's batch was requeued; worker 1's is still
+        # legitimately in flight.
+        assert len(served.queue) == 1
+        assert list(served.pending) == [101]
+
+
+class TestShardRequests:
+    def make_requests(self, sizes):
+        return [Request(request_id=i,
+                        images=np.zeros((size, 3, 16, 16)),
+                        arrival_ms=float(i))
+                for i, size in enumerate(sizes)]
+
+    def test_balanced_split_preserves_order(self):
+        requests = self.make_requests([1] * 16)
+        shards = Scheduler._shard_requests(requests, 2)
+        assert [len(shard) for shard in shards] == [8, 8]
+        flattened = [r.request_id for shard in shards for r in shard]
+        assert flattened == list(range(16))
+
+    def test_requests_stay_atomic(self):
+        requests = self.make_requests([6, 1, 1])
+        shards = Scheduler._shard_requests(requests, 2)
+        assert [[r.request_id for r in shard] for shard in shards] \
+            == [[0], [1, 2]]
+
+    def test_fewer_requests_than_workers(self):
+        requests = self.make_requests([1])
+        assert Scheduler._shard_requests(requests, 4) == [requests]
+
+    def test_every_shard_non_empty(self):
+        for sizes in ([1, 1, 1], [9, 1, 1, 1], [1, 9], [2, 2, 2, 2, 2]):
+            requests = self.make_requests(sizes)
+            for workers in (2, 3, 4):
+                shards = Scheduler._shard_requests(requests, workers)
+                assert all(shards)
+                assert sum(len(s) for s in shards) == len(requests)
+                assert len(shards) <= workers
+
+
+class TestGracefulShutdown:
+    def test_background_thread_and_pool_join_cleanly(self, served_model,
+                                                     images):
+        threads_before = threading.active_count()
+        scheduler = Scheduler(clock=SystemClock(), batch_window_ms=2.0)
+        scheduler.register("tiny", served_model, batch_size=16,
+                           workers=2, worker_ctx="fork")
+        pool = scheduler.sessions[0].pool
+        scheduler.start(poll_ms=1.0)
+        ids = submit_all(scheduler, images, deadline_ms=5_000.0)
+        results = [scheduler.wait_result(i, timeout_ms=60_000)
+                   for i in ids]
+        assert all(r.logits.shape == (1, 4) for r in results)
+        drained = scheduler.shutdown()
+        assert scheduler.pending_requests() == 0
+        assert scheduler.in_flight_batches() == 0
+        assert scheduler._thread is None
+        assert pool.closed
+        assert pool.alive_workers() == []
+        assert not [t.name for t in threading.enumerate()
+                    if "repro-serving" in t.name]
+        # Queue feeder threads (stdlib-internal) exit asynchronously
+        # after close(); give them a moment, then require the baseline.
+        import time
+        deadline = time.monotonic() + 10.0
+        while (threading.active_count() > threads_before
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert threading.active_count() <= threads_before
+        assert isinstance(drained, list)
+
+    def test_context_manager_shuts_down(self, served_model, images):
+        with Scheduler(clock=VirtualClock()) as scheduler:
+            scheduler.register("tiny", served_model, batch_size=16,
+                               workers=2, worker_ctx="fork")
+            pool = scheduler.sessions[0].pool
+            ids = submit_all(scheduler, images[:4])
+            scheduler.flush(wait=False)
+        assert pool.closed
+        assert pool.alive_workers() == []
+        # drain on exit completed the in-flight work
+        assert all(scheduler.pop_result(i) is not None for i in ids)
+
+    def test_shutdown_idempotent_and_without_pool(self, served_model):
+        scheduler = Scheduler(clock=VirtualClock())
+        scheduler.register("solo", served_model, batch_size=4)
+        assert scheduler.shutdown() == []
+        assert scheduler.shutdown() == []
