@@ -5,12 +5,15 @@ independent requests (the realistic serving arrival shape) executed one
 at a time waste the engine's batching entirely.  This benchmark serves
 the same request stream -- once submitting each request alone, then
 through a :class:`repro.serving.Scheduler` that coalesces a burst into
-bucketed batches, on each engine backend (``tensor`` and the compiled
-``fastpath``) -- verifies per-request logits, and reports the speedup
-including all queue/routing/slicing overhead.  Acceptance bar: >= 2x
-for the tensor backend at 32 single-image requests on the default
-config; the fastpath backend rides the same scheduler and is reported
-per backend.
+bucketed batches, on each engine backend (``tensor``, the compiled
+``fastpath``, and the quantized ``int8``) -- verifies per-request
+logits, and reports the speedup including all queue/routing/slicing
+overhead.  Acceptance bar: >= 2x for the tensor backend at 32
+single-image requests on the default config; the fastpath and int8
+backends ride the same scheduler and are reported per backend.  The
+float backends must match the naive reference to float tolerances;
+the int8 lane carries real quantization error, so it is verified by
+top-1 agreement (>= 90% of requests classify identically).
 
 A second section sweeps **multi-worker serving**
 (``Scheduler.register(..., workers=N)``: N executor processes fed by
@@ -63,6 +66,10 @@ TINY = dict(image_size=32, patch_size=4, embed_dim=24, depth=4,
             requests=16, repeats=2, worker_requests=64)
 TOLERANCE = 1e-8
 FASTPATH32_TOLERANCE = 1e-4
+# The int8 lane is quantized arithmetic; exact-logit tolerances do not
+# apply.  Gate on the serving-relevant outcome instead: the fraction of
+# requests whose top-1 class matches the float reference.
+INT8_TOP1_MIN = 0.9
 
 
 def build(params, seed=0):
@@ -168,9 +175,13 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tiny", action="store_true",
                         help="small config for CI smoke runs")
-    parser.add_argument("--backend", choices=["tensor", "fastpath", "both"],
-                        default="both",
-                        help="which engine backends to serve (default both)")
+    parser.add_argument("--backend",
+                        choices=["tensor", "fastpath", "int8", "both",
+                                 "all"],
+                        default="all",
+                        help="which engine backends to serve: 'both' = "
+                             "tensor+fastpath, 'all' adds the quantized "
+                             "int8 lane (default all)")
     parser.add_argument("--requests", type=int, default=None,
                         help="number of single-image requests in the burst")
     parser.add_argument("--repeats", type=int, default=None,
@@ -211,8 +222,12 @@ def main(argv=None):
         # Tiny smoke runs only check correctness; timing noise on a
         # 4-block model says nothing useful.
         min_speedup = 0.0 if args.tiny else 2.0
-    backends = (["tensor", "fastpath"] if args.backend == "both"
-                else [args.backend])
+    if args.backend == "both":
+        backends = ["tensor", "fastpath"]
+    elif args.backend == "all":
+        backends = ["tensor", "fastpath", "int8"]
+    else:
+        backends = [args.backend]
 
     model, images, cost_model = build(params)
     requests = params["requests"]
@@ -240,19 +255,27 @@ def main(argv=None):
     for backend in backends:
         coalesced, events = values[backend]
         diff = float(np.abs(coalesced - naive).max())
-        argmax_ok = bool((coalesced.argmax(axis=-1)
-                          == naive.argmax(axis=-1)).all())
-        if diff > tolerance[backend]:
-            failures.append(f"{backend}: logit diff {diff:.2e} > "
-                            f"{tolerance[backend]:.0e}")
-        if not argmax_ok:
-            failures.append(f"{backend}: argmax diverged")
+        top1 = float((coalesced.argmax(axis=-1)
+                      == naive.argmax(axis=-1)).mean())
+        if backend == "int8":
+            # Quantized lane: real rounding error, so gate on top-1
+            # agreement with the float reference instead of logit bits.
+            if top1 < INT8_TOP1_MIN:
+                failures.append(f"int8: top-1 agreement {top1:.3f} < "
+                                f"{INT8_TOP1_MIN:.2f}")
+        else:
+            if diff > tolerance[backend]:
+                failures.append(f"{backend}: logit diff {diff:.2e} > "
+                                f"{tolerance[backend]:.0e}")
+            if top1 < 1.0:
+                failures.append(f"{backend}: argmax diverged")
         backend_stats[backend] = {
             "time_s": times[backend],
             "requests_per_s": requests / times[backend],
             "speedup": naive_time / times[backend],
             "max_logit_diff": diff,
-            "argmax_identical": argmax_ok,
+            "argmax_identical": top1 == 1.0,
+            "top1_agreement": top1,
             "num_flushes": len(events),
         }
         rows.append((f"scheduler coalesced [{backend}]", times[backend]))
@@ -265,7 +288,8 @@ def main(argv=None):
     for backend in backends:
         stats = backend_stats[backend]
         print(f"\n[{backend}] speedup: {stats['speedup']:.2f}x   "
-              f"max |logit diff|: {stats['max_logit_diff']:.2e}")
+              f"max |logit diff|: {stats['max_logit_diff']:.2e}   "
+              f"top-1 agreement: {stats['top1_agreement']:.3f}")
 
     # Cost-model fidelity: the scheduler's per-flush batch prediction
     # vs the batch-aware FPGA simulator run at the operating point.

@@ -7,11 +7,14 @@ length-bucketed at every selector boundary (see
 forward instead of B single-image forwards.  Logits match the reference
 :meth:`repro.core.HeatViT.forward_pruned` loop to within 1e-8.
 
-Per-batch compute runs on one of two backends: the float64 autograd
-``"tensor"`` reference, or the compiled graph-free ``"fastpath"``
+Per-batch compute runs on one of several backends selected via
+``InferenceSession(model, backend=...)``: the float64 autograd
+``"tensor"`` reference, the compiled graph-free ``"fastpath"``
 (:mod:`repro.engine.fastpath`: fused float32/float64 kernels plus
-workspace buffer reuse) selected via
-``InferenceSession(model, backend="fastpath")``.
+workspace buffer reuse), or the quantized ``"int8"``/``"int16"``
+deployment numerics (integer GEMMs with float rescale, polynomial
+GELU/softmax; bitwise equal to the :func:`repro.quant.quantize_model`
+simulation on the float64 grade).
 """
 
 from repro.engine.bucketing import (BucketingPolicy, BucketPlan,
@@ -19,8 +22,9 @@ from repro.engine.bucketing import (BucketingPolicy, BucketPlan,
                                     plan_cost_ms)
 from repro.engine.executor import (BACKENDS, BucketedExecutor, EngineResult,
                                    StageStats)
-from repro.engine.fastpath import (CompiledModel, CompileError, Workspace,
-                                   compile_model)
+from repro.engine.fastpath import (CompiledModel, CompileError,
+                                   QuantizedModel, Workspace, compile_model,
+                                   compile_quantized)
 from repro.engine.session import InferenceSession, SessionResult
 from repro.engine.spec import SessionSpec, SpecError
 
@@ -31,4 +35,5 @@ __all__ = [
     "InferenceSession", "SessionResult",
     "SessionSpec", "SpecError",
     "compile_model", "CompiledModel", "CompileError", "Workspace",
+    "compile_quantized", "QuantizedModel",
 ]

@@ -34,6 +34,14 @@ Two compute **backends** execute the plan:
   bucket stacks themselves, so steady traffic reallocates nothing.
   Parity: float64 within the same 1e-8 bound; float32 to ~1e-6 logits
   with identical keep decisions (``tests/engine/test_fastpath.py``).
+* ``"int8"`` / ``"int16"`` -- a
+  :class:`repro.engine.fastpath.QuantizedModel`: the paper's deployment
+  numerics (integer GEMMs with per-channel weight scales, dynamic
+  per-tensor activation quantization, polynomial GELU/softmax) as
+  compiled kernels.  ``dtype=float64`` is bitwise-equal to the
+  :func:`repro.quant.quantize_model` simulation; ``dtype=float32``
+  (the int8 default) is the timed serving grade, gated on top-1/keep
+  agreement (``tests/engine/test_quantized.py``).
 """
 
 from __future__ import annotations
@@ -47,13 +55,14 @@ from repro import nn
 from repro.nn.tensor import Tensor
 from repro.core.gather import prune_group_sequences
 from repro.engine.bucketing import BucketingPolicy, plan_buckets
-from repro.engine.fastpath import Workspace, compile_model, mask_to_bias
+from repro.engine.fastpath import (Workspace, compile_model,
+                                   compile_quantized, mask_to_bias)
 from repro.vit.attention import (key_padding_mask, pad_token_sequences,
                                  suppress_attention_recording)
 
 __all__ = ["BucketedExecutor", "EngineResult", "StageStats", "BACKENDS"]
 
-BACKENDS = ("tensor", "fastpath")
+BACKENDS = ("tensor", "fastpath", "int8", "int16")
 
 
 @dataclass
@@ -106,10 +115,16 @@ class BucketedExecutor:
     cost_model: optional :class:`repro.cost.CostModel`; when given the
         bucket planner merges on price (padding cost vs saved bucket
         launch overhead) on top of the heuristic limits.
-    backend: ``"tensor"`` (reference autograd modules) or ``"fastpath"``
-        (compiled fused kernels; see :mod:`repro.engine.fastpath`).
+    backend: ``"tensor"`` (reference autograd modules), ``"fastpath"``
+        (compiled fused kernels; see :mod:`repro.engine.fastpath`), or
+        ``"int8"``/``"int16"`` (quantized deployment kernels; see
+        :func:`repro.engine.fastpath.compile_quantized`).
     dtype: fast-path compute dtype, ``float32`` (default) or
-        ``float64``; the tensor backend is float64-only.
+        ``float64``; the tensor backend is float64-only and the
+        quantized backends default to ``float32`` for int8 (the serving
+        grade) and ``float64`` for int16 (whose integer products exceed
+        float32's exact window).  ``float64`` on a quantized backend is
+        the bitwise simulation-parity grade.
     """
 
     def __init__(self, model, policy=None, cost_model=None,
@@ -124,6 +139,11 @@ class BucketedExecutor:
         if backend == "fastpath":
             self.compiled = compile_model(
                 model, dtype=np.float32 if dtype is None else dtype)
+            self.dtype = self.compiled.dtype
+            self.workspace = Workspace(self.dtype)
+        elif backend in ("int8", "int16"):
+            self.compiled = compile_quantized(
+                model, bits=8 if backend == "int8" else 16, dtype=dtype)
             self.dtype = self.compiled.dtype
             self.workspace = Workspace(self.dtype)
         else:
@@ -214,12 +234,12 @@ class BucketedExecutor:
     # Backend dispatch
     # ------------------------------------------------------------------
     def _embed(self, images):
-        if self.backend == "fastpath":
+        if self.compiled is not None:
             return self.compiled.embed(images, self.workspace)
         return self.model.backbone.embed(images).data
 
     def _run_block(self, block_index, group):
-        if self.backend == "fastpath":
+        if self.compiled is not None:
             self.compiled.run_block(block_index, group.x, group.bias,
                                     self.workspace)
             return group
@@ -231,7 +251,7 @@ class BucketedExecutor:
     def _selector_eval(self, selector_index, patches):
         """Evaluate selector ``selector_index`` on dense ``(g, N, D)``
         patches; returns ``(keep_bool, packages)``."""
-        if self.backend == "fastpath":
+        if self.compiled is not None:
             return self.compiled.select(selector_index, patches,
                                         self.workspace)
         selector = self.model.selectors[selector_index]
@@ -250,9 +270,13 @@ class BucketedExecutor:
         no longer scales with the number of distinct sequence lengths.
         This includes hybrid-fallback (non-stock classifier) selectors,
         whose classifier module is scored once per distinct length
-        inside the pipeline.  The tensor backend evaluates per group.
+        inside the pipeline.  The tensor backend -- and any compiled
+        model that opts out via ``supports_ragged`` (the quantized
+        parity grade scores through surgered selector modules) --
+        evaluates per group.
         """
-        if self.backend == "fastpath":
+        if (self.compiled is not None
+                and getattr(self.compiled, "supports_ragged", True)):
             dim = self.model.config.embed_dim
             patches, counts = [], []
             for x, indices, packaged in exacts:
@@ -281,7 +305,7 @@ class BucketedExecutor:
         return decisions
 
     def _classify(self, x):
-        if self.backend == "fastpath":
+        if self.compiled is not None:
             return self.compiled.classify(x, self.workspace)
         return self.model.backbone.classify(Tensor(x)).data
 
@@ -293,7 +317,7 @@ class BucketedExecutor:
         stages and bursts reuse the same memory instead of reallocating
         per pad.
         """
-        if self.backend == "fastpath":
+        if self.compiled is not None:
             dim = members[0].shape[-1]
             stacked = self.workspace.take(
                 "bucket", (len(members), plan.padded_length, dim))

@@ -8,11 +8,20 @@ memory across buckets and bursts (:class:`Workspace`).  The Tensor path
 remains the reference implementation; parity is enforced by
 ``tests/engine/test_fastpath.py``.
 
-Select it per session::
+:func:`compile_quantized` lowers the same models into the paper's
+deployment numerics instead -- integer GEMMs with float rescale,
+dynamic activation quantization, polynomial GELU/softmax -- bitwise
+equal to the :func:`repro.quant.quantize_model` simulation on the
+float64 grade (``tests/engine/test_quantized.py``).
+
+Select a backend per session::
 
     session = InferenceSession(model, backend="fastpath")            # float32
     session = InferenceSession(model, backend="fastpath",
                                dtype=np.float64)                     # parity-grade
+    session = InferenceSession(model, backend="int8")                # quantized
+    session = InferenceSession(model, backend="int8",
+                               dtype=np.float64)                     # sim-bitwise
 """
 
 from repro.engine.fastpath.compiled import (CompileError, CompiledBlock,
@@ -22,11 +31,18 @@ from repro.engine.fastpath.kernels import (MASK_BIAS, fused_layer_norm,
                                            gelu_exact, gelu_rational,
                                            gelu_tanh, mask_to_bias,
                                            masked_softmax)
+from repro.engine.fastpath.quantized import (QuantizedBlock,
+                                             QuantizedLinearKernel,
+                                             QuantizedModel,
+                                             QuantizedSelector,
+                                             compile_quantized)
 from repro.engine.fastpath.workspace import Workspace
 
 __all__ = [
     "compile_model", "CompiledModel", "CompiledBlock", "CompiledSelector",
     "CompileError", "Workspace",
+    "compile_quantized", "QuantizedModel", "QuantizedBlock",
+    "QuantizedSelector", "QuantizedLinearKernel",
     "fused_layer_norm", "masked_softmax", "gelu_exact", "gelu_rational",
     "gelu_tanh", "mask_to_bias", "MASK_BIAS",
 ]

@@ -488,7 +488,13 @@ class CompiledModel:
     model (they are mutated in place by subsequent block calls and
     reused across invocations sharing a workspace); copy them if you
     need them to survive the next call.
+
+    ``supports_ragged`` advertises the ragged selector-boundary entry
+    point to the executor; quantized models unset it on the parity
+    grade (whose selectors run per exact group).
     """
+
+    supports_ragged = True
 
     def __init__(self, config, dtype, blocks, selectors, embed_weights,
                  head_weights, gelu):

@@ -1,0 +1,202 @@
+"""Quantized-path kernels: the paper's polynomial nonlinearities plus
+dynamic per-tensor activation quantization, in two numerics grades.
+
+The ``backend="int8"``/``"int16"`` fast path (:mod:`.quantized`) holds
+itself to the :func:`repro.quant.quantize_model` simulation -- the
+surgered Tensor model whose Linears are :class:`QuantizedLinear` and
+whose GELU/Softmax modules are the polynomial approximations.  Every
+kernel here therefore comes in two forms:
+
+* ``*_reference`` -- float64, allocation-per-op, replicating the Tensor
+  chain's exact operation order so results are **bitwise** equal to the
+  simulation (integer-valued float64 GEMMs are exact integer arithmetic
+  below 2^53, so even BLAS summation order cannot perturb them).
+* ``*_fast`` -- float32, in place on :class:`.Workspace` scratch, free
+  to reassociate (reciprocal-multiplies, a fused ``modf``/``ldexp``
+  shift-based exp) because the float32 lane is gated on top-1/keep
+  *agreement*, not bitwise parity.
+
+The reference forms intentionally mirror :mod:`repro.approx.layers`
+(``softmax_approx_t`` / ``gelu_approx_t``) and
+:func:`repro.nn.functional.layer_norm` operation for operation; edit
+those and these together.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.approx.polynomial import (ERF_A, ERF_B, _EXP_C0, _EXP_C1,
+                                     _EXP_C2, _LN2)
+
+__all__ = [
+    "quantize_reference", "layer_norm_reference", "approx_gelu_reference",
+    "approx_softmax_reference", "quantize_fast", "approx_gelu_fast",
+    "approx_softmax_fast",
+]
+
+_SQRT_2 = np.sqrt(2.0)
+_TINY = float(np.finfo(np.float64).tiny)
+# sqrt(c0) folded into the polynomial's linear term so the fast exp
+# evaluates c0*(p + c1)^2 + c2 as (s*p + s*c1)^2 + c2 -- one pass less.
+_SQRT_C0 = float(np.sqrt(_EXP_C0))
+# The fast GELU clips |x| (not |x/sqrt2|), folding the 1/sqrt(2) into
+# the clip bound and the square's coefficient:
+#   a*(min(|u|,-b)+b)^2 + 1 == (a/2)*(min(|x|,-b*sqrt2)+b*sqrt2)^2 + 1.
+_GELU_CLIP = float(-ERF_B * _SQRT_2)
+_GELU_SHIFT = float(ERF_B * _SQRT_2)
+_GELU_A2 = float(ERF_A / 2.0)
+
+
+# ----------------------------------------------------------------------
+# Reference (bitwise simulation-parity, float64) kernels
+# ----------------------------------------------------------------------
+def quantize_reference(x, scale, qmax):
+    """``quant.fixed_point.quantize`` kept in float64.
+
+    Returns the integer *values* as float64 (``rint`` below 2^53 is
+    exact), so the follow-up GEMM can run on BLAS while remaining
+    bitwise-identical to the simulation's int64 matmul.
+    """
+    q = np.rint(x / scale)
+    return np.clip(q, float(-qmax), float(qmax))
+
+
+def layer_norm_reference(x, weight, bias, eps):
+    """Bitwise mirror of :func:`repro.nn.functional.layer_norm`.
+
+    Same reduction order (``sum / n``), same division by the epsilon'd
+    standard deviation (no reciprocal-multiply), affine applied last --
+    never folded into the next GEMM, because folding would change which
+    weights the quantizer sees.
+    """
+    n = x.shape[-1]
+    mu = np.add.reduce(x, axis=-1, keepdims=True) / n
+    centered = x - mu
+    var = np.add.reduce(centered * centered, axis=-1, keepdims=True) / n
+    normed = centered / np.sqrt(var + eps)
+    return normed * weight + bias
+
+
+def approx_gelu_reference(x, delta1):
+    """Bitwise mirror of ``repro.approx.layers.gelu_approx_t`` (Eq. 12)."""
+    u = x / _SQRT_2
+    sign = np.sign(u)
+    clipped = np.clip(np.abs(u), None, -ERF_B)
+    poly = (clipped + ERF_B) ** 2 * ERF_A + 1.0
+    erf = sign * poly * delta1
+    return x * 0.5 * (erf + 1.0)
+
+
+def approx_softmax_reference(x, delta2):
+    """Bitwise mirror of ``repro.approx.layers.softmax_approx_t``
+    (Eq. 13 with the Eq. 14 shift-based exp) over the last axis.
+
+    A ``-1e9`` key-padding bias drives ``np.exp2(-z)`` into an exact
+    ``0.0``, so the engine's padding invariant survives the
+    approximation unchanged.
+    """
+    shifted = x - x.max(axis=-1, keepdims=True)
+    z = np.floor(-np.minimum(shifted, 0.0) / _LN2)
+    p = shifted + z * _LN2
+    exp_p = (p + _EXP_C1) ** 2 * _EXP_C0 + _EXP_C2
+    exps = exp_p * np.exp2(-z)
+    return exps / exps.sum(axis=-1, keepdims=True) * delta2
+
+
+# ----------------------------------------------------------------------
+# Fast (float32, in-place) kernels
+# ----------------------------------------------------------------------
+def quantize_fast(x, qmax, ws, key, out=None):
+    """Dynamic per-tensor quantization into workspace scratch.
+
+    Returns ``(q, scale)`` with ``q`` integer-valued in ``x``'s dtype.
+    Two whole-buffer min/max reductions replace the reference's
+    ``abs().max()`` pass, and the scaling is a reciprocal-multiply; the
+    clip is skipped entirely because with an abs-max-derived scale
+    ``|rint(x / scale)| <= qmax`` already holds (the half-ulp slack of
+    the reciprocal cannot push ``rint`` past ``qmax + 0.5``).
+    """
+    if x.size:
+        amax = max(float(x.max()), -float(x.min()))
+    else:
+        amax = 0.0
+    if not math.isfinite(amax):
+        raise ValueError(
+            f"cannot calibrate quantization on non-finite input "
+            f"(abs-max is {amax}); clean NaN/inf values first")
+    if amax == 0.0:
+        amax = 1.0
+    scale = max(amax / qmax, _TINY)
+    q = ws.take(key, x.shape) if out is None else out
+    np.multiply(x, x.dtype.type(1.0 / scale), out=q)
+    np.rint(q, out=q)
+    return q, scale
+
+
+def approx_gelu_fast(x, delta1, ws, key):
+    """Polynomial GELU (Eq. 12) in place on ``x``.
+
+    Pure arithmetic -- no ``exp``/``erf``/``reciprocal`` -- in ten
+    in-place passes over one scratch buffer (the 1/sqrt2 is folded into
+    the clip constants, the x/2 into the final blend), so it runs well
+    under half the float32 lane's rational-erf kernel; the fast lane's
+    answer to the paper's fixed-function GELU unit.
+    """
+    dt = x.dtype.type
+    poly = ws.take(key + "p", x.shape)
+    np.abs(x, out=poly)
+    np.minimum(poly, dt(_GELU_CLIP), out=poly)
+    poly += dt(_GELU_SHIFT)
+    np.multiply(poly, poly, out=poly)
+    poly *= dt(_GELU_A2)
+    poly += dt(1.0)                       # erf-poly of |x|, always > 0
+    np.copysign(poly, x, out=poly)        # sign(x) * poly
+    poly *= dt(0.5 * delta1)
+    poly += dt(0.5)                       # (delta1*erf + 1) / 2
+    x *= poly
+    return x
+
+
+def approx_softmax_fast(scores, bias, delta2, ws, key):
+    """Shift-based-exp softmax (Eqs. 13-14) in place over the last axis.
+
+    ``bias`` is an optional ``(B, T)`` additive key bias folded in
+    before the shift.  The reference's ``z``/``p`` decomposition
+    (``floor`` + two full-tensor fixups) collapses into a ``trunc`` +
+    subtract (truncation == the reference's ``floor`` because the
+    shifted scores are non-positive), and the power-of-two rescale is a
+    single ``np.exp2`` on the integer-valued ``-z`` buffer -- exact for
+    integers, and benchmarked barely above a multiply (unlike ``modf``
+    / ``ldexp``, which cost ~10x/4x that).  Masked keys sit near
+    ``-1e9``: their ``exp2`` argument (~ ``-1.4e9``) underflows to an
+    exact ``0.0`` weight, preserving the engine's padding invariant.
+    """
+    dt = scores.dtype.type
+    if bias is not None:
+        scores += bias.reshape(bias.shape[0],
+                               *([1] * (scores.ndim - 2)), bias.shape[1])
+    t = scores.shape[-1]
+    flat = scores.reshape(-1, t)
+    peak = ws.take(key + "_max", (flat.shape[0], 1))
+    np.maximum.reduce(flat, axis=-1, keepdims=True, out=peak)
+    np.subtract(flat, peak, out=flat)                  # <= 0
+    flat *= dt(1.0 / _LN2)                             # x / ln2, <= 0
+    whole = ws.take(key + "_int", scores.shape).reshape(flat.shape)
+    np.trunc(flat, out=whole)             # integer-valued -z
+    np.subtract(flat, whole, out=flat)    # frac in (-1, 0]
+    flat *= dt(_SQRT_C0 * _LN2)
+    flat += dt(_SQRT_C0 * _EXP_C1)
+    np.multiply(flat, flat, out=flat)
+    flat += dt(_EXP_C2)                   # c0*(p + c1)^2 + c2
+    np.exp2(whole, out=whole)             # 2^(-z), exact on integers
+    flat *= whole                         # exp~(x - max)
+    total = ws.take(key + "_sum", (flat.shape[0], 1))
+    np.matmul(flat, ws.ones(key + "_ones", (t, 1)), out=total)
+    np.reciprocal(total, out=total)
+    flat *= total
+    if delta2 != 1.0:
+        flat *= dt(delta2)
+    return scores

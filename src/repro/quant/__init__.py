@@ -1,19 +1,22 @@
 """8-bit fixed-point quantization substrate."""
 
-from repro.quant.fixed_point import (QuantParams, calibrate_minmax,
-                                     dequantize, fake_quantize,
-                                     integer_matmul, quantization_error,
-                                     quantize)
+from repro.quant.fixed_point import (ACCUMULATOR_WIDTHS, QuantParams,
+                                     calibrate_minmax, dequantize,
+                                     fake_quantize, integer_matmul,
+                                     quantization_error, quantize,
+                                     safe_accumulator_bits)
 from repro.quant.sweep import (BitWidthResult, bitwidth_sweep,
                                per_channel_error, per_channel_quantize)
-from repro.quant.qmodel import (QuantizedLinear, count_quantized_modules,
+from repro.quant.qmodel import (PER_CHANNEL_CHILDREN, QuantizedLinear,
+                                count_quantized_modules,
                                 fake_quantize_tensor, quantize_model)
 
 __all__ = [
     "QuantParams", "quantize", "dequantize", "fake_quantize",
     "quantization_error", "integer_matmul", "calibrate_minmax",
+    "safe_accumulator_bits", "ACCUMULATOR_WIDTHS",
     "QuantizedLinear", "fake_quantize_tensor", "quantize_model",
-    "count_quantized_modules",
+    "count_quantized_modules", "PER_CHANNEL_CHILDREN",
     "per_channel_quantize", "per_channel_error",
     "BitWidthResult", "bitwidth_sweep",
 ]

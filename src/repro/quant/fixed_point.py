@@ -3,17 +3,27 @@
 Symmetric per-tensor quantization: ``q = round(x / scale)`` clipped to
 ``[-(2^(b-1) - 1), 2^(b-1) - 1]``.  The FPGA datapath uses 8-bit weights
 and activations with wide (32-bit) accumulation; :func:`integer_matmul`
-mirrors that accumulation so overflow behaviour can be tested.
+mirrors that accumulation so overflow behaviour can be tested, and
+:func:`safe_accumulator_bits` derives the accumulator width a given
+operand precision and reduction length actually need (the DSP48 cascade
+on the ZCU102 offers 32- and 48-bit accumulation natively).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 __all__ = ["QuantParams", "quantize", "dequantize", "fake_quantize",
-           "quantization_error", "integer_matmul", "calibrate_minmax"]
+           "quantization_error", "integer_matmul", "calibrate_minmax",
+           "safe_accumulator_bits", "ACCUMULATOR_WIDTHS"]
+
+#: Accumulator widths the GEMM engine can be built with: the DSP48's
+#: native 48-bit cascade, the paper's 32-bit configuration, and a
+#: 64-bit fallback (two cascaded DSP slices) for wide operands.
+ACCUMULATOR_WIDTHS = (32, 48, 64)
 
 
 @dataclass(frozen=True)
@@ -34,14 +44,28 @@ class QuantParams:
     def __post_init__(self):
         if self.bits < 2 or self.bits > 32:
             raise ValueError(f"bits out of range: {self.bits}")
-        if self.scale <= 0.0:
-            raise ValueError(f"scale must be positive: {self.scale}")
+        # ``not (scale > 0)`` (rather than ``scale <= 0``) also rejects
+        # NaN, whose comparisons are all False -- a NaN scale would
+        # otherwise silently quantize every tensor to all-NaN.
+        if not math.isfinite(self.scale) or not self.scale > 0.0:
+            raise ValueError(f"scale must be positive and finite: "
+                             f"{self.scale}")
 
 
 def calibrate_minmax(x, bits=8):
-    """Min-max (abs-max for symmetric) calibration of one tensor."""
+    """Min-max (abs-max for symmetric) calibration of one tensor.
+
+    Raises :class:`ValueError` on non-finite inputs: a single NaN/inf
+    makes ``amax`` non-finite, which would previously slip past the
+    ``scale <= 0`` guard (NaN comparisons are False) and return
+    parameters that quantize everything to NaN.
+    """
     x = np.asarray(x, dtype=np.float64)
     amax = float(np.abs(x).max()) if x.size else 0.0
+    if not math.isfinite(amax):
+        raise ValueError(
+            f"cannot calibrate quantization on non-finite input "
+            f"(abs-max is {amax}); clean NaN/inf values first")
     if amax == 0.0:
         amax = 1.0
     qmax = 2 ** (bits - 1) - 1
@@ -74,6 +98,32 @@ def quantization_error(x, bits=8, params=None):
                   - fake_quantize(x, bits=bits, params=params))
 
 
+def safe_accumulator_bits(bits, reduction_length):
+    """Smallest supported accumulator width for a ``bits``-bit GEMM.
+
+    The worst-case accumulated magnitude of a length-``K`` dot product
+    of ``bits``-bit symmetric operands is ``qmax^2 * K``; the signed
+    accumulator needs ``ceil(log2(qmax^2 * K)) + 1`` bits to hold it.
+    Returns the smallest width from :data:`ACCUMULATOR_WIDTHS` that
+    suffices, raising :class:`OverflowError` when even 64 bits cannot
+    (no hard-coded 32-vs-48 branch: 16-bit operands over a long enough
+    reduction genuinely exceed 48 bits).
+    """
+    if reduction_length < 1:
+        raise ValueError(f"reduction_length must be >= 1: "
+                         f"{reduction_length}")
+    qmax = 2 ** (int(bits) - 1) - 1
+    worst = qmax * qmax * int(reduction_length)
+    needed = worst.bit_length() + 1          # + sign bit
+    for width in ACCUMULATOR_WIDTHS:
+        if needed <= width:
+            return width
+    raise OverflowError(
+        f"{bits}-bit operands over a reduction of {reduction_length} "
+        f"need a {needed}-bit accumulator; the widest supported is "
+        f"{ACCUMULATOR_WIDTHS[-1]}-bit")
+
+
 def integer_matmul(q_a, q_b, accumulator_bits=32):
     """Integer GEMM with an accumulator-width overflow check.
 
@@ -85,7 +135,9 @@ def integer_matmul(q_a, q_b, accumulator_bits=32):
     q_b = np.asarray(q_b, dtype=np.int64)
     out = q_a @ q_b
     limit = 2 ** (accumulator_bits - 1) - 1
-    if np.abs(out).max(initial=0) > limit:
+    peak = int(np.abs(out).max(initial=0))
+    if peak > limit:
         raise OverflowError(
-            f"accumulation exceeds {accumulator_bits}-bit range")
+            f"accumulation reaches magnitude {peak}, exceeding the "
+            f"{accumulator_bits}-bit accumulator limit of {limit}")
     return out

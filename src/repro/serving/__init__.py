@@ -12,7 +12,9 @@ Builds the request-level serving story on top of
   capacity/budget-capped batch popping;
 * routers -- :class:`LeastLatencyRouter` (fastest session that meets
   the deadline) and :class:`HighestFidelityRouter` (most accurate
-  session that meets the deadline);
+  session that meets the deadline, numerics grade included: cost ties
+  between float and quantized replicas break toward the higher
+  :func:`backend_fidelity`);
 * clocks -- all serving time is in milliseconds;
   :class:`VirtualClock` makes scheduler behavior exactly simulable
   (``tests/serving/harness.py``);
@@ -26,8 +28,9 @@ from repro.serving.clock import Clock, SystemClock, VirtualClock
 from repro.serving.placement import Placement, PlacementPolicy
 from repro.serving.queue import RequestQueue
 from repro.serving.request import Request, RequestResult
-from repro.serving.router import (HighestFidelityRouter, LeastLatencyRouter,
-                                  Router, request_cost_ms)
+from repro.serving.router import (BACKEND_FIDELITY, HighestFidelityRouter,
+                                  LeastLatencyRouter, Router,
+                                  backend_fidelity, request_cost_ms)
 from repro.serving.scheduler import FlushEvent, Scheduler, ServedModel
 from repro.serving.worker import WorkerPool, WorkerReply, worker_payload
 
@@ -35,7 +38,7 @@ __all__ = [
     "Clock", "SystemClock", "VirtualClock",
     "Request", "RequestResult", "RequestQueue",
     "Router", "LeastLatencyRouter", "HighestFidelityRouter",
-    "request_cost_ms",
+    "request_cost_ms", "backend_fidelity", "BACKEND_FIDELITY",
     "Scheduler", "ServedModel", "FlushEvent",
     "Placement", "PlacementPolicy",
     "WorkerPool", "WorkerReply", "worker_payload",

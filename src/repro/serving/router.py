@@ -15,12 +15,51 @@ Eq. 18/19 marginal cost; with a zero-overhead model this is exactly the
 legacy per-image sum.  A session is *feasible* for a request when that
 cost fits inside the time left to the deadline; queueing delay is
 bounded separately by the scheduler's deadline-aware flush.
+
+Fidelity convention: with mixed-numerics deployments (the same
+operating point served on the ``tensor``/``fastpath``/``int8``
+backends; see :mod:`repro.engine.fastpath`), cost estimates no longer
+order sessions by accuracy on their own -- the latency table prices
+token counts, not arithmetic.  :func:`backend_fidelity` ranks the
+numerics grades (reference tensor path above compiled float above
+int16 above int8, wider floats above narrower within a backend), and
+:class:`HighestFidelityRouter` breaks cost ties toward the higher
+grade, so a quantized replica is only chosen over its float twin when
+it is actually priced cheaper.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = ["Router", "LeastLatencyRouter", "HighestFidelityRouter",
-           "request_cost_ms"]
+           "request_cost_ms", "backend_fidelity", "BACKEND_FIDELITY"]
+
+# Base numerics-fidelity rank per compute backend.  The tensor path is
+# the float64 reference; the compiled fastpath reproduces it to float
+# rounding; the quantized backends deliberately perturb the arithmetic
+# (8-bit more than 16-bit).
+BACKEND_FIDELITY = {"tensor": 3.0, "fastpath": 2.0, "int16": 1.0,
+                    "int8": 0.0}
+
+
+def backend_fidelity(backend, dtype=None):
+    """Rank a session's numerics grade for accuracy-aware routing.
+
+    Higher is more faithful to the float64 reference.  ``dtype`` is the
+    session's resolved compute dtype; a 64-bit float adds half a step,
+    ordering e.g. ``fastpath``/float64 above ``fastpath``/float32 while
+    keeping every fastpath grade below the tensor reference.
+    """
+    try:
+        base = BACKEND_FIDELITY[backend]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {backend!r}; known: "
+            f"{sorted(BACKEND_FIDELITY)}") from None
+    if dtype is not None and np.dtype(dtype).itemsize >= 8:
+        base += 0.5
+    return base
 
 
 def request_cost_ms(served, request):
@@ -68,12 +107,18 @@ class HighestFidelityRouter(Router):
     with loose deadlines get the full model; tight ones degrade
     gracefully to aggressive pruning (falling back to the fastest
     session when even that cannot meet the deadline).
+
+    Cost ties break on the numerics grade (``ServedModel.fidelity``):
+    among equally-priced feasible sessions the float path beats the
+    quantized one, and in the infeasible fallback the fastest-tied
+    choice is again the highest grade.  Names break any remaining tie
+    for determinism.
     """
 
     def route(self, request, candidates, now_ms):
         pool = self.feasible(request, candidates, now_ms)
         if pool:
             return max(pool, key=lambda s: (request_cost_ms(s, request),
-                                            s.name))
+                                            s.fidelity, s.name))
         return min(candidates, key=lambda s: (request_cost_ms(s, request),
-                                              s.name))
+                                              -s.fidelity, s.name))

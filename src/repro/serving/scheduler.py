@@ -46,7 +46,7 @@ from repro.serving.clock import Clock, SystemClock
 from repro.serving.placement import PlacementPolicy
 from repro.serving.queue import RequestQueue
 from repro.serving.request import Request, RequestResult
-from repro.serving.router import LeastLatencyRouter
+from repro.serving.router import LeastLatencyRouter, backend_fidelity
 from repro.serving.worker import WorkerPool
 
 __all__ = ["Scheduler", "ServedModel", "FlushEvent"]
@@ -104,6 +104,15 @@ class ServedModel:
     def batch_cost_ms(self, num_images):
         """Scalar shorthand for ``batch_cost(num_images).total_ms``."""
         return self.batch_cost(num_images).total_ms
+
+    @property
+    def fidelity(self):
+        """Numerics grade of the session's backend/dtype
+        (:func:`repro.serving.backend_fidelity`); the
+        :class:`HighestFidelityRouter` breaks cost ties toward the
+        higher grade when float and quantized replicas serve the same
+        operating point."""
+        return backend_fidelity(self.session.backend, self.session.dtype)
 
     @property
     def image_shape(self):
@@ -199,7 +208,13 @@ class Scheduler:
         own config).  ``max_batch`` caps images per flush; default is
         the session's ``batch_size``.  ``backend`` / ``dtype`` select
         the session's compute backend (``"fastpath"`` runs the compiled
-        fused-kernel path; see :mod:`repro.engine.fastpath`).
+        fused-kernel path, ``"int8"``/``"int16"`` the quantized
+        deployment numerics; see :mod:`repro.engine.fastpath`).  Mixed
+        registrations -- the same checkpoint as a float and an int8
+        target -- route by cost with fidelity tie-breaks (see
+        :mod:`repro.serving.router`); worker pools rebuild quantized
+        sessions from their :class:`repro.engine.SessionSpec`
+        bitwise-identically, backend and dtype included.
 
         ``workers >= 2`` serves the target from a pool of that many
         executor *processes* (see :mod:`repro.serving.worker`): each

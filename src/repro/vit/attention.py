@@ -10,7 +10,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro import nn
-from repro.nn import functional as F
 from repro.nn.tensor import Tensor
 
 __all__ = ["MultiHeadSelfAttention", "key_padding_mask",
@@ -121,6 +120,9 @@ class MultiHeadSelfAttention(nn.Module):
         self.scale = self.head_dim ** -0.5
         self.qkv = nn.Linear(embed_dim, 3 * embed_dim, rng=rng)
         self.proj = nn.Linear(embed_dim, embed_dim, rng=rng)
+        # Parameter-free module (state_dict unchanged) so deployment
+        # surgery (quantize_model) can swap in ApproxSoftmax.
+        self.softmax = nn.Softmax(axis=-1)
         self.attn_drop = nn.Dropout(attn_drop, rng=rng)
         self.proj_drop = nn.Dropout(proj_drop, rng=rng)
         self.record_attention = record_attention
@@ -148,7 +150,7 @@ class MultiHeadSelfAttention(nn.Module):
                          else np.asarray(key_mask, dtype=np.float64))
             bias = (1.0 - mask_data)[:, None, None, :] * (-1e9)
             scores = scores + Tensor(bias)
-        attn = F.softmax(scores, axis=-1)
+        attn = self.softmax(scores)
         if self.record_attention:
             self.last_attention = attn.data.copy()
         attn = self.attn_drop(attn)

@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.quant import (QuantParams, calibrate_minmax, dequantize,
-                         fake_quantize, integer_matmul, quantization_error,
-                         quantize)
+from repro.quant import (ACCUMULATOR_WIDTHS, QuantParams, calibrate_minmax,
+                         dequantize, fake_quantize, integer_matmul,
+                         quantization_error, quantize,
+                         safe_accumulator_bits)
 
 
 class TestQuantParams:
@@ -58,6 +59,59 @@ class TestRoundTrip:
         assert np.allclose(fake_quantize(np.zeros(5), params=params), 0.0)
 
 
+class TestCalibrationGuards:
+    """Regression: a single NaN used to slip past the ``scale <= 0``
+    guard (NaN comparisons are all False) and return parameters that
+    quantized every element to NaN."""
+
+    def test_nan_input_raises(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            calibrate_minmax(np.array([1.0, np.nan, 2.0]))
+
+    def test_inf_input_raises(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            calibrate_minmax(np.array([1.0, -np.inf]))
+
+    def test_denormal_input_keeps_scale_positive(self):
+        params = calibrate_minmax(np.array([5e-324]))
+        assert params.scale > 0
+        assert np.isfinite(fake_quantize(np.array([5e-324]),
+                                         params=params)).all()
+
+
+class TestSafeAccumulatorBits:
+    def test_8bit_vit_reductions_fit_32(self):
+        # The paper's configuration: every DeiT reduction length
+        # (up to the 3072-wide FFN) fits the 32-bit DSP accumulator.
+        assert safe_accumulator_bits(8, 3072) == 32
+
+    def test_8bit_long_reduction_escalates_to_48(self):
+        # 127^2 * K exceeds the signed 32-bit range just past
+        # K = (2^31 - 1) // 127^2 = 133_144.
+        assert safe_accumulator_bits(8, 133_144) == 32
+        assert safe_accumulator_bits(8, 133_145) == 48
+
+    def test_16bit_long_reduction_needs_64(self):
+        assert safe_accumulator_bits(16, 2 ** 20) == 64
+
+    def test_beyond_widest_raises(self):
+        with pytest.raises(OverflowError, match="widest supported"):
+            safe_accumulator_bits(32, 10 ** 9)
+
+    def test_invalid_reduction_length(self):
+        with pytest.raises(ValueError):
+            safe_accumulator_bits(8, 0)
+
+    def test_consistent_with_integer_matmul(self):
+        """The width it picks really does hold the worst-case product."""
+        for bits, k in [(4, 64), (8, 1024), (8, 200_000), (12, 4096)]:
+            width = safe_accumulator_bits(bits, k)
+            assert width in ACCUMULATOR_WIDTHS
+            qmax = 2 ** (bits - 1) - 1
+            a = np.full((1, k), qmax, dtype=np.int64)
+            integer_matmul(a, -a.T, accumulator_bits=width)  # no raise
+
+
 class TestIntegerMatmul:
     def test_matches_float(self, rng):
         a = rng.integers(-127, 128, size=(4, 6))
@@ -69,6 +123,13 @@ class TestIntegerMatmul:
         b = np.full((200_000, 1), 127, dtype=np.int64)
         with pytest.raises(OverflowError):
             integer_matmul(a, b, accumulator_bits=32)
+
+    def test_overflow_reports_offending_magnitude(self):
+        a = np.full((1, 300), 127, dtype=np.int64)
+        b = np.full((300, 1), 127, dtype=np.int64)
+        with pytest.raises(OverflowError,
+                           match=str(127 * 127 * 300)):
+            integer_matmul(a, b, accumulator_bits=16)
 
     def test_32bit_safe_for_vit_dimensions(self, rng):
         """8-bit x 8-bit products over the largest ViT reduction dim

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the quantization substrate.
+
+Three contracts the int8 serving backend leans on, checked over random
+tensors instead of hand-picked examples:
+
+* the quantize/dequantize round trip is within half a scale step of
+  the input, elementwise (symmetric rounding never loses more);
+* per-channel weight scaling never reconstructs worse than per-tensor
+  (it has strictly more freedom, channel by channel);
+* the integer GEMM equals the float GEMM of the dequantized operands
+  after rescale, exactly -- the identity the fast path's
+  BLAS-on-integer-valued-floats trick and the bitwise simulation
+  parity gate both rest on.
+
+Plus a tiny end-to-end ``bitwidth_sweep`` smoke so the sweep driver
+(the paper's Fig. 9 ablation) stays runnable in CI.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (bitwidth_sweep, calibrate_minmax, dequantize,
+                         integer_matmul, per_channel_quantize,
+                         quantization_error, quantize)
+from repro.vit import VisionTransformer, ViTConfig
+
+finite_floats = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False,
+                          width=64)
+
+tensor_strategy = st.lists(finite_floats, min_size=1, max_size=64).map(
+    lambda vals: np.asarray(vals, dtype=np.float64))
+
+
+def matrix_strategy(max_rows=8, max_cols=8):
+    return st.tuples(
+        st.integers(1, max_rows), st.integers(1, max_cols),
+        st.integers(0, 2 ** 31 - 1),
+    ).map(lambda spec: np.random.default_rng(spec[2])
+          .normal(scale=3.0, size=(spec[0], spec[1])))
+
+
+class TestRoundTripProperty:
+    @given(x=tensor_strategy, bits=st.integers(2, 16))
+    @settings(max_examples=200, deadline=None)
+    def test_error_at_most_half_scale(self, x, bits):
+        params = calibrate_minmax(x, bits=bits)
+        err = quantization_error(x, params=params)
+        # Half a step from rounding; the tiny slack covers the float
+        # division in ``x / scale`` (one ulp, not half a step).
+        assert np.all(err <= params.scale / 2 * (1 + 1e-9) + 1e-300)
+
+    @given(x=tensor_strategy, bits=st.integers(2, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_quantized_values_in_range(self, x, bits):
+        params = calibrate_minmax(x, bits=bits)
+        q = quantize(x, params)
+        assert q.max() <= params.qmax and q.min() >= params.qmin
+
+
+class TestPerChannelProperty:
+    @given(weight=matrix_strategy(), bits=st.integers(2, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_bound_never_worse_than_per_tensor(self, weight, bits):
+        """Per-channel tightens the worst-case *bound*, not every
+        realized draw: a lucky per-tensor rounding can beat an unlucky
+        per-channel one, so the contract is that no channel scale
+        exceeds the tensor scale and every element honors its own
+        channel's half-step bound."""
+        q, scales = per_channel_quantize(weight, bits=bits)
+        params = calibrate_minmax(weight, bits=bits)
+        assert scales.max() <= params.scale * (1 + 1e-9)
+        err = np.abs(weight - q * scales)
+        assert np.all(err <= scales / 2 * (1 + 1e-9) + 1e-300)
+
+
+class TestIntegerMatmulProperty:
+    @given(spec=st.tuples(st.integers(1, 6), st.integers(1, 16),
+                          st.integers(1, 6), st.integers(0, 2 ** 31 - 1)))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_float_gemm_after_rescale(self, spec):
+        m, k, n, seed = spec
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=(m, k)), rng.normal(size=(k, n))
+        pa, pb = calibrate_minmax(a), calibrate_minmax(b)
+        qa, qb = quantize(a, pa), quantize(b, pb)
+        out = integer_matmul(qa, qb, accumulator_bits=64)
+        # int64 accumulation rescaled == float GEMM of the dequantized
+        # operands: both are exact integer arithmetic below 2^53.
+        ref = dequantize(qa, pa) @ dequantize(qb, pb)
+        np.testing.assert_allclose(out * (pa.scale * pb.scale), ref,
+                                   rtol=1e-12, atol=1e-12)
+
+    @given(spec=st.tuples(st.integers(1, 5), st.integers(1, 12),
+                          st.integers(1, 5), st.integers(0, 2 ** 31 - 1)))
+    @settings(max_examples=50, deadline=None)
+    def test_gemm_of_fake_quantized_is_exact(self, spec):
+        """The serving fast path's core identity: a float64 GEMM on
+        integer-valued operands is bitwise the integer GEMM."""
+        m, k, n, seed = spec
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=(m, k)), rng.normal(size=(k, n))
+        qa = quantize(a, calibrate_minmax(a)).astype(np.float64)
+        qb = quantize(b, calibrate_minmax(b)).astype(np.float64)
+        float_gemm = qa @ qb
+        int_gemm = integer_matmul(qa.astype(np.int64), qb.astype(np.int64),
+                                  accumulator_bits=64)
+        assert np.array_equal(float_gemm, int_gemm.astype(np.float64))
+
+
+class TestBitwidthSweepSmoke:
+    def test_tiny_sweep_runs_and_orders_drift(self, rng):
+        config = ViTConfig(name="sweep-smoke", image_size=16, patch_size=8,
+                           embed_dim=16, depth=1, num_heads=2,
+                           num_classes=4)
+
+        def make_model():
+            return VisionTransformer(config, rng=np.random.default_rng(7))
+
+        images = rng.normal(size=(4, 3, 16, 16))
+        labels = rng.integers(0, 4, size=4)
+        results = bitwidth_sweep(make_model, images, labels,
+                                 bit_widths=(8, 4))
+        by_bits = {r.bits: r for r in results}
+        assert set(by_bits) == {4, 8}
+        assert by_bits[8].logit_drift <= by_bits[4].logit_drift

@@ -98,3 +98,56 @@ class TestQuantizeModel:
         model, _ = model_and_images
         quantize_model(model, approx_nonlinear=False)
         assert any(type(m) is nn.GELU for m in model.modules())
+
+    def test_softmax_swapped_when_requested(self, model_and_images):
+        """Regression: the attention Softmax modules used to survive
+        the surgery even though the docstring promised the polynomial
+        swap -- the simulation then mixed exact softmax with quantized
+        GEMMs."""
+        from repro.approx import ApproxSoftmax
+        model, _ = model_and_images
+        quantize_model(model, approx_nonlinear=True)
+        swapped = [m for m in model.modules()
+                   if isinstance(m, ApproxSoftmax)]
+        assert len(swapped) == model.config.depth
+        assert not any(type(m) is nn.Softmax for m in model.modules())
+
+    def test_linear_subclasses_swapped(self, rng):
+        """Regression: the surgery matched ``type(child) is Linear``, so
+        Linear subclasses slipped through unquantized."""
+        class GatedLinear(nn.Linear):
+            pass
+
+        class Holder(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.proj = GatedLinear(4, 2, rng=rng)
+
+        holder = Holder()
+        assert quantize_model(holder) == 1
+        assert isinstance(holder.proj, QuantizedLinear)
+
+    def test_skip_opt_out(self, rng):
+        class Calibrated(nn.Linear):
+            pass
+
+        class Holder(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.proj = nn.Linear(4, 2, rng=rng)
+                self.head = Calibrated(4, 2, rng=rng)
+
+        holder = Holder()
+        assert quantize_model(holder, skip=(Calibrated,)) == 1
+        assert isinstance(holder.proj, QuantizedLinear)
+        assert isinstance(holder.head, Calibrated)
+
+    def test_per_channel_child_selection(self, model_and_images):
+        from repro.quant import PER_CHANNEL_CHILDREN
+        model, _ = model_and_images
+        quantize_model(model, per_channel=PER_CHANNEL_CHILDREN)
+        for module in model.modules():
+            for name, child in module._modules.items():
+                if isinstance(child, QuantizedLinear):
+                    assert child.per_channel == (
+                        name in PER_CHANNEL_CHILDREN), name

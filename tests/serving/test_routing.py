@@ -13,7 +13,8 @@ import pytest
 from repro.core import LatencySparsityTable
 from repro.engine import InferenceSession
 from repro.serving import (HighestFidelityRouter, LeastLatencyRouter,
-                           Scheduler, VirtualClock, request_cost_ms)
+                           Scheduler, VirtualClock, backend_fidelity,
+                           request_cost_ms)
 
 # Flat tables make the per-image estimate independent of keep ratios:
 # mild costs exactly 10 ms per block (40 ms/image on the 4-block tiny
@@ -135,3 +136,48 @@ class TestHighestFidelityRouter:
         assert sessions == {0: "mild", 1: "aggressive"}
         assert {e.session for e in scheduler.events} == {"mild",
                                                          "aggressive"}
+
+
+class TestBackendFidelity:
+    """Numerics-grade pricing: with mixed float/quantized replicas of
+    the same operating point the cost estimates tie (the latency table
+    prices token counts, not arithmetic), so the fidelity router must
+    break the tie toward the higher numerics grade."""
+
+    def test_grade_ordering(self):
+        grades = [backend_fidelity("tensor", np.float64),
+                  backend_fidelity("fastpath", np.float64),
+                  backend_fidelity("fastpath", np.float32),
+                  backend_fidelity("int16", np.float64),
+                  backend_fidelity("int8", np.float64),
+                  backend_fidelity("int8", np.float32)]
+        assert grades == sorted(grades, reverse=True)
+        assert len(set(grades)) == len(grades)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError, match="int4"):
+            backend_fidelity("int4")
+
+    def test_served_model_exposes_fidelity(self, mild_model):
+        scheduler = Scheduler(clock=VirtualClock())
+        served = scheduler.register("q", session=InferenceSession(
+            mild_model, batch_size=32, latency_table=MILD_TABLE,
+            backend="int8"))
+        assert served.fidelity == backend_fidelity("int8", np.float32)
+
+    def test_cost_tie_breaks_to_float_replica(self, mild_model,
+                                              tiny_dataset):
+        scheduler = Scheduler(clock=VirtualClock(),
+                              router=HighestFidelityRouter(),
+                              batch_window_ms=5.0)
+        # Same checkpoint, same latency table -- identical cost.  The
+        # quantized replica sorts after "float" only by name, so a pure
+        # (cost, name) max would pick it; fidelity must win instead.
+        scheduler.register("float", session=InferenceSession(
+            mild_model, batch_size=32, latency_table=MILD_TABLE,
+            backend="fastpath"))
+        scheduler.register("quantized", session=InferenceSession(
+            mild_model, batch_size=32, latency_table=MILD_TABLE,
+            backend="int8"))
+        assert routed_session(scheduler, tiny_dataset.images[0],
+                              deadline_ms=100.0) == "float"

@@ -385,3 +385,64 @@ class TestGracefulShutdown:
         scheduler.register("solo", served_model, batch_size=4)
         assert scheduler.shutdown() == []
         assert scheduler.shutdown() == []
+
+
+class TestQuantizedPooledServing:
+    """The int8 backend end to end through scheduler + worker pool.
+
+    The acceptance chain: ``register(backend="int8", dtype=float64,
+    workers=2)`` ships a :class:`SessionSpec` carrying backend and
+    dtype to each child, the children rebuild the quantized session,
+    and the pooled results are BITWISE equal to the
+    :func:`repro.quant.quantize_model` simulation run in process.
+
+    Two 8-image requests shard one per worker; the reference runs the
+    same 8-image batches in process, because the quantized path's
+    dynamic activation calibration is per batch tensor -- batch
+    composition is part of the arithmetic, so parity is defined
+    shard for shard."""
+
+    def test_int8_pool_bitwise_qmodel_parity(self, served_model, images):
+        import copy
+
+        from repro.quant import PER_CHANNEL_CHILDREN, quantize_model
+
+        sim = copy.deepcopy(served_model)
+        quantize_model(sim, bits=8, per_channel=PER_CHANNEL_CHILDREN)
+        sim.eval()
+        sim_session = InferenceSession(sim, batch_size=8)
+        reference = np.concatenate([
+            sim_session.submit(images[:8]).logits,
+            sim_session.submit(images[8:]).logits])
+        with Scheduler(clock=VirtualClock(),
+                       batch_window_ms=10.0) as scheduler:
+            scheduler.register("q8", served_model, batch_size=16,
+                               backend="int8", dtype=np.float64,
+                               workers=2, worker_ctx="fork")
+            assert scheduler.sessions[0].session.backend == "int8"
+            first = scheduler.submit(images[:8])
+            second = scheduler.submit(images[8:])
+            results = {r.request_id: r for r in scheduler.flush()}
+        assert sorted(results) == [first, second]
+        logits = np.concatenate([results[first].logits,
+                                 results[second].logits])
+        assert logits.tobytes() == reference.tobytes()
+
+    def test_int8_f32_pool_matches_in_process(self, served_model, images):
+        """The timed float32 grade, pooled vs in process: the same
+        backend rebuilt from the spec must be bitwise reproducible."""
+        session = InferenceSession(served_model, batch_size=8,
+                                   backend="int8")
+        reference = np.concatenate([session.submit(images[:8]).logits,
+                                    session.submit(images[8:]).logits])
+        with Scheduler(clock=VirtualClock(),
+                       batch_window_ms=10.0) as scheduler:
+            scheduler.register("q8", served_model, batch_size=16,
+                               backend="int8", workers=2,
+                               worker_ctx="fork")
+            first = scheduler.submit(images[:8])
+            second = scheduler.submit(images[8:])
+            results = {r.request_id: r for r in scheduler.flush()}
+        logits = np.concatenate([results[first].logits,
+                                 results[second].logits])
+        assert logits.tobytes() == reference.tobytes()
