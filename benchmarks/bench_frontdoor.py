@@ -1,0 +1,274 @@
+"""HTTP front door under two-tier load: SLO hit rates + admission.
+
+The serving story's end-to-end benchmark: a real
+:class:`repro.serving.FrontDoor` (asyncio HTTP/JSON server) serving a
+premium (class-0) request stream riding on bursty bulk (class-1)
+traffic, replayed over real sockets by the trace load generator at
+wall-clock pacing.  The bulk bursts are sized past the scheduler's
+priced admission capacity, so the run exercises the whole overload
+policy: class 1 is first *degraded* to the cheaper (more aggressively
+pruned) serving target and then *shed* with HTTP 429, while class 0 --
+exempt from shedding and eligible for flush preemption -- keeps its
+deadline tier.
+
+Acceptance bar: tier-0 deadline-hit rate >= 0.95 (``--min-tier0-hit``)
+*while the overload machinery demonstrably fired* (at least one shed
+and one degraded bulk request; ``--no-require-overload`` disables that
+gate for exploratory runs).  Deadlines are wall-clock and sized for a
+pure-python engine on a loaded CI box; the benchmark's claim is about
+scheduling behavior, not kernel speed.
+
+Besides the human-readable report it writes ``BENCH_frontdoor.json``
+(per-class SLO outcomes, admission/degradation counts, wait-time
+percentiles, HTTP throughput) so the serving trajectory is tracked
+across commits; CI uploads it as a workflow artifact.  The exact
+workload can be pinned for replay elsewhere: ``--save-trace`` writes
+the generated trace as JSONL, ``--trace`` replays one from disk.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_frontdoor.py
+    PYTHONPATH=src python benchmarks/bench_frontdoor.py --tiny   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_frontdoor.py --speed 2 --save-trace trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.core import HeatViT
+from repro.hardware.latency_table import (FINE_KEEP_RATIO_GRID,
+                                          build_cost_model)
+from repro.serving import (FrontDoor, FrontDoorClient,
+                           HighestFidelityRouter, Scheduler, load_jsonl,
+                           replay, save_jsonl, two_tier_trace)
+from repro.vit import VisionTransformer, ViTConfig
+
+DEFAULT = dict(image_size=32, patch_size=8, embed_dim=48, depth=12,
+               num_heads=4,
+               mild_selectors={3: 0.7, 6: 0.5, 9: 0.35},
+               aggressive_selectors={3: 0.5, 6: 0.35, 9: 0.25},
+               duration_ms=2_000.0, premium_period_ms=50.0,
+               bulk_burst_size=32, bulk_burst_period_ms=200.0,
+               capacity_images=12, batch_window_ms=40.0,
+               tier0_deadline_ms=500.0, tier1_deadline_ms=5_000.0)
+TINY = dict(image_size=16, patch_size=4, embed_dim=24, depth=4,
+            num_heads=3,
+            mild_selectors={2: 0.8},
+            aggressive_selectors={1: 0.5, 2: 0.5},
+            duration_ms=600.0, premium_period_ms=40.0,
+            bulk_burst_size=20, bulk_burst_period_ms=120.0,
+            capacity_images=6, batch_window_ms=25.0,
+            tier0_deadline_ms=400.0, tier1_deadline_ms=4_000.0)
+
+
+def build_models(params, seed=0):
+    config = ViTConfig(name="bench-frontdoor",
+                       image_size=params["image_size"],
+                       patch_size=params["patch_size"],
+                       embed_dim=params["embed_dim"],
+                       depth=params["depth"],
+                       num_heads=params["num_heads"], num_classes=8)
+    backbone = VisionTransformer(config, rng=np.random.default_rng(seed))
+    models = {}
+    for name, selectors in (("mild", params["mild_selectors"]),
+                            ("aggressive",
+                             params["aggressive_selectors"])):
+        model = HeatViT(backbone, selectors,
+                        rng=np.random.default_rng(seed + 1))
+        model.eval()
+        models[name] = model
+    cost_model = build_cost_model(
+        config, keep_ratios=FINE_KEEP_RATIO_GRID,
+        extra_tokens=models["mild"].non_patch_slots)
+    return models, cost_model
+
+
+def percentile(values, q):
+    return float(np.percentile(values, q)) if values else None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true",
+                        help="small config for CI smoke runs")
+    parser.add_argument("--speed", type=float, default=1.0,
+                        help="trace time compression for the replay "
+                             "(2.0 = twice as fast)")
+    parser.add_argument("--trace", default=None,
+                        help="replay this JSONL trace instead of "
+                             "generating the two-tier workload")
+    parser.add_argument("--save-trace", default=None,
+                        help="write the replayed trace as JSONL")
+    parser.add_argument("--min-tier0-hit", type=float, default=0.95,
+                        help="exit non-zero below this tier-0 "
+                             "deadline-hit rate (0 disables)")
+    parser.add_argument("--no-require-overload", action="store_true",
+                        help="do not require sheds/degrades to have "
+                             "happened (exploratory traces)")
+    parser.add_argument("--json", default="BENCH_frontdoor.json",
+                        help="write machine-readable results here "
+                             "('' disables)")
+    args = parser.parse_args(argv)
+    if args.speed <= 0:
+        parser.error("--speed must be > 0")
+
+    params = dict(TINY if args.tiny else DEFAULT)
+    models, cost_model = build_models(params)
+    scheduler = Scheduler(
+        batch_window_ms=params["batch_window_ms"],
+        router=HighestFidelityRouter(),
+        priority_tiers={0: params["tier0_deadline_ms"],
+                        1: params["tier1_deadline_ms"]})
+    mild = scheduler.register("mild", models["mild"],
+                              cost_model=cost_model)
+    scheduler.register("aggressive", models["aggressive"],
+                       cost_model=cost_model)
+    scheduler.admission_capacity_ms = mild.batch_cost_ms(
+        params["capacity_images"])
+
+    if args.trace:
+        trace = load_jsonl(args.trace)
+    else:
+        trace = two_tier_trace(
+            duration_ms=params["duration_ms"],
+            premium_period_ms=params["premium_period_ms"],
+            bulk_burst_size=params["bulk_burst_size"],
+            bulk_burst_period_ms=params["bulk_burst_period_ms"],
+            seed=42)
+    if args.save_trace:
+        save_jsonl(trace, args.save_trace)
+        print(f"wrote {args.save_trace}")
+
+    by_class = {}
+    for request in trace:
+        by_class.setdefault(request.priority, []).append(request)
+    print(f"serving {len(trace)} requests over HTTP "
+          f"(speed {args.speed:g}x): "
+          + ", ".join(f"class {cls}: {len(reqs)}"
+                      for cls, reqs in sorted(by_class.items())))
+    print(f"admission capacity: {scheduler.admission_capacity_ms:.3f} ms "
+          f"(priced, = {params['capacity_images']} images on 'mild'); "
+          f"bursts of {params['bulk_burst_size']}")
+
+    wall_start = time.perf_counter()
+    with FrontDoor(scheduler, poll_ms=1.0) as door:
+        with FrontDoorClient("127.0.0.1", door.port) as client:
+            outcomes = replay(trace, client.submit_trace_request,
+                              speed=args.speed)
+            queued, shed = [], []
+            for request, outcome in outcomes:
+                if isinstance(outcome, Exception):
+                    raise outcome
+                status, payload = outcome
+                if status == 200:
+                    queued.append((request, payload["request_id"]))
+                elif status == 429:
+                    shed.append(request)
+                else:
+                    raise RuntimeError(
+                        f"unexpected submit response {status}: {payload}")
+            completions = {}
+            for request, request_id in queued:
+                status, result = client.result(request_id, wait=True,
+                                               timeout_ms=120_000.0)
+                if status != 200:
+                    raise RuntimeError(
+                        f"result {request_id} not delivered: "
+                        f"{status} {result}")
+                completions[request_id] = (request, result)
+            _, stats = client.stats()
+    wall_s = time.perf_counter() - wall_start
+
+    classes = {}
+    failures = []
+    for cls, requests in sorted(by_class.items()):
+        done = [res for req, res in completions.values()
+                if req.priority == cls]
+        judged = [res for res in done if res["deadline_ms"] is not None]
+        hits = sum(res["deadline_met"] for res in judged)
+        waits = [res["wait_ms"] for res in done]
+        entry = {
+            "offered": len(requests),
+            "completed": len(done),
+            "shed": sum(req.priority == cls for req in shed),
+            "degraded": stats["classes"].get(str(cls), {}).get(
+                "degraded", 0),
+            "deadline_hit_rate": (hits / len(judged)) if judged else None,
+            "wait_ms_p50": percentile(waits, 50),
+            "wait_ms_p95": percentile(waits, 95),
+            "sessions": sorted({res["session"] for res in done}),
+        }
+        classes[cls] = entry
+        rate = ("-" if entry["deadline_hit_rate"] is None
+                else f"{entry['deadline_hit_rate']:.3f}")
+        print(f"class {cls}: {entry['completed']}/{entry['offered']} "
+              f"completed, {entry['shed']} shed, "
+              f"{entry['degraded']} degraded, hit rate {rate}, "
+              f"wait p50/p95 {entry['wait_ms_p50']:.1f}/"
+              f"{entry['wait_ms_p95']:.1f} ms, "
+              f"sessions {entry['sessions']}")
+
+    throughput = len(completions) / wall_s
+    print(f"wall time {wall_s:.2f} s, {throughput:.1f} completed "
+          f"requests/s over HTTP "
+          f"({stats['server']['http_requests']} HTTP requests)")
+
+    tier0 = classes.get(0)
+    if args.min_tier0_hit > 0:
+        if tier0 is None or tier0["deadline_hit_rate"] is None:
+            failures.append("no tier-0 deadline-carrying traffic to gate")
+        elif tier0["deadline_hit_rate"] < args.min_tier0_hit:
+            failures.append(
+                f"tier-0 hit rate {tier0['deadline_hit_rate']:.3f} < "
+                f"required {args.min_tier0_hit:.2f}")
+    if not args.no_require_overload:
+        if not shed:
+            failures.append("no request was shed: the workload did not "
+                            "exercise admission control")
+        if not any(entry["degraded"] for entry in classes.values()):
+            failures.append("no request was degraded: the workload did "
+                            "not exercise the degradation path")
+        if tier0 is not None and tier0["shed"]:
+            failures.append("class-0 traffic was shed")
+
+    if args.json:
+        payload = {
+            "benchmark": "frontdoor",
+            "tiny": bool(args.tiny),
+            "speed": args.speed,
+            "offered_requests": len(trace),
+            "completed_requests": len(completions),
+            "shed_requests": len(shed),
+            "wall_s": wall_s,
+            "completed_requests_per_s": throughput,
+            "admission_capacity_ms": scheduler.admission_capacity_ms,
+            "batch_window_ms": params["batch_window_ms"],
+            "priority_tiers": {str(cls): ms for cls, ms in
+                               scheduler.priority_tiers.items()},
+            "classes": {str(cls): entry
+                        for cls, entry in classes.items()},
+            "flush_reasons": stats["flush_reasons"],
+            "server": stats["server"],
+            "min_tier0_hit": args.min_tier0_hit,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

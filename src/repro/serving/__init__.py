@@ -21,25 +21,44 @@ Builds the request-level serving story on top of
 * multi-worker fan-out -- :class:`WorkerPool` executor processes
   (spawn-safe via :class:`repro.engine.SessionSpec`) with
   :class:`PlacementPolicy` cost-model placement and online calibration
-  (``Scheduler.register(..., workers=N)``).
+  (``Scheduler.register(..., workers=N)``);
+* SLO tiers and overload behavior -- priority classes mapped to
+  deadline tiers (``Scheduler(priority_tiers=...)``), priced-backlog
+  admission control that degrades to cheaper sessions or sheds
+  (:class:`AdmissionError`), and flush preemption for premium
+  arrivals;
+* the network face -- :class:`FrontDoor` (asyncio HTTP/JSON server:
+  submit / poll / await / health / stats) with
+  :class:`FrontDoorClient`, and :mod:`repro.serving.trace` replayable
+  JSONL workload traces plus the load-generator :func:`replay`.
 """
 
 from repro.serving.clock import Clock, SystemClock, VirtualClock
+from repro.serving.http import FrontDoor, FrontDoorClient
 from repro.serving.placement import Placement, PlacementPolicy
 from repro.serving.queue import RequestQueue
-from repro.serving.request import Request, RequestResult
+from repro.serving.request import DEFAULT_PRIORITY, Request, RequestResult
 from repro.serving.router import (BACKEND_FIDELITY, HighestFidelityRouter,
                                   LeastLatencyRouter, Router,
                                   backend_fidelity, request_cost_ms)
-from repro.serving.scheduler import FlushEvent, Scheduler, ServedModel
+from repro.serving.scheduler import (AdmissionError, FlushEvent, Scheduler,
+                                     ServedModel)
+from repro.serving.trace import (TraceRequest, adversarial_trace,
+                                 bursty_trace, load_jsonl, replay,
+                                 save_jsonl, synth_images, two_tier_trace,
+                                 uniform_trace)
 from repro.serving.worker import WorkerPool, WorkerReply, worker_payload
 
 __all__ = [
     "Clock", "SystemClock", "VirtualClock",
-    "Request", "RequestResult", "RequestQueue",
+    "Request", "RequestResult", "RequestQueue", "DEFAULT_PRIORITY",
     "Router", "LeastLatencyRouter", "HighestFidelityRouter",
     "request_cost_ms", "backend_fidelity", "BACKEND_FIDELITY",
-    "Scheduler", "ServedModel", "FlushEvent",
+    "Scheduler", "ServedModel", "FlushEvent", "AdmissionError",
     "Placement", "PlacementPolicy",
     "WorkerPool", "WorkerReply", "worker_payload",
+    "FrontDoor", "FrontDoorClient",
+    "TraceRequest", "synth_images", "save_jsonl", "load_jsonl",
+    "uniform_trace", "bursty_trace", "adversarial_trace",
+    "two_tier_trace", "replay",
 ]

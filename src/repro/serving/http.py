@@ -1,0 +1,536 @@
+"""HTTP/JSON front door: the network face of the serving scheduler.
+
+An asyncio HTTP/1.1 server (stdlib only -- ``asyncio.start_server``
+plus a small request parser, no web framework) that exposes a
+:class:`repro.serving.Scheduler` to real clients:
+
+* ``POST /v1/submit`` -- submit images with an optional deadline,
+  priority class, and model pin.  Payload images travel either inline
+  (``{"images": [[[...]]]}``, a ``(C,H,W)`` or ``(n,C,H,W)`` nested
+  list) or by seed (``{"num_images": 2, "seed": 7}``: the server
+  synthesizes the deterministic :func:`repro.serving.trace.synth_images`
+  stack -- the trace-replay road, no megabytes of JSON pixels).
+  Answers ``200 {"status": "queued", "request_id": ...}``, ``429``
+  when admission control sheds, ``400``/``404`` on malformed input.
+* ``GET /v1/result/<id>`` -- poll: ``200`` with the result, ``202``
+  while pending.  With ``?wait=1[&timeout_ms=...]`` it becomes the
+  awaitable variant: the response is held open until completion (or
+  timeout -> ``202``).  ``?logits=1`` includes raw logits.  Results
+  are delivered **at most once**; a second fetch is ``404 gone``.
+* ``GET /healthz`` -- liveness plus registered session names.
+* ``GET /stats`` -- :meth:`repro.serving.Scheduler.stats` (queue
+  depths, priced backlogs, in-flight batches, per-class deadline-hit
+  rates, flush-reason histogram) plus server counters.
+
+The server owns an event-loop thread; scheduler calls that may block
+(a preemptive flush executing inline, ``wait_result``) run on thread
+pools so the loop keeps accepting connections.  By default the front
+door also drives the scheduler's background stepping thread
+(``manage_scheduler=True``), making ``FrontDoor(scheduler).start()``
+a complete serving process.
+
+:class:`FrontDoorClient` is the matching blocking client (stdlib
+``http.client``, keep-alive) used by the tests, the load generator,
+and ``benchmarks/bench_frontdoor.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from repro.serving.scheduler import AdmissionError
+from repro.serving.trace import synth_images
+
+__all__ = ["FrontDoor", "FrontDoorClient"]
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error"}
+
+
+def _result_payload(result, include_logits=False):
+    """JSON-shape one RequestResult (the wire format of a completion)."""
+    payload = {
+        "status": "done",
+        "request_id": result.request_id,
+        "session": result.session,
+        "priority": result.priority,
+        "num_images": int(result.logits.shape[0]),
+        "predictions": result.predictions.tolist(),
+        "latency_ms": result.latency_ms.tolist(),
+        "arrival_ms": result.arrival_ms,
+        "completed_ms": result.completed_ms,
+        "wait_ms": result.wait_ms,
+        "deadline_ms": result.deadline_ms,
+        "deadline_met": bool(result.deadline_met),
+        "overshoot_ms": result.overshoot_ms,
+    }
+    if include_logits:
+        payload["logits"] = result.logits.tolist()
+    return payload
+
+
+class _HttpError(Exception):
+    """Routed straight to a JSON error response."""
+
+    def __init__(self, status, message, **extra):
+        super().__init__(message)
+        self.status = status
+        self.payload = {"status": "error", "error": message, **extra}
+
+
+class FrontDoor:
+    """Asyncio HTTP front-end over one :class:`Scheduler`.
+
+    Parameters
+    ----------
+    scheduler: the scheduler to expose (register sessions first).
+    host/port: bind address; port 0 picks a free port (read ``.port``
+        after :meth:`start`).
+    poll_ms: stepping cadence for the managed scheduler thread.
+    manage_scheduler: start/stop the scheduler's background stepping
+        thread with the server (disable when something else drives it).
+    max_body_bytes: reject larger request bodies with ``413``.
+    wait_workers: thread-pool size for held-open ``?wait=1`` result
+        calls (each occupies one slot while blocked).
+    """
+
+    def __init__(self, scheduler, host="127.0.0.1", port=0, *,
+                 poll_ms=1.0, manage_scheduler=True,
+                 max_body_bytes=64 * 1024 * 1024, wait_workers=32):
+        if wait_workers < 1:
+            raise ValueError("wait_workers must be >= 1")
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        self.scheduler = scheduler
+        self.host = host
+        self.port = int(port)
+        self.poll_ms = float(poll_ms)
+        self.manage_scheduler = bool(manage_scheduler)
+        self.max_body_bytes = int(max_body_bytes)
+        self._wait_workers = int(wait_workers)
+        self._thread = None
+        self._loop = None
+        self._stop_event = None
+        self._startup_error = None
+        self._started_scheduler = False
+        self._submit_pool = None
+        self._wait_pool = None
+        self._lock = threading.Lock()
+        self._known_ids = set()        # submitted via this server
+        self._delivered_ids = set()    # results already handed out
+        self.counters = {"http_requests": 0, "submitted": 0, "shed": 0,
+                         "results_delivered": 0}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, timeout_s=30.0):
+        """Bind and serve on a background event-loop thread.
+
+        Returns once the socket is listening (``.port`` is then the
+        real bound port) and, with ``manage_scheduler``, the scheduler
+        is stepping.  Raises whatever the server startup raised.
+        """
+        if self._thread is not None:
+            raise RuntimeError("front door already started")
+        self._startup_error = None
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, args=(ready,), daemon=True,
+            name="repro-serving-frontdoor")
+        self._thread.start()
+        if not ready.wait(timeout_s):
+            raise RuntimeError("front door startup timed out")
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._startup_error
+        return self
+
+    def stop(self, drain=True):
+        """Stop serving; returns the scheduler's drained results.
+
+        Closes the listening socket, joins the event-loop thread and
+        worker pools, and -- if this front door started the scheduler's
+        stepping thread -- stops it too (``drain=True`` runs queued and
+        in-flight requests to completion first).  Idempotent.
+        """
+        if self._thread is None:
+            return []
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join()
+        self._thread = None
+        self._loop = None
+        for pool in (self._submit_pool, self._wait_pool):
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        self._submit_pool = self._wait_pool = None
+        results = []
+        if self._started_scheduler:
+            self._started_scheduler = False
+            results = self.scheduler.stop(drain=drain)
+        return results
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop(drain=exc_type is None)
+
+    def _run(self, ready):
+        try:
+            asyncio.run(self._main(ready))
+        except Exception as exc:                  # pragma: no cover
+            self._startup_error = exc
+            ready.set()
+
+    async def _main(self, ready):
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._submit_pool = ThreadPoolExecutor(
+            max_workers=8, thread_name_prefix="frontdoor-submit")
+        self._wait_pool = ThreadPoolExecutor(
+            max_workers=self._wait_workers,
+            thread_name_prefix="frontdoor-wait")
+        try:
+            server = await asyncio.start_server(self._handle, self.host,
+                                                self.port)
+        except OSError as exc:
+            self._startup_error = exc
+            ready.set()
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        if self.manage_scheduler and self.scheduler._thread is None:
+            self.scheduler.start(poll_ms=self.poll_ms)
+            self._started_scheduler = True
+        ready.set()
+        async with server:
+            await self._stop_event.wait()
+
+    # ------------------------------------------------------------------
+    # Connection handling (HTTP/1.1 with keep-alive)
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer):
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                try:
+                    method, target, version = (
+                        request_line.decode("latin1").split())
+                except ValueError:
+                    await self._respond(writer, 400,
+                                        {"status": "error",
+                                         "error": "malformed request line"},
+                                        keep_alive=False)
+                    break
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                keep_alive = (headers.get(
+                    "connection",
+                    "keep-alive" if version == "HTTP/1.1" else "close")
+                    .lower() != "close")
+                try:
+                    length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    length = -1
+                if length < 0 or length > self.max_body_bytes:
+                    await self._respond(writer, 413,
+                                        {"status": "error",
+                                         "error": "bad content length"},
+                                        keep_alive=False)
+                    break
+                body = await reader.readexactly(length) if length else b""
+                with self._lock:
+                    self.counters["http_requests"] += 1
+                try:
+                    status, payload = await self._route(method, target,
+                                                        body)
+                except _HttpError as exc:
+                    status, payload = exc.status, exc.payload
+                except Exception as exc:
+                    status, payload = 500, {"status": "error",
+                                            "error": repr(exc)}
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                # CancelledError: the loop is tearing down mid-close
+                # (stop() with connections still open); the transport
+                # is already being discarded.
+                pass
+
+    async def _respond(self, writer, status, payload, keep_alive):
+        data = json.dumps(payload).encode()
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"
+                f"\r\n\r\n")
+        writer.write(head.encode("latin1") + data)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(self, method, target, body):
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        query = {key: values[-1]
+                 for key, values in parse_qs(parts.query).items()}
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok",
+                         "sessions": [s.name
+                                      for s in self.scheduler.sessions]}
+        if path == "/stats" and method == "GET":
+            stats = self.scheduler.stats()
+            with self._lock:
+                stats["server"] = dict(self.counters)
+            # JSON object keys must be strings; priority classes are ints.
+            stats["classes"] = {str(cls): entry
+                                for cls, entry in stats["classes"].items()}
+            return 200, stats
+        if path == "/v1/submit":
+            if method != "POST":
+                raise _HttpError(405, "submit is POST")
+            return await self._submit(body)
+        if path.startswith("/v1/result/"):
+            if method != "GET":
+                raise _HttpError(405, "result is GET")
+            return await self._result(path[len("/v1/result/"):], query)
+        raise _HttpError(404, f"no route for {method} {parts.path}")
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _parse_images(self, record, model):
+        if "images" in record:
+            try:
+                return np.asarray(record["images"], dtype=np.float64)
+            except (TypeError, ValueError):
+                raise _HttpError(400, "images must be a numeric "
+                                      "(C,H,W) or (n,C,H,W) nested list")
+        if "num_images" in record:
+            num_images = record["num_images"]
+            if not isinstance(num_images, int) or num_images < 1:
+                raise _HttpError(400, "num_images must be an int >= 1")
+            shapes = {s.name: s.image_shape
+                      for s in self.scheduler.sessions}
+            if model is not None:
+                shape = shapes.get(model)
+                if shape is None:
+                    raise _HttpError(404, f"unknown session {model!r}")
+            else:
+                unique = set(shapes.values())
+                if len(unique) != 1:
+                    raise _HttpError(400,
+                                     "seed submission is ambiguous with "
+                                     "mixed image shapes registered; pin "
+                                     "a model")
+                shape = unique.pop()
+            return synth_images((num_images,) + tuple(shape),
+                                record.get("seed", 0))
+        raise _HttpError(400, "submit needs images or num_images")
+
+    async def _submit(self, body):
+        try:
+            record = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise _HttpError(400, "body must be JSON")
+        if not isinstance(record, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        model = record.get("model")
+        deadline_ms = record.get("deadline_ms")
+        priority = record.get("priority")
+        images = self._parse_images(record, model)
+
+        def call():
+            return self.scheduler.submit(images, deadline_ms=deadline_ms,
+                                         model=model, priority=priority)
+
+        try:
+            request_id = await self._loop.run_in_executor(
+                self._submit_pool, call)
+        except AdmissionError as exc:
+            with self._lock:
+                self.counters["shed"] += 1
+            return 429, {"status": "shed", "error": str(exc),
+                         "priority": exc.priority,
+                         "backlog_ms": exc.backlog_ms,
+                         "capacity_ms": exc.capacity_ms}
+        except KeyError as exc:
+            raise _HttpError(404, str(exc))
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, str(exc))
+        with self._lock:
+            self.counters["submitted"] += 1
+            self._known_ids.add(request_id)
+        return 200, {"status": "queued", "request_id": request_id}
+
+    async def _result(self, id_text, query):
+        try:
+            request_id = int(id_text)
+        except ValueError:
+            raise _HttpError(400, f"request id must be an int, "
+                                  f"got {id_text!r}")
+        include_logits = query.get("logits", "0") not in ("0", "", "false")
+        wait = query.get("wait", "0") not in ("0", "", "false")
+        with self._lock:
+            known = request_id in self._known_ids
+            delivered = request_id in self._delivered_ids
+        if delivered:
+            raise _HttpError(404, f"result {request_id} already "
+                                  f"delivered", gone=True)
+        if not known:
+            raise _HttpError(404, f"unknown request id {request_id}")
+        if wait:
+            try:
+                timeout_ms = float(query.get("timeout_ms", 30_000.0))
+            except ValueError:
+                raise _HttpError(400, "timeout_ms must be a number")
+
+            def call():
+                return self.scheduler.wait_result(request_id,
+                                                  timeout_ms=timeout_ms)
+
+            try:
+                result = await self._loop.run_in_executor(self._wait_pool,
+                                                          call)
+            except TimeoutError:
+                return 202, {"status": "pending",
+                             "request_id": request_id}
+        else:
+            result = self.scheduler.pop_result(request_id)
+            if result is None:
+                return 202, {"status": "pending",
+                             "request_id": request_id}
+        with self._lock:
+            self._delivered_ids.add(request_id)
+            self._known_ids.discard(request_id)
+            self.counters["results_delivered"] += 1
+        return 200, _result_payload(result, include_logits)
+
+
+# ----------------------------------------------------------------------
+# Blocking client (tests, load generator, benchmark)
+# ----------------------------------------------------------------------
+class FrontDoorClient:
+    """Minimal keep-alive HTTP client for one front door.
+
+    Every call returns ``(status_code, payload_dict)``; transport
+    errors retry once on a fresh connection (the server may have
+    closed an idle keep-alive socket).  Not thread-safe -- use one
+    client per load-generator thread.
+    """
+
+    def __init__(self, host, port, timeout_s=60.0):
+        import http.client
+
+        self._http_client = http.client
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = timeout_s
+        self._conn = None
+
+    def _connection(self):
+        if self._conn is None:
+            self._conn = self._http_client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s)
+        return self._conn
+
+    def close(self):
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+    def request(self, method, path, body=None):
+        payload = (None if body is None
+                   else json.dumps(body).encode())
+        headers = ({"Content-Type": "application/json"}
+                   if payload is not None else {})
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                return response.status, json.loads(data.decode())
+            except (ConnectionError, self._http_client.HTTPException,
+                    OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")                # pragma: no cover
+
+    # -- endpoint wrappers ------------------------------------------------
+    def healthz(self):
+        return self.request("GET", "/healthz")
+
+    def stats(self):
+        return self.request("GET", "/stats")
+
+    def submit(self, images=None, *, num_images=None, seed=None,
+               deadline_ms=None, priority=None, model=None):
+        record = {}
+        if images is not None:
+            record["images"] = np.asarray(images).tolist()
+        if num_images is not None:
+            record["num_images"] = num_images
+        if seed is not None:
+            record["seed"] = seed
+        if deadline_ms is not None:
+            record["deadline_ms"] = deadline_ms
+        if priority is not None:
+            record["priority"] = priority
+        if model is not None:
+            record["model"] = model
+        return self.request("POST", "/v1/submit", body=record)
+
+    def result(self, request_id, *, wait=False, timeout_ms=None,
+               logits=False):
+        query = []
+        if wait:
+            query.append("wait=1")
+        if timeout_ms is not None:
+            query.append(f"timeout_ms={timeout_ms}")
+        if logits:
+            query.append("logits=1")
+        suffix = ("?" + "&".join(query)) if query else ""
+        return self.request("GET", f"/v1/result/{request_id}{suffix}")
+
+    def submit_trace_request(self, trace_request):
+        """Submit one :class:`repro.serving.trace.TraceRequest` by seed
+        (the load-generator path: no pixels on the wire)."""
+        return self.submit(num_images=trace_request.num_images,
+                           seed=trace_request.seed,
+                           deadline_ms=trace_request.deadline_ms,
+                           priority=trace_request.priority,
+                           model=trace_request.model)

@@ -1,12 +1,22 @@
-"""Deadline-ordered pending-request queue.
+"""Priority/deadline-ordered pending-request queue.
 
 One :class:`RequestQueue` holds the requests routed to (but not yet
-executed by) one serving session.  Requests pop in earliest-deadline-
-first order (best-effort requests sort last, then by arrival, so a
-deadline-free workload degenerates to plain FIFO).  ``pop_batch`` takes
-a *prefix* of that order subject to an image-count cap and an estimated
-latency budget -- whatever does not fit stays queued as the carried
-remainder for the next flush (continuous re-bucketing across bursts).
+executed by) one serving session.  Requests pop in priority order
+first (lower class = more urgent), then earliest-deadline-first within
+a class (best-effort requests sort last, then by arrival, so a
+deadline-free single-class workload degenerates to plain FIFO).
+``pop_batch`` takes a *prefix* of that order subject to an image-count
+cap and an estimated latency budget -- whatever does not fit stays
+queued as the carried remainder for the next flush (continuous
+re-bucketing across bursts).
+
+The queue is kept **sorted on push** (``bisect.insort`` against
+:func:`_order_key`; requests are immutable once queued, so the key
+never changes underneath the ordering) and a batch leaves as an index
+prefix -- ``pop_batch`` is O(k + log n) per flush, not the O(n^2)
+re-sort-plus-``list.remove`` it used to be.  That matters exactly when
+admission control does: a priced backlog large enough to shed is a
+backlog large enough to make quadratic popping the bottleneck.
 
 All mutators take an internal lock, so producers on other threads can
 ``push`` while a scheduler thread drains.
@@ -15,20 +25,29 @@ All mutators take an internal lock, so producers on other threads can
 from __future__ import annotations
 
 import threading
+from bisect import insort
 
 __all__ = ["RequestQueue"]
 
 
 def _order_key(request):
+    """Pop order: priority class, then EDF, then arrival/id FIFO ties.
+
+    ``priority`` leads the key, so a class-0 request outranks every
+    later class regardless of deadlines -- priority classes are strict
+    tiers, deadlines order *within* a tier.
+    """
     deadline = (request.deadline_ms if request.deadline_ms is not None
                 else float("inf"))
-    return (deadline, request.arrival_ms, request.request_id)
+    return (request.priority, deadline, request.arrival_ms,
+            request.request_id)
 
 
 class RequestQueue:
     def __init__(self):
         self._lock = threading.Lock()
-        self._requests = []
+        self._requests = []          # invariant: sorted by _order_key
+        self._pending_images = 0
 
     def __len__(self):
         with self._lock:
@@ -37,18 +56,19 @@ class RequestQueue:
     @property
     def pending_images(self):
         with self._lock:
-            return sum(r.num_images for r in self._requests)
+            return self._pending_images
 
     def push(self, request):
         if request.num_images < 1:
             raise ValueError("a request must carry at least one image")
         with self._lock:
-            self._requests.append(request)
+            insort(self._requests, request, key=_order_key)
+            self._pending_images += request.num_images
 
     def snapshot(self):
-        """The queued requests in pop (EDF) order, without removing."""
+        """The queued requests in pop order, without removing."""
         with self._lock:
-            return sorted(self._requests, key=_order_key)
+            return list(self._requests)
 
     @property
     def oldest_arrival_ms(self):
@@ -68,11 +88,11 @@ class RequestQueue:
                   batch_cost_ms=None):
         """Remove and return the next batch of whole requests.
 
-        Requests leave in EDF order; the batch is the longest prefix
-        whose total image count stays within ``max_images`` and whose
-        estimated execution cost stays within ``latency_budget_ms``.
-        ``batch_cost_ms`` prices a candidate prefix by its *total* image
-        count (the session's batch-aware
+        Requests leave in priority-then-EDF order; the batch is the
+        longest prefix whose total image count stays within
+        ``max_images`` and whose estimated execution cost stays within
+        ``latency_budget_ms``.  ``batch_cost_ms`` prices a candidate
+        prefix by its *total* image count (the session's batch-aware
         ``estimated_batch_cost(n).total_ms``, so the per-batch overhead
         is paid once by the whole prefix, not per request); with a
         zero-overhead cost model this reduces exactly to the legacy
@@ -86,10 +106,10 @@ class RequestQueue:
             raise ValueError(
                 "latency_budget_ms requires a batch_cost_ms pricer")
         with self._lock:
-            ordered = sorted(self._requests, key=_order_key)
-            taken, images = [], 0
-            for request in ordered:
-                if taken:
+            images = 0
+            count = 0
+            for request in self._requests:
+                if count:
                     if (max_images is not None
                             and images + request.num_images > max_images):
                         break
@@ -97,8 +117,9 @@ class RequestQueue:
                             and batch_cost_ms(images + request.num_images)
                             > latency_budget_ms):
                         break
-                taken.append(request)
+                count += 1
                 images += request.num_images
-            for request in taken:
-                self._requests.remove(request)
+            taken = self._requests[:count]
+            del self._requests[:count]
+            self._pending_images -= images
             return taken

@@ -1,12 +1,26 @@
 """Request and result records for the serving scheduler.
 
 A :class:`Request` is one client submission: a small stack of images
-(often a single one) with an optional **absolute** deadline and an
-optional explicit model name.  The scheduler coalesces many requests
-into one bucketed batch; each request gets back a
+(often a single one) with an optional **absolute** deadline, a priority
+class, and an optional explicit model name.  The scheduler coalesces
+many requests into one bucketed batch; each request gets back a
 :class:`RequestResult` carrying its own logits rows, the per-image
 Eq. 18 latency estimates, and the timing bookkeeping needed to audit
 deadline behavior.
+
+Priority classes are small non-negative integers, **lower is more
+urgent**: class 0 is the premium tier (eligible for flush preemption
+and exempt from admission shedding), higher classes are progressively
+more sheddable.  The scheduler can map classes to default deadline
+tiers (``Scheduler(priority_tiers=...)``), so clients express an SLO
+by class alone.
+
+Both records are ``eq=False`` dataclasses on purpose: the generated
+field-wise ``__eq__`` would compare the numpy ``images``/``logits``
+arrays and raise ``ValueError: the truth value of an array ...`` as
+soon as two *distinct* requests are compared (``request in list`` hits
+exactly that).  Identity semantics are the correct ones here -- every
+request is a unique submission even when its payload bytes repeat.
 """
 
 from __future__ import annotations
@@ -15,10 +29,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["Request", "RequestResult"]
+__all__ = ["Request", "RequestResult", "DEFAULT_PRIORITY"]
+
+#: Priority class assigned when a submission does not name one.  Class
+#: 0 is deliberately *not* the default: the premium tier must be
+#: opted into, so plain traffic never preempts or starves it.
+DEFAULT_PRIORITY = 1
 
 
-@dataclass
+@dataclass(eq=False)
 class Request:
     """One pending client submission.
 
@@ -26,6 +45,7 @@ class Request:
     ``arrival_ms``: scheduler-clock time the request was accepted.
     ``deadline_ms``: absolute clock time the response is due, or
         ``None`` for best-effort requests.
+    ``priority``: SLO class (lower is more urgent; 0 = premium).
     ``model``: explicit session name, or ``None`` to let the router
         choose.
     """
@@ -34,6 +54,7 @@ class Request:
     images: np.ndarray
     arrival_ms: float
     deadline_ms: float = None
+    priority: int = DEFAULT_PRIORITY
     model: str = None
 
     @property
@@ -47,7 +68,7 @@ class Request:
         return self.deadline_ms - now_ms
 
 
-@dataclass
+@dataclass(eq=False)
 class RequestResult:
     """One completed request.
 
@@ -64,6 +85,7 @@ class RequestResult:
     arrival_ms: float
     completed_ms: float
     deadline_ms: float = None
+    priority: int = DEFAULT_PRIORITY
     tokens_per_stage: list = field(default_factory=list)
 
     @property

@@ -26,6 +26,15 @@ with the next burst -- partially-filled buckets carry over between
 submits via :meth:`repro.engine.InferenceSession.submit_many`, whose
 grouped chunking is bitwise-identical to fresh submission.
 
+Production shaping (what the HTTP front door in
+:mod:`repro.serving.http` leans on): requests carry a **priority
+class** mapped to an SLO deadline tier (``priority_tiers``), the
+pending queue orders priority-first then EDF, **admission control**
+sheds or degrades sheddable classes when a target's priced backlog
+(via :mod:`repro.cost`) exceeds ``admission_capacity_ms``, and
+**flush preemption** lets a premium arrival fire a due flush at
+submit time instead of waiting out the step/window cadence.
+
 Time comes from a :class:`repro.serving.clock.Clock` (milliseconds).
 The scheduler is step-driven and thread-safe: call :meth:`step` from
 your own loop (deterministically, in tests, against a
@@ -45,11 +54,28 @@ from repro.engine.session import InferenceSession
 from repro.serving.clock import Clock, SystemClock
 from repro.serving.placement import PlacementPolicy
 from repro.serving.queue import RequestQueue
-from repro.serving.request import Request, RequestResult
+from repro.serving.request import DEFAULT_PRIORITY, Request, RequestResult
 from repro.serving.router import LeastLatencyRouter, backend_fidelity
 from repro.serving.worker import WorkerPool
 
-__all__ = ["Scheduler", "ServedModel", "FlushEvent"]
+__all__ = ["Scheduler", "ServedModel", "FlushEvent", "AdmissionError"]
+
+
+class AdmissionError(RuntimeError):
+    """A submission was shed by admission control.
+
+    Raised when the priced backlog of every eligible serving target
+    exceeds the scheduler's ``admission_capacity_ms`` and the request's
+    priority class is sheddable (``priority > 0``).  Carries enough to
+    answer an HTTP 429: the class, the backlog that tripped, and the
+    capacity it exceeded.
+    """
+
+    def __init__(self, message, *, priority, backlog_ms, capacity_ms):
+        super().__init__(message)
+        self.priority = priority
+        self.backlog_ms = backlog_ms
+        self.capacity_ms = capacity_ms
 
 
 @dataclass
@@ -59,6 +85,7 @@ class _InFlight:
     requests: list
     ticket: object                  # repro.serving.Placement
     reason: str
+    estimated_ms: float = 0.0       # placement-predicted cost (backlog)
 
 
 @dataclass
@@ -119,6 +146,26 @@ class ServedModel:
         config = self.session.model.config
         return (config.in_channels, config.image_size, config.image_size)
 
+    def priced_backlog_ms(self):
+        """Cost-model price of everything committed to this target:
+        the queued images as one batch plus the estimated cost of every
+        in-flight dispatch.  The quantity admission control compares
+        against capacity."""
+        queued = self.queue.pending_images
+        total = self.batch_cost_ms(queued) if queued else 0.0
+        for inflight in list(self.pending.values()):
+            total += inflight.estimated_ms
+        return total
+
+    def projected_backlog_ms(self, extra_images):
+        """:meth:`priced_backlog_ms` if ``extra_images`` more images
+        joined the queue -- priced as one merged batch with the queued
+        images, so the per-batch overhead is not double-counted."""
+        total = self.batch_cost_ms(self.queue.pending_images + extra_images)
+        for inflight in list(self.pending.values()):
+            total += inflight.estimated_ms
+        return total
+
 
 @dataclass
 class FlushEvent:
@@ -157,15 +204,43 @@ class Scheduler:
         deciding whether a flush must fire now.
     max_events: cap on the :class:`FlushEvent` telemetry log (oldest
         entries drop first); ``None`` keeps everything (simulations).
+    priority_tiers: optional mapping of priority class to a default
+        *relative* deadline in ms, applied when a submission names a
+        class but no explicit deadline -- the SLO-tier contract clients
+        program against (e.g. ``{0: 20.0, 1: 200.0}``).
+    admission_capacity_ms: optional priced-backlog capacity.  When a
+        sheddable submission (``priority > 0``) would push its routed
+        target's :meth:`ServedModel.priced_backlog_ms` past this, the
+        scheduler first tries to *degrade* -- re-route to a cheaper
+        (lower-fidelity / more aggressively pruned) same-shape session
+        with headroom -- and only sheds (:class:`AdmissionError`) when
+        no target fits.  Class-0 traffic is never shed.
+    preempt_priority: arrivals with ``priority <= preempt_priority``
+        re-evaluate the flush condition *at submit time* and fire it
+        inline instead of waiting for the next :meth:`step` -- without
+        it, a premium request landing just after a step waits out a
+        full batch window (worst-case lateness one window).  ``None``
+        disables preemption.  Default 0: only the premium tier
+        preempts.
     """
 
     def __init__(self, clock=None, router=None, batch_window_ms=10.0,
                  latency_budget_ms=None, deadline_margin_ms=0.0,
-                 max_events=10_000):
+                 max_events=10_000, priority_tiers=None,
+                 admission_capacity_ms=None, preempt_priority=0):
         if batch_window_ms < 0:
             raise ValueError("batch_window_ms must be >= 0")
         if latency_budget_ms is not None and latency_budget_ms <= 0:
             raise ValueError("latency_budget_ms must be > 0")
+        if priority_tiers is not None:
+            priority_tiers = {int(cls): float(ms)
+                              for cls, ms in priority_tiers.items()}
+            if any(cls < 0 for cls in priority_tiers):
+                raise ValueError("priority classes must be >= 0")
+            if any(ms <= 0 for ms in priority_tiers.values()):
+                raise ValueError("tier deadlines are relative, must be > 0")
+        if admission_capacity_ms is not None and admission_capacity_ms <= 0:
+            raise ValueError("admission_capacity_ms must be > 0")
         self.clock = clock if clock is not None else SystemClock()
         if not isinstance(self.clock, Clock):
             raise TypeError("clock must be a repro.serving.Clock")
@@ -176,7 +251,14 @@ class Scheduler:
         if max_events is not None and max_events < 1:
             raise ValueError("max_events must be >= 1 or None")
         self.max_events = max_events
+        self.priority_tiers = priority_tiers
+        self.admission_capacity_ms = admission_capacity_ms
+        self.preempt_priority = preempt_priority
         self.events = []
+        # Per-priority-class serving counters (submitted / completed /
+        # deadline hits / degraded / shed), mutated under _results_cond
+        # and reported by stats().
+        self._class_stats = {}
         self._served = {}
         self._results = {}
         self._results_cond = threading.Condition()
@@ -268,16 +350,31 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Request intake
     # ------------------------------------------------------------------
-    def submit(self, images, deadline_ms=None, model=None):
+    def submit(self, images, deadline_ms=None, model=None, priority=None):
         """Accept a request; returns its ``request_id`` without blocking.
 
         ``images``: one image ``(C, H, W)`` or a stack ``(n, C, H, W)``.
-        ``deadline_ms``: optional deadline *relative to now* (> 0).
+        ``deadline_ms``: optional deadline *relative to now* (> 0);
+        when omitted and ``priority`` names a configured tier, the
+        tier's default deadline applies.
         ``model``: explicit session name; ``None`` lets the router pick
         among the sessions serving this image shape.
+        ``priority``: SLO class (lower = more urgent, 0 = premium);
+        default :data:`repro.serving.DEFAULT_PRIORITY`.
+
+        Raises :class:`AdmissionError` when admission control is
+        configured, the request is sheddable, and no eligible target
+        has priced-backlog headroom.  A premium arrival (``priority <=
+        preempt_priority``) may execute a due flush inline before
+        returning -- worst-case lateness is then bounded by execution
+        time, not by the batch window.
         """
-        sessions = self.sessions
-        if not sessions:
+        # Snapshot the registry ONCE under its lock: concurrent
+        # register() calls mutate _served, and every later read in this
+        # method must see one consistent view of it.
+        with self._registry_lock:
+            served_by_name = dict(self._served)
+        if not served_by_name:
             raise RuntimeError("no sessions registered")
         images = np.asarray(images)
         if images.ndim == 3:
@@ -288,9 +385,15 @@ class Scheduler:
                 f"got shape {images.shape}")
         if deadline_ms is not None and deadline_ms <= 0:
             raise ValueError("deadline_ms is relative and must be > 0")
-        if model is not None and model not in self._served:
+        if model is not None and model not in served_by_name:
             raise KeyError(f"unknown session {model!r}; registered: "
-                           f"{sorted(self._served)}")
+                           f"{sorted(served_by_name)}")
+        priority = DEFAULT_PRIORITY if priority is None else int(priority)
+        if priority < 0:
+            raise ValueError("priority must be >= 0 (0 = most urgent)")
+        if (deadline_ms is None and self.priority_tiers is not None
+                and priority in self.priority_tiers):
+            deadline_ms = self.priority_tiers[priority]
         now = self.clock.now()
         with self._results_cond:
             request_id = self._next_id
@@ -299,24 +402,103 @@ class Scheduler:
             request_id=request_id, images=images, arrival_ms=now,
             deadline_ms=(None if deadline_ms is None
                          else now + float(deadline_ms)),
-            model=model)
+            priority=priority, model=model)
         if model is not None:
-            served = self._served[model]
+            served = served_by_name[model]
             if images.shape[1:] != served.image_shape:
                 raise ValueError(
                     f"session {served.name!r} serves images of shape "
                     f"{served.image_shape}; got {images.shape[1:]}")
+            candidates = [served]
         else:
-            candidates = [s for s in sessions
+            candidates = [s for s in served_by_name.values()
                           if images.shape[1:] == s.image_shape]
             if not candidates:
                 raise ValueError(
                     f"no session serves images of shape {images.shape[1:]}; "
                     f"registered shapes: "
-                    f"{sorted({s.image_shape for s in sessions})}")
+                    f"{sorted({s.image_shape for s in served_by_name.values()})}")
             served = self.router.route(request, candidates, now)
+        served = self._admit(request, served, candidates)
         served.queue.push(request)
+        self._count(priority, "submitted")
+        if (self.preempt_priority is not None
+                and priority <= self.preempt_priority):
+            self._preempt(served)
         return request_id
+
+    def _count(self, priority, key, amount=1):
+        with self._results_cond:
+            stats = self._class_stats.setdefault(priority, {
+                "submitted": 0, "completed": 0, "deadline_hits": 0,
+                "deadline_misses": 0, "degraded": 0, "shed": 0})
+            stats[key] += amount
+
+    # ------------------------------------------------------------------
+    # Admission control: shed or degrade when backlog exceeds capacity
+    # ------------------------------------------------------------------
+    def _admit(self, request, served, candidates):
+        """Admission-check ``request`` against its routed target.
+
+        Returns the target to queue on -- usually ``served``; under
+        priced-backlog overload a sheddable request is instead
+        *degraded* to the cheapest same-shape session with headroom
+        (lower fidelity / lower keep-ratio: the INFaaS move -- serve a
+        cheaper variant rather than drop), and shed with
+        :class:`AdmissionError` only when nowhere fits.  Premium
+        (class-0) traffic is exempt: it always lands on its routed
+        target.
+        """
+        capacity = self.admission_capacity_ms
+        if capacity is None or request.priority <= 0:
+            return served
+        backlog = served.projected_backlog_ms(request.num_images)
+        if backlog <= capacity:
+            return served
+        fitting = []
+        for candidate in candidates:
+            if candidate is served:
+                continue
+            projected = candidate.projected_backlog_ms(request.num_images)
+            if projected <= capacity:
+                fitting.append((candidate.marginal_image_ms,
+                                -candidate.fidelity, candidate.name,
+                                candidate))
+        if fitting:
+            degraded = min(fitting)[-1]
+            self._count(request.priority, "degraded")
+            return degraded
+        self._count(request.priority, "shed")
+        raise AdmissionError(
+            f"request {request.request_id} (class {request.priority}) "
+            f"shed: priced backlog {backlog:.3f} ms exceeds capacity "
+            f"{capacity:.3f} ms on every eligible session",
+            priority=request.priority, backlog_ms=backlog,
+            capacity_ms=capacity)
+
+    # ------------------------------------------------------------------
+    # Flush preemption: premium arrivals do not wait for the next step
+    # ------------------------------------------------------------------
+    def _preempt(self, served):
+        """Re-evaluate the flush condition for ``served`` right now.
+
+        Called at submit time for premium-tier arrivals: if the new
+        request makes a flush due (its deadline is inside the pending
+        batch's estimated execution time, or it filled the batch), the
+        flush fires inline instead of waiting out the step/window
+        cadence.  Runs under the step lock, so it serializes cleanly
+        with a concurrent :meth:`step`; by the time the lock is
+        acquired a racing step may have already flushed -- then
+        ``_flush_reason`` is simply ``None`` and this is a no-op.
+        """
+        with self._step_lock:
+            while True:
+                now = self.clock.now()
+                reason = self._flush_reason(served, now)
+                if reason is None:
+                    break
+                self._execute(served, now, reason)
+            self._collect(served, block=False)
 
     def pending_requests(self):
         return sum(len(s.queue) for s in self.sessions)
@@ -362,9 +544,15 @@ class Scheduler:
         in flight (pick them up via :meth:`step` or :meth:`drain`).
         """
         completed = []
+        if model is not None:
+            with self._registry_lock:
+                if model not in self._served:
+                    raise KeyError(f"unknown session {model!r}; "
+                                   f"registered: {sorted(self._served)}")
+                targets = [self._served[model]]
         with self._step_lock:
-            targets = ([self._served[model]] if model is not None
-                       else self.sessions)
+            if model is None:
+                targets = self.sessions
             for served in targets:
                 while len(served.queue):
                     completed.extend(self._execute(served, self.clock.now(),
@@ -424,8 +612,60 @@ class Scheduler:
         with self._results_cond:
             for item in completed:
                 self._results[item.request_id] = item
+                stats = self._class_stats.setdefault(item.priority, {
+                    "submitted": 0, "completed": 0, "deadline_hits": 0,
+                    "deadline_misses": 0, "degraded": 0, "shed": 0})
+                stats["completed"] += 1
+                if item.deadline_ms is not None:
+                    key = ("deadline_hits" if item.deadline_met
+                           else "deadline_misses")
+                    stats[key] += 1
             self._results_cond.notify_all()
         return completed
+
+    def stats(self):
+        """Serving telemetry snapshot (what ``GET /stats`` reports).
+
+        Per-session queue depth / priced backlog / in-flight batches,
+        per-priority-class admission and deadline counters (with the
+        derived ``deadline_hit_rate`` over deadline-carrying completions),
+        and a histogram of flush-trigger reasons from the event log.
+        """
+        sessions = {}
+        for served in self.sessions:
+            sessions[served.name] = {
+                "queued_requests": len(served.queue),
+                "queued_images": served.queue.pending_images,
+                "priced_backlog_ms": served.priced_backlog_ms(),
+                "in_flight_batches": len(served.pending),
+                "backend": served.session.backend,
+                "fidelity": served.fidelity,
+                "workers": (served.pool.num_workers
+                            if served.pool is not None else 1),
+            }
+        reasons = {}
+        with self._results_cond:
+            classes = {}
+            for priority, counters in sorted(self._class_stats.items()):
+                entry = dict(counters)
+                judged = entry["deadline_hits"] + entry["deadline_misses"]
+                entry["deadline_hit_rate"] = (
+                    entry["deadline_hits"] / judged if judged else None)
+                classes[priority] = entry
+            pending_results = len(self._results)
+        for event in list(self.events):
+            reasons[event.reason] = reasons.get(event.reason, 0) + 1
+        return {
+            "sessions": sessions,
+            "classes": classes,
+            "flush_reasons": reasons,
+            "num_events": len(self.events),
+            "pending_results": pending_results,
+            "admission_capacity_ms": self.admission_capacity_ms,
+            "priority_tiers": (dict(self.priority_tiers)
+                               if self.priority_tiers else None),
+            "preempt_priority": self.preempt_priority,
+        }
 
     def _execute(self, served, now, reason):
         requests = served.queue.pop_batch(
@@ -459,6 +699,7 @@ class Scheduler:
                 arrival_ms=request.arrival_ms,
                 completed_ms=now,
                 deadline_ms=request.deadline_ms,
+                priority=request.priority,
                 tokens_per_stage=[stage[rows] for stage in
                                   result.tokens_per_stage]))
         return self._store(completed)
@@ -513,7 +754,8 @@ class Scheduler:
                     served.queue.push(request)
                 raise
             served.pending[task_id] = _InFlight(
-                requests=shard, ticket=ticket, reason=reason)
+                requests=shard, ticket=ticket, reason=reason,
+                estimated_ms=ticket.predicted_ms)
             self._log_event(FlushEvent(
                 time_ms=now, session=served.name, reason=reason,
                 request_ids=[r.request_id for r in shard],
@@ -623,6 +865,7 @@ class Scheduler:
                 arrival_ms=request.arrival_ms,
                 completed_ms=now,
                 deadline_ms=request.deadline_ms,
+                priority=request.priority,
                 tokens_per_stage=[stage[rows] for stage in
                                   reply.tokens_per_stage]))
         return self._store(completed)

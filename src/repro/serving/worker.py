@@ -26,6 +26,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -180,6 +181,15 @@ class WorkerPool:
         self._task_queues = [self._ctx.Queue()
                              for _ in range(self.num_workers)]
         self._result_queue = self._ctx.Queue()
+        # Guards _closed against dispatch/poll racing close() from
+        # another thread (scheduler shutdown during background
+        # stepping): without it a dispatcher can observe _closed ==
+        # False, lose the CPU, and put on a queue close() has already
+        # released -- an unhandled ValueError/OSError deep in
+        # multiprocessing instead of the clean "pool is closed" error.
+        # RLock so close() can run under it end to end while its own
+        # helpers re-enter.
+        self._state_lock = threading.RLock()
         self._closed = False
         self._processes = [
             self._ctx.Process(
@@ -225,12 +235,13 @@ class WorkerPool:
         """Send one batch (a list of per-request image arrays) to
         ``worker``.  Non-blocking: the reply arrives via :meth:`poll`.
         """
-        if self._closed:
-            raise RuntimeError("worker pool is closed")
         if not 0 <= worker < self.num_workers:
             raise ValueError(f"worker index {worker} out of range "
                              f"0..{self.num_workers - 1}")
-        self._task_queues[worker].put((task_id, list(image_groups)))
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            self._task_queues[worker].put((task_id, list(image_groups)))
 
     def poll(self, timeout_s=0.0):
         """Collect available replies; waits at most ``timeout_s`` for
@@ -239,10 +250,19 @@ class WorkerPool:
         block = timeout_s > 0
         while True:
             try:
-                replies.append(self._result_queue.get(
-                    timeout=timeout_s if block else 0.0)
-                    if block else self._result_queue.get_nowait())
+                with self._state_lock:
+                    if self._closed:
+                        break
+                    if not block:
+                        replies.append(self._result_queue.get_nowait())
+                        continue
+                # Blocking wait happens *outside* the lock so a
+                # concurrent close() is never stalled behind it; the
+                # post-wait drain re-checks _closed above.
+                replies.append(self._result_queue.get(timeout=timeout_s))
             except queue_module.Empty:
+                break
+            except (ValueError, OSError):     # queue released mid-wait
                 break
             block = False
         return replies
@@ -260,28 +280,49 @@ class WorkerPool:
     def close(self, timeout_s=30.0):
         """Deterministic shutdown: sentinel every worker, join every
         process (terminating stragglers), release the queues.
-        Idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        for task_queue, process in zip(self._task_queues,
-                                       self._processes):
-            if process.is_alive():
-                try:
-                    task_queue.put(_SENTINEL)
-                except (ValueError, OSError):     # pragma: no cover
-                    pass
+        Idempotent, and safe against concurrent :meth:`dispatch` /
+        :meth:`poll` -- the closed flag flips and the queues are
+        released under the state lock, so a racing dispatcher gets the
+        clean "pool is closed" error instead of a multiprocessing
+        internals failure."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for task_queue, process in zip(self._task_queues,
+                                           self._processes):
+                if process.is_alive():
+                    try:
+                        task_queue.put(_SENTINEL)
+                    except (ValueError, OSError):     # pragma: no cover
+                        pass
         deadline = time.monotonic() + timeout_s
+        # Keep the reply pipe drained while the workers wind down: a
+        # worker with more buffered replies than the pipe holds blocks
+        # in its feeder thread and never reaches the sentinel, so an
+        # undrained close would stall the full timeout and then
+        # terminate a healthy worker.  Discarding is correct here --
+        # close() is end of life; callers that want the results drain
+        # before closing (Scheduler.shutdown does).
+        while (any(process.is_alive() for process in self._processes)
+               and time.monotonic() < deadline):
+            try:
+                self._result_queue.get(timeout=0.05)
+            except queue_module.Empty:
+                pass
+            except (ValueError, OSError):         # pragma: no cover
+                break
         for process in self._processes:
             process.join(timeout=max(0.0, deadline - time.monotonic()))
             if process.is_alive():                # pragma: no cover
                 process.terminate()
                 process.join(timeout=5.0)
-        for task_queue in self._task_queues:
-            task_queue.close()
-            task_queue.cancel_join_thread()
-        self._result_queue.close()
-        self._result_queue.cancel_join_thread()
+        with self._state_lock:
+            for task_queue in self._task_queues:
+                task_queue.close()
+                task_queue.cancel_join_thread()
+            self._result_queue.close()
+            self._result_queue.cancel_join_thread()
 
     def __enter__(self):
         return self

@@ -23,21 +23,29 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.serving import AdmissionError
+from repro.serving.trace import synth_images
+
 __all__ = ["Arrival", "SimulationReport", "ServingSimulation",
-           "uniform_trace", "bursty_trace", "adversarial_deadline_trace"]
+           "uniform_trace", "bursty_trace", "adversarial_deadline_trace",
+           "arrivals_from_trace", "two_tier_arrivals"]
 
 
-@dataclass
+@dataclass(eq=False)
 class Arrival:
     """One scripted request: delivered when the clock reaches ``at_ms``.
 
     ``deadline_ms`` is relative to the arrival (as clients specify it);
+    ``priority`` is the SLO class (``None`` = scheduler default);
     ``model`` optionally pins a session, bypassing the router.
+    (``eq=False``: field-wise comparison over the numpy payload would
+    raise, the same dataclass trap fixed on ``Request``.)
     """
 
     at_ms: float
     images: np.ndarray
     deadline_ms: float = None
+    priority: int = None
     model: str = None
 
 
@@ -49,6 +57,17 @@ class SimulationReport:
     arrivals: dict                # request_id -> Arrival (as submitted)
     events: list                  # scheduler FlushEvents, in order
     final_ms: float
+    shed: list = field(default_factory=list)  # (Arrival, AdmissionError)
+
+    def hit_rate(self, priority=None):
+        """Deadline-hit rate over deadline-carrying completions,
+        optionally restricted to one priority class."""
+        judged = [res for res in self.results.values()
+                  if res.deadline_ms is not None
+                  and (priority is None or res.priority == priority)]
+        if not judged:
+            return None
+        return sum(res.deadline_met for res in judged) / len(judged)
 
     @property
     def completed_ids(self):
@@ -94,6 +113,7 @@ class ServingSimulation:
         self.clock = clock
         self.arrivals = sorted(arrivals, key=lambda a: a.at_ms)
         self.tick_ms = float(tick_ms)
+        self.shed = []          # (Arrival, AdmissionError) rejections
 
     def run(self, until_ms=None):
         if until_ms is None:
@@ -106,9 +126,13 @@ class ServingSimulation:
             now = self.clock.now()
             while queue and queue[0].at_ms <= now:
                 arrival = queue.pop(0)
-                request_id = self.scheduler.submit(
-                    arrival.images, deadline_ms=arrival.deadline_ms,
-                    model=arrival.model)
+                try:
+                    request_id = self.scheduler.submit(
+                        arrival.images, deadline_ms=arrival.deadline_ms,
+                        priority=arrival.priority, model=arrival.model)
+                except AdmissionError as exc:
+                    self.shed.append((arrival, exc))
+                    continue
                 submitted[request_id] = arrival
             for result in self.scheduler.step():
                 results[result.request_id] = result
@@ -122,7 +146,8 @@ class ServingSimulation:
             self.clock.advance(self.tick_ms)
         return SimulationReport(results=results, arrivals=submitted,
                                 events=list(self.scheduler.events),
-                                final_ms=self.clock.now())
+                                final_ms=self.clock.now(),
+                                shed=list(self.shed))
 
 
 # ----------------------------------------------------------------------
@@ -175,3 +200,23 @@ def adversarial_deadline_trace(images, *, start_ms=0.0, spacing_ms=1.0,
     return [Arrival(at_ms=start_ms + i * spacing_ms, images=piece,
                     deadline_ms=patterns[i % len(patterns)])
             for i, piece in enumerate(pieces)]
+
+
+def arrivals_from_trace(trace, image_shape):
+    """Materialize :class:`repro.serving.trace.TraceRequest` records as
+    simulation arrivals -- the bridge between the replayable JSONL
+    trace format and the deterministic virtual-clock harness.  Payloads
+    come from the trace seeds (:func:`repro.serving.synth_images`), so
+    a trace file determines the simulation bit for bit."""
+    return [Arrival(at_ms=r.at_ms, images=r.images(image_shape),
+                    deadline_ms=r.deadline_ms, priority=r.priority,
+                    model=r.model)
+            for r in sorted(trace, key=lambda r: r.at_ms)]
+
+
+def two_tier_arrivals(image_shape, **kwargs):
+    """A :func:`repro.serving.two_tier_trace` materialized for the
+    simulation harness (premium stream + bursty sheddable bulk)."""
+    from repro.serving import two_tier_trace
+
+    return arrivals_from_trace(two_tier_trace(**kwargs), image_shape)

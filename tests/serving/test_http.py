@@ -1,0 +1,253 @@
+"""The HTTP front door: endpoints, error paths, and an end-to-end
+two-tier replay over real sockets.
+
+These tests run the real asyncio server on a loopback port with the
+real system clock; timing assertions are therefore kept coarse
+(generous deadlines, rate thresholds) while the exact-timing versions
+of the same behaviors live under the virtual clock in
+``test_admission.py``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import (FrontDoor, FrontDoorClient, HighestFidelityRouter,
+                           Scheduler, replay, two_tier_trace)
+
+
+@pytest.fixture()
+def front_door(mild_model):
+    scheduler = Scheduler(batch_window_ms=5.0)
+    scheduler.register("default", mild_model)
+    door = FrontDoor(scheduler, poll_ms=0.5)
+    with door:
+        with FrontDoorClient("127.0.0.1", door.port) as client:
+            yield door, client
+
+
+class TestEndpoints:
+    def test_healthz(self, front_door):
+        _, client = front_door
+        status, payload = client.healthz()
+        assert status == 200
+        assert payload == {"status": "ok", "sessions": ["default"]}
+
+    def test_submit_then_poll(self, front_door, tiny_dataset):
+        _, client = front_door
+        status, payload = client.submit(tiny_dataset.images[:2])
+        assert status == 200
+        assert payload["status"] == "queued"
+        request_id = payload["request_id"]
+        status, result = client.result(request_id, wait=True,
+                                       timeout_ms=10_000)
+        assert status == 200
+        assert result["status"] == "done"
+        assert result["request_id"] == request_id
+        assert result["session"] == "default"
+        assert result["num_images"] == 2
+        assert len(result["predictions"]) == 2
+        assert len(result["latency_ms"]) == 2
+        assert result["completed_ms"] >= result["arrival_ms"]
+        assert "logits" not in result
+
+    def test_result_is_delivered_at_most_once(self, front_door,
+                                              tiny_dataset):
+        _, client = front_door
+        _, payload = client.submit(tiny_dataset.images[:1])
+        request_id = payload["request_id"]
+        status, _ = client.result(request_id, wait=True, timeout_ms=10_000)
+        assert status == 200
+        status, payload = client.result(request_id)
+        assert status == 404
+        assert payload["gone"] is True
+
+    def test_wait_timeout_reports_pending(self, front_door, mild_model,
+                                          tiny_dataset):
+        door, client = front_door
+        # A request that cannot complete within the wait: submit against
+        # a paused scheduler by stopping the stepping thread first.
+        door.scheduler.stop(drain=True)
+        _, payload = client.submit(tiny_dataset.images[:1])
+        request_id = payload["request_id"]
+        status, pending = client.result(request_id, wait=True,
+                                        timeout_ms=50)
+        assert status == 202
+        assert pending == {"status": "pending", "request_id": request_id}
+        # Non-wait poll agrees.
+        status, pending = client.result(request_id)
+        assert status == 202
+        door.scheduler.start(poll_ms=0.5)
+        door._started_scheduler = True      # let teardown stop it again
+        status, result = client.result(request_id, wait=True,
+                                       timeout_ms=10_000)
+        assert status == 200 and result["status"] == "done"
+
+    def test_seed_submission_is_deterministic(self, front_door):
+        """`{"num_images", "seed"}` synthesizes the same pixels every
+        time (the replayable-trace contract): identical seeds produce
+        bit-identical logits across submissions, different seeds don't."""
+        _, client = front_door
+        logits = []
+        for seed in (123, 123, 124):
+            _, payload = client.submit(num_images=2, seed=seed)
+            status, result = client.result(payload["request_id"],
+                                           wait=True, timeout_ms=10_000,
+                                           logits=True)
+            assert status == 200
+            logits.append(np.asarray(result["logits"]))
+        np.testing.assert_array_equal(logits[0], logits[1])
+        assert not np.array_equal(logits[0], logits[2])
+
+    def test_stats_shape(self, front_door, tiny_dataset):
+        _, client = front_door
+        _, payload = client.submit(tiny_dataset.images[:1], priority=0)
+        client.result(payload["request_id"], wait=True, timeout_ms=10_000)
+        status, stats = client.stats()
+        assert status == 200
+        session = stats["sessions"]["default"]
+        for key in ("queued_requests", "queued_images",
+                    "priced_backlog_ms", "in_flight_batches", "backend",
+                    "fidelity", "workers"):
+            assert key in session
+        assert stats["classes"]["0"]["submitted"] == 1
+        assert stats["classes"]["0"]["completed"] == 1
+        assert stats["server"]["submitted"] == 1
+        assert stats["server"]["results_delivered"] == 1
+        assert stats["server"]["http_requests"] >= 3
+
+
+class TestErrorPaths:
+    def test_unknown_route_and_methods(self, front_door):
+        _, client = front_door
+        assert client.request("GET", "/nope")[0] == 404
+        assert client.request("GET", "/v1/submit")[0] == 405
+        assert client.request("POST", "/v1/result/0")[0] == 405
+
+    def test_malformed_submit_bodies(self, front_door):
+        _, client = front_door
+        status, payload = client.request("POST", "/v1/submit", body={})
+        assert (status, payload["status"]) == (400, "error")
+        assert client.request("POST", "/v1/submit",
+                              body={"images": "nope"})[0] == 400
+        assert client.request("POST", "/v1/submit",
+                              body={"num_images": 0})[0] == 400
+        assert client.request("POST", "/v1/submit",
+                              body={"num_images": 1,
+                                    "model": "missing"})[0] == 404
+        assert client.request("POST", "/v1/submit",
+                              body={"num_images": 1,
+                                    "priority": -3})[0] == 400
+
+    def test_bad_result_ids(self, front_door):
+        _, client = front_door
+        assert client.request("GET", "/v1/result/abc")[0] == 400
+        assert client.request("GET", "/v1/result/999")[0] == 404
+
+    def test_wrong_shape_images_rejected(self, front_door):
+        _, client = front_door
+        status, payload = client.submit(np.zeros((1, 2, 4, 4)))
+        assert status == 400
+
+    def test_oversized_body_rejected(self, mild_model):
+        scheduler = Scheduler(batch_window_ms=5.0)
+        scheduler.register("default", mild_model)
+        with FrontDoor(scheduler, max_body_bytes=256) as door:
+            with FrontDoorClient("127.0.0.1", door.port) as client:
+                status, payload = client.submit(np.zeros((1, 3, 16, 16)))
+                assert status == 413
+
+    def test_double_start_rejected(self, front_door):
+        door, _ = front_door
+        with pytest.raises(RuntimeError):
+            door.start()
+
+    def test_stop_is_idempotent(self, mild_model):
+        scheduler = Scheduler(batch_window_ms=5.0)
+        scheduler.register("default", mild_model)
+        door = FrontDoor(scheduler).start()
+        door.stop()
+        assert door.stop() == []            # second stop: clean no-op
+        assert scheduler._thread is None    # managed thread came down
+
+
+class TestConcurrentClients:
+    def test_parallel_submit_and_wait(self, front_door, tiny_dataset):
+        """Many clients with held-open waits at once: the wait pool and
+        keep-alive handling must not serialize or drop anyone."""
+        door, _ = front_door
+        outcomes = {}
+
+        def one(worker):
+            with FrontDoorClient("127.0.0.1", door.port) as client:
+                _, payload = client.submit(num_images=1, seed=worker)
+                status, result = client.result(payload["request_id"],
+                                               wait=True, timeout_ms=20_000)
+                outcomes[worker] = (status, result["status"])
+
+        threads = [threading.Thread(target=one, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert outcomes == {i: (200, "done") for i in range(8)}
+
+
+class TestTwoTierOverHttp:
+    def test_bursty_two_tier_replay(self, mild_model, aggressive_model):
+        """The acceptance run, over real sockets: a bursty two-tier
+        trace replayed through the load generator; class 0 keeps its
+        (generous, real-clock) deadlines while admission control
+        degrades and sheds class 1."""
+        # Sized to stay overloaded even on a slow box: the batch window
+        # (200 ms) far exceeds any realistic burst-submission span, so
+        # backlog accumulates across bursts no matter how slowly the
+        # client drips them in, while the premium tier keeps >= 150 ms
+        # of deadline headroom (window flush at +200 ms vs 400 ms SLO).
+        scheduler = Scheduler(batch_window_ms=200.0,
+                              router=HighestFidelityRouter(),
+                              deadline_margin_ms=150.0,
+                              priority_tiers={0: 400.0, 1: 2000.0})
+        mild = scheduler.register("mild", mild_model)
+        scheduler.register("aggressive", aggressive_model)
+        scheduler.admission_capacity_ms = mild.batch_cost_ms(4)
+        trace = two_tier_trace(duration_ms=240.0, premium_period_ms=20.0,
+                               bulk_burst_size=20, bulk_burst_period_ms=60.0,
+                               seed=9)
+        with FrontDoor(scheduler, poll_ms=0.5) as door:
+            with FrontDoorClient("127.0.0.1", door.port) as client:
+                outcomes = replay(trace, client.submit_trace_request)
+                queued, shed = [], []
+                for request, outcome in outcomes:
+                    status, payload = outcome
+                    if status == 200:
+                        queued.append((request, payload["request_id"]))
+                    else:
+                        assert status == 429
+                        assert payload["status"] == "shed"
+                        assert request.priority == 1    # never class 0
+                        shed.append(request)
+                results = {}
+                for request, request_id in queued:
+                    status, result = client.result(request_id, wait=True,
+                                                   timeout_ms=30_000)
+                    assert status == 200
+                    results[request_id] = (request, result)
+                _, stats = client.stats()
+        # Overload really happened and was admission-controlled.
+        assert shed, "burst sizing no longer trips admission control"
+        assert stats["classes"]["1"]["shed"] == len(shed)
+        assert stats["classes"]["1"]["degraded"] > 0
+        assert stats["server"]["shed"] == len(shed)
+        # Every admitted request completed; premium all admitted.
+        premium = [(req, res) for req, res in results.values()
+                   if req.priority == 0]
+        assert len(premium) == 12
+        hits = sum(res["deadline_met"] for _, res in premium)
+        assert hits / len(premium) >= 0.95
+        # Degraded bulk really ran on the cheaper operating point.
+        bulk_sessions = {res["session"] for req, res in results.values()
+                        if req.priority == 1}
+        assert "aggressive" in bulk_sessions

@@ -446,3 +446,79 @@ class TestQuantizedPooledServing:
         logits = np.concatenate([results[first].logits,
                                  results[second].logits])
         assert logits.tobytes() == reference.tobytes()
+
+
+class TestDispatchCloseRace:
+    """Regression: ``dispatch`` used to read ``self._closed`` and touch
+    the task queues with no synchronization against ``close()``, so a
+    dispatcher racing a shutdown could enqueue into a released queue
+    (raising ``ValueError``/``OSError`` from multiprocessing internals,
+    or silently losing the task).  Both are now serialized on the
+    pool's state lock: a racing dispatch either lands before the close
+    or fails cleanly with ``RuntimeError("worker pool is closed")``."""
+
+    def test_concurrent_dispatch_and_close(self, served_model, images):
+        session = InferenceSession(served_model, batch_size=4)
+        pool = WorkerPool(session, 1, ctx="fork")
+        unexpected = []
+        dispatched = []
+        overlapped = threading.Event()
+
+        def hammer():
+            for task_id in range(200):
+                try:
+                    pool.dispatch(task_id, [images[:1]], 0)
+                    dispatched.append(task_id)
+                except RuntimeError:
+                    break                   # clean "pool is closed"
+                except Exception as exc:    # the pre-fix failure mode
+                    unexpected.append(exc)
+                    break
+                if len(dispatched) >= 5:
+                    overlapped.set()        # real overlap reached
+            overlapped.set()
+
+        stop_polling = threading.Event()
+
+        def drain():
+            # Keep the result pipe drained so the worker can always
+            # make progress toward the shutdown sentinel.
+            while not stop_polling.is_set():
+                try:
+                    pool.poll(timeout_s=0.05)
+                except Exception:
+                    return
+
+        thread = threading.Thread(target=hammer)
+        drainer = threading.Thread(target=drain)
+        thread.start()
+        drainer.start()
+        overlapped.wait(timeout=30.0)
+        pool.close()
+        thread.join()
+        stop_polling.set()
+        drainer.join()
+        assert unexpected == []
+        assert pool.closed
+        assert pool.alive_workers() == []
+
+    def test_shutdown_while_stepping(self, served_model, images):
+        """Scheduler-level version: the background stepping thread is
+        mid-dispatch when ``shutdown`` runs.  Shutdown must win cleanly
+        -- no exception escapes the stepper, every admitted request
+        either completes or is returned by the drain, and no worker
+        process survives."""
+        scheduler = Scheduler(clock=SystemClock(), batch_window_ms=0.0)
+        scheduler.register("tiny", served_model, batch_size=16,
+                           workers=2, worker_ctx="fork")
+        scheduler.start(poll_ms=0.1)
+        submitted = [scheduler.submit(images[i % images.shape[0]])
+                     for i in range(20)]
+        drained = scheduler.shutdown(drain=True)
+        collected = {r.request_id for r in drained}
+        for request_id in submitted:
+            result = scheduler.pop_result(request_id)
+            assert request_id in collected or result is not None
+        assert scheduler.sessions[0].pool.closed
+        assert scheduler.sessions[0].pool.alive_workers() == []
+        assert scheduler._thread is None
