@@ -48,10 +48,11 @@ import time
 
 import numpy as np
 
-from bench_engine_throughput import time_round_robin
+from bench_engine_throughput import bucket_plan_diff, time_round_robin
 from repro.core import HeatViT
+from repro.cost import OnlineCostModel
 from repro.data import SyntheticConfig, generate_dataset
-from repro.engine import InferenceSession
+from repro.engine import BucketingPolicy, InferenceSession
 from repro.hardware.latency_table import (FINE_KEEP_RATIO_GRID,
                                           build_cost_model,
                                           simulated_model_batch_ms)
@@ -168,6 +169,85 @@ def run_worker_sweep(model, cost_model, params, counts, backend, repeats):
         "cpu_count": os.cpu_count(),
         "counts": {str(workers): stats
                    for workers, stats in sweep.items()},
+    }
+
+
+def run_learned_vs_static(model, images, cost_model, warm=4, evals=4):
+    """Flush-latency prediction shootout on live scheduler traffic.
+
+    One scheduler serves bursts with ``learn_cost=True`` (its online
+    cost model refits on measured flush walls); a twin serves the same
+    bursts from the static table.  After ``warm`` warm-up bursts, each
+    of ``evals`` more records the models' flush predictions next to
+    the measured flush wall -- the MAPE pair CI gates (the learned
+    model must predict host latency at least as well as the
+    simulator-calibrated table).  Burst throughput of both schedulers
+    is timed round-robin and recorded, ungated.
+    """
+    requests = images.shape[0]
+
+    def make(learn):
+        scheduler = Scheduler(clock=VirtualClock(), batch_window_ms=10.0)
+        served = scheduler.register(
+            "default", model, batch_size=requests, max_batch=requests,
+            cost_model=(OnlineCostModel(cost_model, min_samples=warm)
+                        if learn else cost_model),
+            learn_cost=learn)
+        return scheduler, served
+
+    def burst(scheduler):
+        for i in range(requests):
+            scheduler.submit(images[i])
+        start = time.perf_counter()
+        results = scheduler.flush()
+        return (time.perf_counter() - start) * 1e3, results
+
+    learned_sched, learned_served = make(learn=True)
+    static_sched, static_served = make(learn=False)
+    static_ms = static_served.batch_cost_ms(requests)
+    for _ in range(warm):
+        burst(learned_sched)
+        burst(static_sched)
+    flushes = []
+    for _ in range(evals):
+        learned_ms = learned_served.batch_cost_ms(requests)
+        wall_ms, results = burst(learned_sched)
+        flushes.append({"num_images": requests, "measured_ms": wall_ms,
+                        "static_ms": static_ms, "learned_ms": learned_ms})
+    static_mape = float(np.mean(
+        [abs(f["static_ms"] - f["measured_ms"]) / f["measured_ms"]
+         for f in flushes]))
+    learned_mape = float(np.mean(
+        [abs(f["learned_ms"] - f["measured_ms"]) / f["measured_ms"]
+         for f in flushes]))
+    # Burst throughput with learned re-planning vs the static baseline
+    # (round-robin so host drift hits both lanes equally).
+    times, _ = time_round_robin(
+        [("learned", lambda: burst(learned_sched)),
+         ("static", lambda: burst(static_sched))], evals, warmup=1)
+    # Mixed-length bucket plans: the distribution a multi-operating-
+    # point mix hands the planner (one burst is a single length and
+    # plans trivially identically).
+    candidates = {int(model.config.num_tokens)}
+    for stage in results[0].tokens_per_stage:
+        candidates.update(int(v) for v in np.unique(stage))
+    lengths = np.repeat(sorted(candidates), 8)
+    return {
+        "burst_requests": requests,
+        "warmup_bursts": warm,
+        "eval_bursts": evals,
+        "static_mape": static_mape,
+        "learned_mape": learned_mape,
+        "per_flush": flushes,
+        "coefficients": learned_served.cost_model.coefficients(),
+        "bucket_plan": bucket_plan_diff(
+            BucketingPolicy(), cost_model,
+            learned_served.cost_model, lengths),
+        "throughput": {
+            "learned_requests_per_s": requests / times["learned"],
+            "static_requests_per_s": requests / times["static"],
+            "learned_vs_static": times["static"] / times["learned"],
+        },
     }
 
 
@@ -306,6 +386,27 @@ def main(argv=None):
           f"({100 * flush_error:.1f}% error)")
 
     # ------------------------------------------------------------------
+    # Online cost model vs the static table: flush-latency prediction
+    # MAPE (gated: learned must not predict worse than static) and
+    # burst throughput with learned re-planning (recorded, ungated).
+    # ------------------------------------------------------------------
+    learned_vs_static = run_learned_vs_static(model, images, cost_model)
+    plan = learned_vs_static["bucket_plan"]
+    throughput = learned_vs_static["throughput"]
+    print(f"\nlearned vs static flush MAPE: "
+          f"{100 * learned_vs_static['learned_mape']:.1f}% vs "
+          f"{100 * learned_vs_static['static_mape']:.1f}%   "
+          f"burst throughput learned/static: "
+          f"{throughput['learned_vs_static']:.2f}x   "
+          f"mixed-length plans identical: {plan['identical']}")
+    if learned_vs_static["learned_mape"] > learned_vs_static["static_mape"]:
+        failures.append(
+            f"learned cost model predicts flush latency worse than the "
+            f"static table: MAPE "
+            f"{100 * learned_vs_static['learned_mape']:.1f}% > "
+            f"{100 * learned_vs_static['static_mape']:.1f}%")
+
+    # ------------------------------------------------------------------
     # Multi-worker sweep: N executor processes vs in-process execution.
     # ------------------------------------------------------------------
     worker_counts = sorted({int(w) for w in args.workers.split(",") if w})
@@ -380,6 +481,7 @@ def main(argv=None):
             "predicted_flush_ms": predicted_ms,
             "measured_sim_flush_ms": measured_ms,
             "prediction_error": flush_error,
+            "learned_vs_static": learned_vs_static,
         }
         if worker_sweep is not None:
             payload["workers"] = worker_sweep

@@ -6,10 +6,15 @@ estimates, the scheduler's budget/deadline flushes, and both request
 routers.  Calibrated instances come from
 :func:`repro.hardware.latency_table.build_cost_model`;
 :func:`paper_cost_model` is the degenerate zero-overhead instance built
-from the paper's measured Table IV.
+from the paper's measured Table IV.  :class:`OnlineCostModel` wraps any
+of them and refits per-batch overhead + per-image marginal online from
+measured host wall time (see :mod:`repro.cost.online`).
 """
 
 from repro.cost.model import (BatchCost, BatchPlan, CostModel,
                               paper_cost_model)
+from repro.cost.online import (OnlineCostModel, OnlineEstimator,
+                               keep_ratio_bucket)
 
-__all__ = ["BatchPlan", "BatchCost", "CostModel", "paper_cost_model"]
+__all__ = ["BatchPlan", "BatchCost", "CostModel", "paper_cost_model",
+           "OnlineCostModel", "OnlineEstimator", "keep_ratio_bucket"]

@@ -46,6 +46,7 @@ Two compute **backends** execute the plan:
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -67,11 +68,18 @@ BACKENDS = ("tensor", "fastpath", "int8", "int16")
 
 @dataclass
 class StageStats:
-    """Bucketing telemetry for the block run after one selector stage."""
+    """Bucketing telemetry for the block run after one selector stage.
+
+    ``wall_ms`` is the measured host wall time of the stage's block
+    executions (summed over its buckets); zero unless the executor's
+    cost model learns online (timing is only taken when something
+    consumes it).
+    """
 
     num_buckets: int
     bucket_sizes: list
     padded_tokens: int
+    wall_ms: float = 0.0
 
 
 @dataclass
@@ -156,8 +164,17 @@ class BucketedExecutor:
             self.workspace = None
         # Bucket plans are deterministic in (lengths, policy, cost
         # model); steady traffic repeats length distributions, so cache
-        # the planner's output per distribution.
+        # the planner's output per distribution.  The key includes the
+        # policy and the cost model's drift version: an online model
+        # that has significantly refit bumps its version, invalidating
+        # every cached plan at once -- stable coefficients keep stable
+        # shapes cached across thousands of samples.
         self._plan_cache = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        # Per-bucket wall timing is only taken when the cost model can
+        # consume it (an online model refitting bucket pricing).
+        self._observe_buckets = hasattr(cost_model, "observe_bucket")
 
     # ------------------------------------------------------------------
     def run(self, images, record=None):
@@ -182,17 +199,36 @@ class BucketedExecutor:
         recording_off = (suppress_attention_recording(
             block.attn for block in model.backbone.blocks)
             if self.backend == "tensor" else nullcontext())
+        observe = self._observe_buckets
         with recording_off, nn.no_grad():
             x = self._embed(images)                       # (B, 1+N, D)
             groups = [_Group(x, None, None, np.arange(batch),
                              np.full(batch, x.shape[1]),
                              np.zeros(batch, dtype=bool))]
+            segment = self._segment_start(groups) if observe else None
             for block_index, block in enumerate(model.backbone.blocks):
                 if block_index in selector_pos:
+                    if observe:
+                        self._segment_flush(segment)
                     groups = self._apply_selector(
                         selector_pos[block_index], groups, batch, result)
-                groups = [self._run_block(block_index, group)
-                          for group in groups]
+                    if observe:
+                        segment = self._segment_start(
+                            groups, result.stage_stats[-1])
+                if observe:
+                    # Timed variant of the block sweep below: per-bucket
+                    # wall time is the online cost model's bucket-pricing
+                    # signal.  _run_block mutates the group in place.
+                    for row, group in enumerate(groups):
+                        tick = time.perf_counter()
+                        self._run_block(block_index, group)
+                        segment["walls"][row] += time.perf_counter() - tick
+                    segment["blocks"] += 1
+                else:
+                    groups = [self._run_block(block_index, group)
+                              for group in groups]
+            if observe:
+                self._segment_flush(segment)
             for group in groups:
                 result.logits[group.indices] = self._classify(group.x)
         if record is not None:
@@ -229,6 +265,36 @@ class BucketedExecutor:
         images = (non_empty[0] if len(non_empty) == 1
                   else np.concatenate(non_empty, axis=0))
         return self.run(images, record=record), slices
+
+    # ------------------------------------------------------------------
+    # Per-bucket wall timing (the online cost model's bucket signal)
+    # ------------------------------------------------------------------
+    def _segment_start(self, groups, stats=None):
+        """Open one timing segment: the stretch of blocks between two
+        selector boundaries, over a fixed set of bucket groups.  Shapes
+        are captured now because groups mutate in place as blocks run."""
+        return {
+            "shapes": [(int(group.x.shape[1]), int(group.indices.size))
+                       for group in groups],
+            "walls": [0.0] * len(groups),
+            "blocks": 0,
+            "stats": stats,
+        }
+
+    def _segment_flush(self, segment):
+        """Close a segment: feed each bucket's measured wall time to
+        the online cost model and stamp the stage's telemetry."""
+        if segment is None or segment["blocks"] == 0:
+            return
+        total_ms = 0.0
+        for (padded_length, num_images), wall_s in zip(segment["shapes"],
+                                                       segment["walls"]):
+            wall_ms = wall_s * 1e3
+            total_ms += wall_ms
+            self.cost_model.observe_bucket(
+                padded_length, num_images, segment["blocks"], wall_ms)
+        if segment["stats"] is not None:
+            segment["stats"].wall_ms = total_ms
 
     # ------------------------------------------------------------------
     # Backend dispatch
@@ -357,14 +423,19 @@ class BucketedExecutor:
                 stage_counts[image] = gathered[row].shape[0]
         result.tokens_per_stage.append(stage_counts)
         lengths = np.array([s.shape[0] for s in sequences])
-        cache_key = lengths.tobytes()
+        cache_key = (self.policy,
+                     getattr(self.cost_model, "version", None),
+                     lengths.tobytes())
         plans = self._plan_cache.get(cache_key)
         if plans is None:
+            self.plan_cache_misses += 1
             plans = plan_buckets(lengths, self.policy,
                                  cost_model=self.cost_model)
             if len(self._plan_cache) >= 256:       # bound the cache
                 self._plan_cache.pop(next(iter(self._plan_cache)))
             self._plan_cache[cache_key] = plans
+        else:
+            self.plan_cache_hits += 1
         result.stage_stats.append(StageStats(
             num_buckets=len(plans),
             bucket_sizes=[int(p.indices.size) for p in plans],

@@ -32,13 +32,13 @@ from __future__ import annotations
 
 import math
 import time
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.latency import LatencySparsityTable
-from repro.cost import BatchPlan, CostModel
+from repro.cost import (BatchPlan, CostModel, OnlineCostModel,
+                        keep_ratio_bucket)
 from repro.engine.bucketing import BucketingPolicy, pack_groups
 from repro.engine.executor import BucketedExecutor
 from repro.hardware.latency_table import build_cost_model
@@ -108,11 +108,17 @@ class InferenceSession:
         while keeping identical token-keep decisions.
     dtype: fast-path compute dtype (``float32`` default / ``float64``);
         only valid with ``backend="fastpath"``.
+    learn_cost: wrap the resolved cost model in a
+        :class:`repro.cost.OnlineCostModel` so the session refits batch
+        pricing from its own measured wall times.  Passing an
+        ``OnlineCostModel`` as ``cost_model`` enables learning the same
+        way (and preserves any state it already carries -- the worker
+        rebuild path); ``learn_cost=True`` is then a no-op.
     """
 
     def __init__(self, model, batch_size=32, policy=None,
                  cost_model=None, latency_table=None,
-                 backend="tensor", dtype=None):
+                 backend="tensor", dtype=None, learn_cost=False):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if cost_model is not None and latency_table is not None:
@@ -135,7 +141,10 @@ class InferenceSession:
                     name=f"table-{model.config.name}")
         if not isinstance(cost_model, CostModel):
             raise TypeError("cost_model must be a repro.cost.CostModel")
+        if learn_cost and not isinstance(cost_model, OnlineCostModel):
+            cost_model = OnlineCostModel(cost_model)
         self.cost_model = cost_model
+        self.learns_cost = isinstance(cost_model, OnlineCostModel)
         self.executor = BucketedExecutor(model, self.policy,
                                          cost_model=cost_model,
                                          backend=backend, dtype=dtype)
@@ -143,6 +152,15 @@ class InferenceSession:
         self.dtype = self.executor.dtype
         self._estimated_latency = None
         self._estimate_version = None
+        if self.learns_cost:
+            self._bind_cost_key()
+
+    def _bind_cost_key(self):
+        """Point the online cost model at this session's operating
+        point: one (backend, dtype, keep-ratio bucket) key learns one
+        batch law.  Re-bound whenever the keep ratios retune."""
+        self.cost_model.bind((self.backend, self.dtype.name,
+                              keep_ratio_bucket(self.model.keep_ratios)))
 
     @property
     def latency_table(self):
@@ -168,19 +186,9 @@ class InferenceSession:
                 config.depth, self.model.selector_blocks,
                 self.model.keep_ratios)
             self._estimate_version = version
+            if self.learns_cost:
+                self._bind_cost_key()
         return self._estimated_latency
-
-    @property
-    def estimated_image_latency_ms(self):
-        """Deprecated scalar hot path: use :meth:`marginal_image_ms`
-        (the marginal term) or :meth:`estimated_batch_cost` (the full
-        batch price, overhead included) instead."""
-        warnings.warn(
-            "estimated_image_latency_ms is deprecated; use "
-            "marginal_image_ms for the per-image marginal or "
-            "estimated_batch_cost for batch pricing",
-            DeprecationWarning, stacklevel=2)
-        return self.marginal_image_ms
 
     def estimated_batch_cost(self, num_images):
         """Price an ``num_images``-image submission on this session.
@@ -271,6 +279,13 @@ class InferenceSession:
             if was_training:
                 self.model.train()
         elapsed = time.perf_counter() - start
+        if self.learns_cost and batch:
+            # The whole-submission measurement the online model refits
+            # batch pricing from: `batch` images through
+            # len(chunk_results) executor launches in `elapsed` wall.
+            self._bind_cost_key()             # track keep-ratio retunes
+            self.cost_model.observe_batch(
+                batch, elapsed * 1e3, num_batches=len(chunk_results))
         result = self._merge(chunk_results, batch, elapsed)
         if record is not None and result.tokens_per_stage:
             self.model.finalize_pruned_record(record,

@@ -8,12 +8,20 @@ completion time, where a worker's prediction is
 ``completion = max(now, worker_free_at) + calibration * cost_model_ms``
 
 -- its in-flight backlog plus the batch's :class:`repro.cost.CostModel`
-estimate, corrected by an **online calibration** factor learned from
-the worker's own measured kernel timings (an EWMA of measured over
-predicted, the self-adaptive layer over the static FPGA-simulator fit;
-cf. SAWL's measured-cost policy tuning).  Heterogeneous workers -- a
-loaded core, a slower NUMA node -- therefore drift toward receiving
-less work without any configuration.
+estimate, corrected by **per-worker online learning** from the worker's
+own measured kernel timings (cf. SAWL's measured-cost policy tuning).
+Heterogeneous workers -- a loaded core, a slower NUMA node -- therefore
+drift toward receiving less work without any configuration.
+
+Each worker owns a full :class:`repro.cost.OnlineEstimator`: a decaying
+recursive-least-squares fit of ``wall_ms = overhead + marginal *
+num_images`` over the shapes and timings its replies carried.  Until an
+estimator reaches its sample threshold (and whenever a caller places by
+bare scalar cost, without a batch shape) the legacy calibration EWMA --
+measured over predicted -- answers instead, so the scalar path's exact
+arithmetic is preserved.  A confident estimator separates what the EWMA
+conflates: a worker that is slow *per launch* stops distorting the
+predictions for large batches, and vice versa.
 
 The policy is a pure function of the times it is handed (no wall-clock
 reads), so the unit suite drives it with a virtual clock and asserts
@@ -23,6 +31,8 @@ placement decisions exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.cost import OnlineEstimator
 
 __all__ = ["PlacementPolicy", "Placement"]
 
@@ -34,8 +44,11 @@ class Placement:
     ``raw_ms`` is the uncalibrated cost-model estimate, ``predicted_ms``
     the calibrated one actually charged to the worker's backlog;
     ``start_ms`` / ``completion_ms`` bound the predicted execution
-    window.  Pass the ticket back to :meth:`PlacementPolicy.complete`
-    when the batch finishes.
+    window.  ``num_images`` is the batch shape the prediction priced
+    (``None`` for bare scalar placements), which
+    :meth:`PlacementPolicy.complete` feeds to the worker's learned
+    estimator together with the measured time.  Pass the ticket back to
+    :meth:`PlacementPolicy.complete` when the batch finishes.
     """
 
     worker: int
@@ -43,6 +56,7 @@ class Placement:
     predicted_ms: float
     start_ms: float
     completion_ms: float
+    num_images: int = None
 
 
 class PlacementPolicy:
@@ -56,10 +70,15 @@ class PlacementPolicy:
         :meth:`~repro.cost.CostModel.completion_ms` (same arithmetic,
         single pricing implementation).
     smoothing: EWMA weight of each new measured/predicted observation
-        (the first observation seeds the factor directly).
+        (the first observation seeds the factor directly).  The EWMA is
+        the fallback layer under the learned per-worker estimators.
+    min_samples: shaped observations a worker's learned estimator needs
+        before it answers instead of the calibration EWMA.
+    forgetting: the learned estimators' RLS decay factor.
     """
 
-    def __init__(self, num_workers, cost_model=None, smoothing=0.25):
+    def __init__(self, num_workers, cost_model=None, smoothing=0.25,
+                 min_samples=8, forgetting=0.98):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if not 0.0 < smoothing <= 1.0:
@@ -71,6 +90,9 @@ class PlacementPolicy:
         self._calibration = [1.0] * self.num_workers
         self._in_flight = [0] * self.num_workers
         self._observations = [0] * self.num_workers
+        self._estimators = [
+            OnlineEstimator(forgetting=forgetting, min_samples=min_samples)
+            for _ in range(self.num_workers)]
 
     # ------------------------------------------------------------------
     @property
@@ -89,15 +111,31 @@ class PlacementPolicy:
         """Per-worker count of measured timings folded into calibration."""
         return tuple(self._observations)
 
-    def predicted_ms(self, worker, raw_cost_ms):
-        """Calibrated execution-time prediction for one batch."""
+    def estimator(self, worker):
+        """The worker's learned :class:`repro.cost.OnlineEstimator`."""
+        return self._estimators[worker]
+
+    def predicted_ms(self, worker, raw_cost_ms, num_images=None):
+        """Execution-time prediction for one batch on ``worker``.
+
+        With a batch shape (``num_images``) and a confident learned
+        estimator, the worker's own fitted ``overhead + marginal * n``
+        law answers; otherwise the calibration EWMA scales the raw
+        cost-model estimate (the exact pre-learning arithmetic)."""
+        estimator = self._estimators[worker]
+        if num_images is not None and estimator.confident:
+            return estimator.predict(num_images, launches=1.0)
         return self._calibration[worker] * float(raw_cost_ms)
 
-    def completion_ms(self, worker, raw_cost_ms, now_ms=0.0):
+    def completion_ms(self, worker, raw_cost_ms, now_ms=0.0,
+                      num_images=None):
         """Predicted completion time of a batch dispatched to ``worker``
         now: its backlog (bounded below by ``now_ms``) plus the
-        calibrated batch estimate."""
+        predicted batch execution time."""
         backlog = max(float(now_ms), self._free_at[worker])
+        estimator = self._estimators[worker]
+        if num_images is not None and estimator.confident:
+            return backlog + estimator.predict(num_images, launches=1.0)
         if self.cost_model is not None:
             return self.cost_model.completion_ms(
                 float(raw_cost_ms), backlog_ms=backlog,
@@ -105,26 +143,35 @@ class PlacementPolicy:
         return backlog + self.predicted_ms(worker, raw_cost_ms)
 
     # ------------------------------------------------------------------
-    def assign(self, raw_cost_ms, now_ms=0.0):
+    def assign(self, raw_cost_ms, now_ms=0.0, num_images=None):
         """Place one batch; returns the :class:`Placement` ticket.
 
         Picks the worker with the lowest predicted completion time
         given its in-flight queue (ties break toward the lowest worker
         index, so placement is deterministic) and charges the batch to
-        that worker's backlog.
+        that worker's backlog.  Pass the batch shape (``num_images``)
+        so workers with confident learned estimators price it from
+        their own fitted batch law -- and so :meth:`complete` can feed
+        the shape back to the estimator with the measured time.
         """
         if raw_cost_ms < 0:
             raise ValueError("raw_cost_ms must be >= 0")
+        if num_images is not None and num_images < 0:
+            raise ValueError("num_images must be >= 0")
         worker = min(range(self.num_workers),
                      key=lambda w: (self.completion_ms(w, raw_cost_ms,
-                                                       now_ms), w))
+                                                       now_ms, num_images),
+                                    w))
         start = max(float(now_ms), self._free_at[worker])
-        completion = self.completion_ms(worker, raw_cost_ms, now_ms)
+        completion = self.completion_ms(worker, raw_cost_ms, now_ms,
+                                        num_images)
         self._free_at[worker] = completion
         self._in_flight[worker] += 1
         return Placement(worker=worker, raw_ms=float(raw_cost_ms),
                          predicted_ms=completion - start,
-                         start_ms=start, completion_ms=completion)
+                         start_ms=start, completion_ms=completion,
+                         num_images=(None if num_images is None
+                                     else int(num_images)))
 
     def complete(self, placement, now_ms=None, measured_ms=None):
         """Retire a ticket; fold the measured execution time into the
@@ -132,10 +179,12 @@ class PlacementPolicy:
 
         ``measured_ms`` is the worker's host-measured batch execution
         time; when given, the worker's calibration EWMA moves toward
-        ``measured / raw`` and the worker's backlog is corrected by the
-        prediction error.  ``now_ms`` (when known) lets an emptied
-        worker's backlog collapse to the present instead of carrying a
-        stale prediction.
+        ``measured / raw``, the worker's learned estimator folds in the
+        ``(num_images, measured)`` sample (tickets that carried a batch
+        shape), and the worker's backlog is corrected by the prediction
+        error.  ``now_ms`` (when known) lets an emptied worker's
+        backlog collapse to the present instead of carrying a stale
+        prediction.
         """
         worker = placement.worker
         if self._in_flight[worker] < 1:
@@ -151,6 +200,10 @@ class PlacementPolicy:
                 self._calibration[worker] = (
                     (1.0 - a) * self._calibration[worker] + a * ratio)
             self._observations[worker] += 1
+            if placement.num_images:
+                self._estimators[worker].observe(
+                    placement.num_images, max(float(measured_ms), 0.0),
+                    launches=1.0)
         if now_ms is not None:
             if self._in_flight[worker] == 0:
                 self._free_at[worker] = float(now_ms)
@@ -167,6 +220,13 @@ class PlacementPolicy:
             "calibration": self.calibration,
             "in_flight": self.in_flight,
             "observations": self.observations,
+            "learned": tuple(
+                {"overhead_ms": est.overhead_ms,
+                 "marginal_ms": est.marginal_ms,
+                 "samples": est.count,
+                 "confident": est.confident,
+                 "variance_ms2": est.variance_ms2}
+                for est in self._estimators),
         }
 
     def __repr__(self):

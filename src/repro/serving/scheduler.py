@@ -280,7 +280,7 @@ class Scheduler:
     def register(self, name, model=None, *, session=None, batch_size=32,
                  policy=None, cost_model=None, latency_table=None,
                  max_batch=None, backend="tensor", dtype=None,
-                 workers=1, worker_ctx="spawn"):
+                 workers=1, worker_ctx="spawn", learn_cost=False):
         """Register a serving target under ``name``.
 
         Pass either a ready :class:`InferenceSession` or a HeatViT
@@ -311,6 +311,17 @@ class Scheduler:
         :class:`repro.engine.SessionSpec` when possible).  Call
         :meth:`shutdown` (or use the scheduler as a context manager) to
         join the pools deterministically.
+
+        ``learn_cost=True`` builds the session with an online cost
+        model (:class:`repro.cost.OnlineCostModel` around the resolved
+        static model): every flush trigger, budget pop, admission
+        check, and routing decision for this target then prices from
+        coefficients refit against measured host wall time -- the
+        in-process path observes its own ``submit_many`` timings, and
+        multi-worker targets additionally fold every worker reply's
+        shape + timing into the parent's model.  Prediction only:
+        logits are unchanged.  A ready ``session`` must be built with
+        ``learn_cost=True`` itself.
         """
         if (model is None) == (session is None):
             raise ValueError("pass exactly one of model= or session=")
@@ -321,7 +332,12 @@ class Scheduler:
                                        policy=policy,
                                        cost_model=cost_model,
                                        latency_table=latency_table,
-                                       backend=backend, dtype=dtype)
+                                       backend=backend, dtype=dtype,
+                                       learn_cost=learn_cost)
+        elif learn_cost and not session.learns_cost:
+            raise ValueError(
+                "learn_cost=True with a ready session: build the "
+                "session with InferenceSession(..., learn_cost=True)")
         max_batch = session.batch_size if max_batch is None else int(max_batch)
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -740,7 +756,8 @@ class Scheduler:
                                           served.pool.num_workers):
             num_images = sum(r.num_images for r in shard)
             raw_ms = served.batch_cost_ms(num_images)
-            ticket = served.placement.assign(raw_ms, now_ms=now)
+            ticket = served.placement.assign(raw_ms, now_ms=now,
+                                             num_images=num_images)
             with self._results_cond:
                 task_id = self._next_task_id
                 self._next_task_id += 1
@@ -853,6 +870,15 @@ class Scheduler:
                 f"{reply.tb}")
         served.placement.complete(inflight.ticket, now_ms=now,
                                   measured_ms=reply.wall_time_s * 1e3)
+        # Worker replies are measurements too: fold the shard's shape +
+        # timing into the parent session's online cost model, so flush
+        # and admission pricing for this target learns from the whole
+        # pool, not only from in-process executions.
+        if served.session.learns_cost and reply.num_images:
+            chunks = -(-reply.num_images // served.session.batch_size)
+            served.session.cost_model.observe_batch(
+                reply.num_images, reply.wall_time_s * 1e3,
+                num_batches=chunks)
         completed, offset = [], 0
         for request in inflight.requests:
             rows = slice(offset, offset + request.num_images)

@@ -78,8 +78,11 @@ class WorkerReply:
     ``kind`` is ``"ready"`` (startup handshake), ``"result"`` (a
     completed batch) or ``"error"``.  Results carry the merged batch
     arrays in submission order -- the parent re-slices them per request
-    -- plus ``wall_time_s``, the worker's measured host execution time
-    (the online-calibration signal).
+    -- plus the shard's shape and timing: ``num_images`` and
+    ``wall_time_s``, the worker's measured host execution time.  The
+    pair is the online-learning signal -- it feeds both the placement
+    policy's per-worker estimator and the parent session's
+    :class:`repro.cost.OnlineCostModel` (when cost learning is on).
     """
 
     kind: str
@@ -89,6 +92,7 @@ class WorkerReply:
     tokens_per_stage: list = field(default_factory=list)
     latency_ms: np.ndarray = None
     wall_time_s: float = 0.0
+    num_images: int = 0
     error: str = None
     tb: str = None
 
@@ -144,7 +148,8 @@ def _run_worker(worker_index, payload, task_queue,
                 logits=result.logits,
                 tokens_per_stage=result.tokens_per_stage,
                 latency_ms=result.latency_ms,
-                wall_time_s=result.wall_time_s))
+                wall_time_s=result.wall_time_s,
+                num_images=int(result.logits.shape[0])))
         except Exception as exc:
             result_queue.put(WorkerReply(
                 kind="error", worker=worker_index, task_id=task_id,

@@ -252,14 +252,6 @@ class TestSessionResult:
         model.set_keep_ratios([0.6])
         assert session.marginal_image_ms == loose
 
-    def test_estimated_image_latency_ms_deprecated(self, tiny_backbone):
-        """The scalar hot path still answers (the marginal) but warns."""
-        model = make_model(tiny_backbone, {1: 0.6})
-        session = InferenceSession(model, batch_size=8)
-        with pytest.deprecated_call():
-            value = session.estimated_image_latency_ms
-        assert value == session.marginal_image_ms
-
     def test_estimated_batch_latency_includes_chunk_overheads(
             self, tiny_backbone):
         """Batch pricing pays one per-batch overhead per executor chunk

@@ -1,0 +1,69 @@
+"""Consistency of the committed benchmark JSON artifacts.
+
+The BENCH_*.json files are the machine-readable perf trajectory; CI
+uploads them and humans quote them.  Every recorded gate number must
+travel with the threshold and reference that judged it, and the pair
+must actually be consistent -- a recorded ``top1_agreement_vs_f64:
+0.9375`` next to a documented 0.95 gate reads as a failure unless the
+file says which gate applied.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def load(name):
+    path = ROOT / name
+    if not path.exists():
+        pytest.skip(f"{name} not present (bench not run here)")
+    with open(path) as handle:
+        return json.load(handle)
+
+
+class TestEngineBenchJson:
+    def test_quant_gate_records_its_threshold_and_passes(self):
+        gate = load("BENCH_engine.json")["quant_gate"]
+        assert gate["top1_reference"] == "fastpath-f64"
+        assert gate["top1_threshold"] == pytest.approx(0.90)
+        assert gate["top1_agreement_vs_f64"] >= gate["top1_threshold"]
+        assert gate["top1_gate_passed"] is True
+
+    def test_int8_backend_records_its_own_gate(self):
+        """The per-backend agreement is a *different* gate (int8-f32 vs
+        its int8-f64 twin, 0.95) than the dense-shape quant_gate (vs
+        the float reference, 0.90) -- each number carries its own."""
+        entry = load("BENCH_engine.json")["backends"]["int8-f32"]
+        assert entry["top1_reference"] == "int8-f64"
+        assert entry["top1_threshold"] == pytest.approx(0.95)
+        assert entry["top1_agreement_vs_f64"] >= entry["top1_threshold"]
+        assert entry["top1_gate_passed"] is True
+
+    def test_learned_vs_static_section_shape(self):
+        section = load("BENCH_engine.json")["learned_vs_static"]
+        assert section["static_mape"] >= 0.0
+        assert section["learned_mape"] >= 0.0
+        assert len(section["per_flush"]) == section["eval_submits"]
+        for flush in section["per_flush"]:
+            assert flush["measured_ms"] > 0.0
+        plan = section["bucket_plan"]
+        assert plan["identical"] == (plan["static_plan"]
+                                     == plan["learned_plan"])
+        assert section["coefficients"]["batch_confident"] is True
+
+
+class TestSchedulerBenchJson:
+    def test_learned_mape_gate_holds(self):
+        """The CI gate's invariant, re-asserted on the committed file:
+        the learned model predicts measured flush latency at least as
+        well as the simulator-calibrated static table."""
+        section = load("BENCH_scheduler.json")["learned_vs_static"]
+        assert section["learned_mape"] <= section["static_mape"]
+        assert len(section["per_flush"]) == section["eval_bursts"]
+        throughput = section["throughput"]
+        assert throughput["learned_requests_per_s"] > 0.0
+        assert throughput["static_requests_per_s"] > 0.0
+        assert section["coefficients"]["batch_confident"] is True

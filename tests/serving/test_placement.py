@@ -193,5 +193,7 @@ class TestDeterminism:
         policy = PlacementPolicy(2)
         snapshot = policy.snapshot()
         assert set(snapshot) == {"free_at_ms", "calibration",
-                                 "in_flight", "observations"}
+                                 "in_flight", "observations", "learned"}
         assert np.all(np.asarray(snapshot["calibration"]) == 1.0)
+        assert all(not entry["confident"] and entry["samples"] == 0
+                   for entry in snapshot["learned"])
