@@ -24,18 +24,29 @@ gates the workers=2 speedup (CI runs 1.5x on the tiny config); on a
 single-CPU host the gate is skipped -- there is no parallel hardware
 for a second worker to use -- and recorded as skipped in the JSON.
 
+A third section, ``--chaos``, serves the same burst twice through a
+2-worker pool -- once healthy, once under a deterministic
+:class:`repro.serving.FaultPlan` that kills worker 0 on its first batch
+-- and gates recovery: every request must still complete (re-dispatched
+to the survivor and the respawned slot), the logits must be bitwise
+identical to the healthy run, and the recovery counters must record
+the respawn.  Recovery overhead (chaos wall vs healthy wall) and the
+full recovery telemetry land in the JSON.
+
 Besides the human-readable table it writes a machine-readable
 ``BENCH_scheduler.json`` (per-backend throughput, speedup, the
-scheduler's predicted-vs-simulator-measured flush latency error, and
-the ``workers`` sweep with per-count throughput and the placement
-policy's online calibration) so the perf trajectory is tracked across
-commits; CI uploads it as a workflow artifact.
+scheduler's predicted-vs-simulator-measured flush latency error, the
+``workers`` sweep with per-count throughput and the placement
+policy's online calibration, and the ``--chaos`` lane's recovery
+stats) so the perf trajectory is tracked across commits; CI uploads it
+as a workflow artifact.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scheduler_throughput.py
     PYTHONPATH=src python benchmarks/bench_scheduler_throughput.py --tiny  # CI smoke
     PYTHONPATH=src python benchmarks/bench_scheduler_throughput.py --workers 1,2,4
+    PYTHONPATH=src python benchmarks/bench_scheduler_throughput.py --tiny --chaos
 """
 
 from __future__ import annotations
@@ -172,6 +183,89 @@ def run_worker_sweep(model, cost_model, params, counts, backend, repeats):
     }
 
 
+def run_chaos_lane(model, cost_model, params, backend):
+    """Healthy vs chaos: the same burst with worker 0 scripted to die.
+
+    Both runs serve one burst of single-image requests through a
+    2-worker pool.  The chaos run's :class:`FaultPlan` kills worker 0
+    (``os._exit``) the moment it receives its first batch, stranding
+    half the burst mid-flight; the drain must recover it -- re-dispatch
+    to the survivor / the respawned slot -- with zero failed requests
+    and logits bitwise identical to the healthy run.  Returns the lane
+    stats plus a list of gate failures (empty on success).
+    """
+    from repro.serving import FaultPlan, FaultSpec, RecoveryPolicy, RetryPolicy
+
+    requests = params["worker_requests"]
+    rng = np.random.default_rng(321)
+    images = generate_dataset(
+        SyntheticConfig(image_size=params["image_size"], num_classes=8),
+        requests, rng).images
+    # Production-shaped policy with a benchmark-friendly respawn pace.
+    recovery = RecoveryPolicy(restart_backoff=RetryPolicy(
+        attempts=4, backoff_base_s=0.05, backoff_max_s=0.5))
+
+    def serve(fault_plan):
+        scheduler = Scheduler(clock=VirtualClock(), batch_window_ms=10.0)
+        scheduler.register("default", model, batch_size=requests,
+                           max_batch=requests, cost_model=cost_model,
+                           backend=backend, workers=2, recovery=recovery,
+                           fault_plan=fault_plan)
+        try:
+            ids = [scheduler.submit(images[i]) for i in range(requests)]
+            start = time.perf_counter()
+            results = {r.request_id: r
+                       for r in scheduler.drain(timeout_ms=600_000)}
+            wall = time.perf_counter() - start
+            stats = scheduler.stats()["sessions"]["default"]
+            failed = [i for i in ids
+                      if i not in results or results[i].failed]
+            logits = (None if failed else np.concatenate(
+                [results[i].logits for i in ids], axis=0))
+            return logits, wall, stats, failed
+        finally:
+            scheduler.shutdown(drain=False)
+
+    healthy_logits, healthy_wall, _, healthy_failed = serve(None)
+    chaos_plan = FaultPlan({0: FaultSpec(kill_at_batch=1)})
+    chaos_logits, chaos_wall, chaos_stats, chaos_failed = serve(chaos_plan)
+
+    failures = []
+    if healthy_failed:
+        failures.append(f"chaos lane baseline: {len(healthy_failed)} "
+                        f"request(s) failed in the healthy run")
+    if chaos_failed:
+        failures.append(f"chaos: {len(chaos_failed)} request(s) did not "
+                        f"complete after the worker kill")
+    bitwise = (healthy_logits is not None and chaos_logits is not None
+               and healthy_logits.tobytes() == chaos_logits.tobytes())
+    if not chaos_failed and not healthy_failed and not bitwise:
+        failures.append("chaos: recovered logits diverged from the "
+                        "healthy run")
+    recovery_stats = chaos_stats["recovery"]
+    if recovery_stats["respawns"] < 1:
+        failures.append("chaos: the killed worker was never respawned")
+    if recovery_stats["redispatched_requests"] < 1:
+        failures.append("chaos: no stranded request was re-dispatched")
+    return {
+        "backend": backend,
+        "requests": requests,
+        "fault": "kill worker 0 at batch 1",
+        "healthy_wall_s": healthy_wall,
+        "chaos_wall_s": chaos_wall,
+        "recovery_overhead_s": chaos_wall - healthy_wall,
+        "healthy_requests_per_s": requests / healthy_wall,
+        "chaos_requests_per_s": requests / chaos_wall,
+        "bitwise_identical": bool(bitwise),
+        "failed_requests": len(chaos_failed),
+        "recovery": recovery_stats,
+        "fleet": {"restarts": list(chaos_stats["fleet"]["restarts"]),
+                  "incarnations":
+                      list(chaos_stats["fleet"]["incarnations"])},
+        "degraded": chaos_stats["degraded"],
+    }, failures
+
+
 def run_learned_vs_static(model, images, cost_model, warm=4, evals=4):
     """Flush-latency prediction shootout on live scheduler traffic.
 
@@ -283,6 +377,10 @@ def main(argv=None):
                              "count > 1 (workers=2 normally) scales "
                              "below this multiple of workers=1 "
                              "(skipped on single-CPU hosts)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the fault-injection lane: kill one of "
+                             "2 workers mid-burst and gate full bitwise "
+                             "recovery")
     parser.add_argument("--json", default="BENCH_scheduler.json",
                         help="write machine-readable results here "
                              "('' disables)")
@@ -462,6 +560,30 @@ def main(argv=None):
                       f"at {scaling:.2f}x >= "
                       f"{args.min_worker_scaling:.1f}x")
 
+    # ------------------------------------------------------------------
+    # Chaos lane: scripted worker kill mid-burst, gated bitwise recovery.
+    # ------------------------------------------------------------------
+    chaos = None
+    if args.chaos:
+        if args.worker_requests is not None:
+            params["worker_requests"] = args.worker_requests
+        chaos, chaos_failures = run_chaos_lane(
+            model, cost_model, params, args.worker_backend)
+        failures.extend(chaos_failures)
+        print(f"\nchaos lane [{chaos['backend']}] "
+              f"({chaos['requests']} requests, {chaos['fault']}):")
+        print(f"  healthy: {chaos['healthy_wall_s']:.4f} s "
+              f"({chaos['healthy_requests_per_s']:.1f} req/s)   "
+              f"chaos: {chaos['chaos_wall_s']:.4f} s "
+              f"({chaos['chaos_requests_per_s']:.1f} req/s)   "
+              f"recovery overhead: {chaos['recovery_overhead_s']:.4f} s")
+        print(f"  bitwise identical: {chaos['bitwise_identical']}   "
+              f"failed: {chaos['failed_requests']}   "
+              f"respawns: {chaos['recovery']['respawns']}   "
+              f"re-dispatched: "
+              f"{chaos['recovery']['redispatched_requests']}   "
+              f"lost batches: {chaos['recovery']['lost_batches']}")
+
     gate_backend = "tensor" if "tensor" in backend_stats else backends[0]
     speedup = backend_stats[gate_backend]["speedup"]
     if args.json:
@@ -485,6 +607,8 @@ def main(argv=None):
         }
         if worker_sweep is not None:
             payload["workers"] = worker_sweep
+        if chaos is not None:
+            payload["chaos"] = chaos
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")

@@ -124,6 +124,22 @@ class SessionSpec:
             dtype=dtype,
             metadata=dict(metadata or {}))
 
+    def with_cost_model(self, cost_model):
+        """A copy of the spec carrying ``cost_model`` instead.
+
+        The worker pool uses this to (re)spawn workers with a
+        *snapshot clone* of a learned :class:`repro.cost.OnlineCostModel`
+        -- pickling the live model while the scheduler thread is still
+        folding measurements into it would race; a respawned worker
+        still inherits everything learned up to the snapshot.  The
+        weight ``state`` dict is shared, not copied: specs treat it as
+        immutable, and duplicating hundreds of MB per respawn would
+        make supervision needlessly expensive.
+        """
+        from dataclasses import replace
+
+        return replace(self, cost_model=cost_model)
+
     def build_model(self):
         """Rebuild the HeatViT in eval mode with the spec's weights."""
         from repro.core import HeatViT

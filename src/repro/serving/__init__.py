@@ -22,6 +22,13 @@ Builds the request-level serving story on top of
   (spawn-safe via :class:`repro.engine.SessionSpec`) with
   :class:`PlacementPolicy` cost-model placement and online calibration
   (``Scheduler.register(..., workers=N)``);
+* self-healing -- supervision with bounded backoff respawns
+  (:class:`RecoveryPolicy`), heartbeat liveness, hung-worker dispatch
+  deadlines, stranded-batch re-dispatch with per-request retry budgets
+  and poison quarantine, graceful in-process degradation, and the
+  deterministic chaos harness (:class:`FaultPlan` /
+  :class:`FaultSpec`) plus the shared :class:`RetryPolicy` backoff
+  contract;
 * SLO tiers and overload behavior -- priority classes mapped to
   deadline tiers (``Scheduler(priority_tiers=...)``), priced-backlog
   admission control that degrades to cheaper sessions or sheds
@@ -34,6 +41,7 @@ Builds the request-level serving story on top of
 """
 
 from repro.serving.clock import Clock, SystemClock, VirtualClock
+from repro.serving.faults import FaultPlan, FaultSpec
 from repro.serving.http import FrontDoor, FrontDoorClient
 from repro.serving.placement import Placement, PlacementPolicy
 from repro.serving.queue import RequestQueue
@@ -43,11 +51,13 @@ from repro.serving.router import (BACKEND_FIDELITY, HighestFidelityRouter,
                                   backend_fidelity, request_cost_ms)
 from repro.serving.scheduler import (AdmissionError, FlushEvent, Scheduler,
                                      ServedModel)
+from repro.serving.retry import RetryPolicy
 from repro.serving.trace import (TraceRequest, adversarial_trace,
                                  bursty_trace, load_jsonl, replay,
                                  save_jsonl, synth_images, two_tier_trace,
                                  uniform_trace)
-from repro.serving.worker import WorkerPool, WorkerReply, worker_payload
+from repro.serving.worker import (RecoveryPolicy, WorkerDiedError,
+                                  WorkerPool, WorkerReply, worker_payload)
 
 __all__ = [
     "Clock", "SystemClock", "VirtualClock",
@@ -57,6 +67,8 @@ __all__ = [
     "Scheduler", "ServedModel", "FlushEvent", "AdmissionError",
     "Placement", "PlacementPolicy",
     "WorkerPool", "WorkerReply", "worker_payload",
+    "WorkerDiedError", "RecoveryPolicy", "RetryPolicy",
+    "FaultPlan", "FaultSpec",
     "FrontDoor", "FrontDoorClient",
     "TraceRequest", "synth_images", "save_jsonl", "load_jsonl",
     "uniform_trace", "bursty_trace", "adversarial_trace",

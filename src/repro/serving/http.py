@@ -11,7 +11,9 @@ plus a small request parser, no web framework) that exposes a
   synthesizes the deterministic :func:`repro.serving.trace.synth_images`
   stack -- the trace-replay road, no megabytes of JSON pixels).
   Answers ``200 {"status": "queued", "request_id": ...}``, ``429``
-  when admission control sheds, ``400``/``404`` on malformed input.
+  when admission control sheds, ``503`` + ``Retry-After`` for
+  sheddable classes while every eligible target is degraded (worker
+  fleet lost, serving in-process), ``400``/``404`` on malformed input.
 * ``GET /v1/result/<id>`` -- poll: ``200`` with the result, ``202``
   while pending.  With ``?wait=1[&timeout_ms=...]`` it becomes the
   awaitable variant: the response is held open until completion (or
@@ -44,6 +46,8 @@ from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
+from repro.serving.request import DEFAULT_PRIORITY
+from repro.serving.retry import RetryPolicy
 from repro.serving.scheduler import AdmissionError
 from repro.serving.trace import synth_images
 
@@ -52,11 +56,34 @@ __all__ = ["FrontDoor", "FrontDoorClient"]
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
             413: "Payload Too Large", 429: "Too Many Requests",
-            500: "Internal Server Error"}
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+#: ``Retry-After`` seconds on a 503 (degraded target).  Degraded mode
+#: still serves -- in-process, slower -- so a short back-off is right:
+#: the client should retry, just not immediately.
+_RETRY_AFTER_S = 1
 
 
 def _result_payload(result, include_logits=False):
-    """JSON-shape one RequestResult (the wire format of a completion)."""
+    """JSON-shape one RequestResult (the wire format of a completion).
+
+    A request the recovery layer failed cleanly (poison quarantine /
+    shed after a worker loss) is still *delivered* -- as ``{"status":
+    "failed", "error": ...}`` with no predictions; the delivery itself
+    succeeds (HTTP 200, at-most-once), only the inference did not.
+    """
+    if result.failed:
+        return {
+            "status": "failed",
+            "request_id": result.request_id,
+            "session": result.session,
+            "priority": result.priority,
+            "error": result.error,
+            "arrival_ms": result.arrival_ms,
+            "completed_ms": result.completed_ms,
+            "wait_ms": result.wait_ms,
+            "deadline_ms": result.deadline_ms,
+        }
     payload = {
         "status": "done",
         "request_id": result.request_id,
@@ -127,7 +154,7 @@ class FrontDoor:
         self._known_ids = set()        # submitted via this server
         self._delivered_ids = set()    # results already handed out
         self.counters = {"http_requests": 0, "submitted": 0, "shed": 0,
-                         "results_delivered": 0}
+                         "unavailable": 0, "results_delivered": 0}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -257,15 +284,19 @@ class FrontDoor:
                 body = await reader.readexactly(length) if length else b""
                 with self._lock:
                     self.counters["http_requests"] += 1
+                extra_headers = None
                 try:
-                    status, payload = await self._route(method, target,
-                                                        body)
+                    response = await self._route(method, target, body)
+                    status, payload = response[0], response[1]
+                    if len(response) > 2:
+                        extra_headers = response[2]
                 except _HttpError as exc:
                     status, payload = exc.status, exc.payload
                 except Exception as exc:
                     status, payload = 500, {"status": "error",
                                             "error": repr(exc)}
-                await self._respond(writer, status, payload, keep_alive)
+                await self._respond(writer, status, payload, keep_alive,
+                                    headers=extra_headers)
                 if not keep_alive:
                     break
         except (asyncio.IncompleteReadError, ConnectionResetError,
@@ -282,11 +313,15 @@ class FrontDoor:
                 # is already being discarded.
                 pass
 
-    async def _respond(self, writer, status, payload, keep_alive):
+    async def _respond(self, writer, status, payload, keep_alive,
+                       headers=None):
         data = json.dumps(payload).encode()
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in (headers or {}).items())
         head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                 f"Content-Type: application/json\r\n"
                 f"Content-Length: {len(data)}\r\n"
+                f"{extra}"
                 f"Connection: {'keep-alive' if keep_alive else 'close'}"
                 f"\r\n\r\n")
         writer.write(head.encode("latin1") + data)
@@ -365,6 +400,9 @@ class FrontDoor:
         deadline_ms = record.get("deadline_ms")
         priority = record.get("priority")
         images = self._parse_images(record, model)
+        degraded = self._degraded_response(model, priority, images)
+        if degraded is not None:
+            return degraded
 
         def call():
             return self.scheduler.submit(images, deadline_ms=deadline_ms,
@@ -388,6 +426,43 @@ class FrontDoor:
             self.counters["submitted"] += 1
             self._known_ids.add(request_id)
         return 200, {"status": "queued", "request_id": request_id}
+
+    def _degraded_response(self, model, priority, images):
+        """503 + ``Retry-After`` when every target this submission
+        could land on is serving degraded (its worker fleet
+        permanently lost, flushes running in-process).
+
+        Sheddable classes only: degraded capacity is a fraction of the
+        fleet's, so plain traffic is pushed back with an explicit
+        retry signal instead of silently piling onto the slow path.
+        Premium class-0 submissions are never turned away -- degraded
+        mode exists precisely so they keep completing.  Returns
+        ``None`` when the submission should proceed.
+        """
+        try:
+            sheddable = (DEFAULT_PRIORITY if priority is None
+                         else int(priority)) > 0
+        except (TypeError, ValueError):
+            return None           # scheduler validation will reject it
+        if not sheddable:
+            return None
+        sessions = self.scheduler.sessions
+        if model is not None:
+            eligible = [s for s in sessions if s.name == model]
+        else:
+            eligible = [s for s in sessions
+                        if images.shape[1:] == s.image_shape]
+        if not eligible or not all(s.degraded for s in eligible):
+            return None
+        with self._lock:
+            self.counters["unavailable"] += 1
+        return (503,
+                {"status": "unavailable",
+                 "error": "every eligible session is degraded (worker "
+                          "fleet lost); retry later or submit as "
+                          "priority 0",
+                 "retry_after_s": _RETRY_AFTER_S},
+                {"Retry-After": str(_RETRY_AFTER_S)})
 
     async def _result(self, id_text, query):
         try:
@@ -440,18 +515,24 @@ class FrontDoorClient:
     """Minimal keep-alive HTTP client for one front door.
 
     Every call returns ``(status_code, payload_dict)``; transport
-    errors retry once on a fresh connection (the server may have
-    closed an idle keep-alive socket).  Not thread-safe -- use one
-    client per load-generator thread.
+    errors (the server may have closed an idle keep-alive socket, or a
+    recovering process briefly refused the connect) retry on a fresh
+    connection under a bounded jittered-backoff
+    :class:`repro.serving.RetryPolicy` -- the same contract the
+    scheduler's dispatch retry budget follows.  Not thread-safe -- use
+    one client per load-generator thread.
     """
 
-    def __init__(self, host, port, timeout_s=60.0):
+    def __init__(self, host, port, timeout_s=60.0, retry=None):
         import http.client
 
         self._http_client = http.client
         self.host = host
         self.port = int(port)
         self.timeout_s = timeout_s
+        self.retry = (retry if retry is not None
+                      else RetryPolicy(attempts=3, backoff_base_s=0.05,
+                                       backoff_max_s=1.0))
         self._conn = None
 
     def _connection(self):
@@ -476,19 +557,20 @@ class FrontDoorClient:
                    else json.dumps(body).encode())
         headers = ({"Content-Type": "application/json"}
                    if payload is not None else {})
-        for attempt in (0, 1):
+
+        def attempt():
             conn = self._connection()
-            try:
-                conn.request(method, path, body=payload, headers=headers)
-                response = conn.getresponse()
-                data = response.read()
-                return response.status, json.loads(data.decode())
-            except (ConnectionError, self._http_client.HTTPException,
-                    OSError):
-                self.close()
-                if attempt:
-                    raise
-        raise AssertionError("unreachable")                # pragma: no cover
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, json.loads(data.decode())
+
+        return self.retry.call(
+            attempt,
+            retry_on=(ConnectionError, self._http_client.HTTPException,
+                      OSError),
+            seed=self.port,      # de-synchronizes clients of one server
+            on_retry=lambda _attempt, _exc: self.close())
 
     # -- endpoint wrappers ------------------------------------------------
     def healthz(self):

@@ -75,14 +75,22 @@ class PlacementPolicy:
     min_samples: shaped observations a worker's learned estimator needs
         before it answers instead of the calibration EWMA.
     forgetting: the learned estimators' RLS decay factor.
+    max_in_flight: bound on batches outstanding per worker (``None`` =
+        unbounded, the pre-recovery behavior).  The scheduler sets it
+        from its :class:`repro.serving.RecoveryPolicy` so a slow or
+        dying worker never accumulates an unbounded strandable backlog.
     """
 
     def __init__(self, num_workers, cost_model=None, smoothing=0.25,
-                 min_samples=8, forgetting=0.98):
+                 min_samples=8, forgetting=0.98, max_in_flight=None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if not 0.0 < smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.max_in_flight = (None if max_in_flight is None
+                              else int(max_in_flight))
         self.num_workers = int(num_workers)
         self.cost_model = cost_model
         self.smoothing = float(smoothing)
@@ -115,6 +123,12 @@ class PlacementPolicy:
         """The worker's learned :class:`repro.cost.OnlineEstimator`."""
         return self._estimators[worker]
 
+    def has_capacity(self, worker):
+        """Whether ``worker`` may accept another batch under the
+        ``max_in_flight`` bound."""
+        return (self.max_in_flight is None
+                or self._in_flight[worker] < self.max_in_flight)
+
     def predicted_ms(self, worker, raw_cost_ms, num_images=None):
         """Execution-time prediction for one batch on ``worker``.
 
@@ -143,7 +157,8 @@ class PlacementPolicy:
         return backlog + self.predicted_ms(worker, raw_cost_ms)
 
     # ------------------------------------------------------------------
-    def assign(self, raw_cost_ms, now_ms=0.0, num_images=None):
+    def assign(self, raw_cost_ms, now_ms=0.0, num_images=None,
+               candidates=None):
         """Place one batch; returns the :class:`Placement` ticket.
 
         Picks the worker with the lowest predicted completion time
@@ -153,12 +168,23 @@ class PlacementPolicy:
         so workers with confident learned estimators price it from
         their own fitted batch law -- and so :meth:`complete` can feed
         the shape back to the estimator with the measured time.
+
+        ``candidates`` restricts the choice to a subset of workers (the
+        scheduler passes the *alive and under-capacity* set during
+        recovery); placement among no eligible workers raises
+        ``LookupError`` -- the caller's signal to defer the batch.
         """
         if raw_cost_ms < 0:
             raise ValueError("raw_cost_ms must be >= 0")
         if num_images is not None and num_images < 0:
             raise ValueError("num_images must be >= 0")
-        worker = min(range(self.num_workers),
+        pool = (range(self.num_workers) if candidates is None
+                else sorted(set(candidates)))
+        eligible = [w for w in pool
+                    if 0 <= w < self.num_workers and self.has_capacity(w)]
+        if not eligible:
+            raise LookupError("no eligible worker has capacity")
+        worker = min(eligible,
                      key=lambda w: (self.completion_ms(w, raw_cost_ms,
                                                        now_ms, num_images),
                                     w))

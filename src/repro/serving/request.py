@@ -48,6 +48,9 @@ class Request:
     ``priority``: SLO class (lower is more urgent; 0 = premium).
     ``model``: explicit session name, or ``None`` to let the router
         choose.
+    ``retries``: re-dispatches consumed recovering this request from
+        worker losses (mutable bookkeeping; deliberately *not* part of
+        the EDF ordering key, so recovery never reorders the queue).
     """
 
     request_id: int
@@ -56,6 +59,7 @@ class Request:
     deadline_ms: float = None
     priority: int = DEFAULT_PRIORITY
     model: str = None
+    retries: int = 0
 
     @property
     def num_images(self):
@@ -76,6 +80,12 @@ class RequestResult:
     result (``(n, num_classes)`` and ``(n,)``).  ``session`` names the
     :class:`repro.engine.InferenceSession` that executed it (the routing
     decision); ``completed_ms`` is the scheduler-clock flush time.
+
+    A request the recovery layer gave up on (poison quarantine: its
+    batches exhausted the re-dispatch budget, or it was shed after a
+    worker loss) still gets a result -- one with ``error`` set and no
+    ``logits``.  Callers check :attr:`failed` before touching the
+    payload; serving a clean failure beats hanging a client forever.
     """
 
     request_id: int
@@ -87,9 +97,18 @@ class RequestResult:
     deadline_ms: float = None
     priority: int = DEFAULT_PRIORITY
     tokens_per_stage: list = field(default_factory=list)
+    error: str = None
+
+    @property
+    def failed(self):
+        """Whether the recovery layer failed this request cleanly
+        instead of completing it."""
+        return self.error is not None
 
     @property
     def predictions(self):
+        if self.logits is None:
+            return None
         return self.logits.argmax(axis=-1)
 
     @property

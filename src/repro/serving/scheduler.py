@@ -35,6 +35,21 @@ sheds or degrades sheddable classes when a target's priced backlog
 **flush preemption** lets a premium arrival fire a due flush at
 submit time instead of waiting out the step/window cadence.
 
+Multi-worker targets are **self-healing** (see
+:class:`repro.serving.RecoveryPolicy`): every collect pass runs a
+recovery sweep -- hung workers (no reply within the cost-model-derived
+dispatch deadline) are terminated, batches stranded on dead workers are
+re-dispatched to survivors in EDF order with placement tickets
+released, dead workers are respawned under the pool's supervision
+budget, and a request whose batches keep killing workers is
+*quarantined*: failed cleanly to its caller (a
+:class:`~repro.serving.request.RequestResult` with ``error`` set)
+after its retry budget, never retried forever.  When the whole pool is
+permanently lost the target degrades to in-process execution on the
+parent session -- results stay bitwise identical (grouped execution is
+placement-invariant), only throughput degrades -- and ``stats()``
+records every recovery action.
+
 Time comes from a :class:`repro.serving.clock.Clock` (milliseconds).
 The scheduler is step-driven and thread-safe: call :meth:`step` from
 your own loop (deterministically, in tests, against a
@@ -56,7 +71,7 @@ from repro.serving.placement import PlacementPolicy
 from repro.serving.queue import RequestQueue
 from repro.serving.request import DEFAULT_PRIORITY, Request, RequestResult
 from repro.serving.router import LeastLatencyRouter, backend_fidelity
-from repro.serving.worker import WorkerPool
+from repro.serving.worker import RecoveryPolicy, WorkerDiedError, WorkerPool
 
 __all__ = ["Scheduler", "ServedModel", "FlushEvent", "AdmissionError"]
 
@@ -80,12 +95,37 @@ class AdmissionError(RuntimeError):
 
 @dataclass
 class _InFlight:
-    """One batch dispatched to a worker, awaiting its reply."""
+    """One batch dispatched to a worker, awaiting its reply.
+
+    ``deadline_s`` is **host-monotonic** (``time.monotonic()``), not
+    scheduler-clock: the dispatch deadline detects a *process* that
+    stopped answering, which only host time can witness -- a virtual
+    scheduler clock may not advance at all while a worker hangs.
+    """
 
     requests: list
     ticket: object                  # repro.serving.Placement
     reason: str
     estimated_ms: float = 0.0       # placement-predicted cost (backlog)
+    dispatched_s: float = 0.0       # host-monotonic dispatch time
+    deadline_s: float = None        # host-monotonic hung-batch deadline
+    incarnation: int = 0            # worker incarnation dispatched to
+
+
+def _recovery_counters():
+    """Fresh per-target recovery telemetry (reported by ``stats()``)."""
+    return {
+        "respawns": 0,               # dead workers restarted
+        "lost_batches": 0,           # in-flight batches stranded by deaths
+        "hung_workers": 0,           # terminated for missing the deadline
+        "redispatched_requests": 0,  # requeued to survivors after a loss
+        "failed_requests": 0,        # poison quarantine: budget exhausted
+        "shed_on_recovery": 0,       # expired sheddable requests dropped
+        "worker_errors": 0,          # error replies absorbed (not raised)
+        "corrupt_replies": 0,        # malformed payloads rejected
+        "duplicate_replies": 0,      # stale/duplicate replies dropped
+        "degraded_flushes": 0,       # in-process flushes after collapse
+    }
 
 
 @dataclass
@@ -107,6 +147,14 @@ class ServedModel:
     pool: WorkerPool = None
     placement: PlacementPolicy = None
     pending: dict = field(default_factory=dict)
+    recovery: dict = field(default_factory=_recovery_counters)
+
+    @property
+    def degraded(self):
+        """Whether the target's worker fleet is permanently lost and
+        flushes run in-process (the HTTP front door answers 503 +
+        ``Retry-After`` for sheddable classes while this holds)."""
+        return self.pool is not None and self.pool.fleet_down
 
     @property
     def cost_model(self):
@@ -280,7 +328,8 @@ class Scheduler:
     def register(self, name, model=None, *, session=None, batch_size=32,
                  policy=None, cost_model=None, latency_table=None,
                  max_batch=None, backend="tensor", dtype=None,
-                 workers=1, worker_ctx="spawn", learn_cost=False):
+                 workers=1, worker_ctx="spawn", learn_cost=False,
+                 recovery=None, fault_plan=None):
         """Register a serving target under ``name``.
 
         Pass either a ready :class:`InferenceSession` or a HeatViT
@@ -322,6 +371,15 @@ class Scheduler:
         shape + timing into the parent's model.  Prediction only:
         logits are unchanged.  A ready ``session`` must be built with
         ``learn_cost=True`` itself.
+
+        ``recovery`` (a :class:`repro.serving.RecoveryPolicy`) tunes
+        the target's self-healing: supervision restart budget and
+        backoff, heartbeat cadence, per-request re-dispatch budget,
+        hung-batch dispatch deadlines, and the per-worker in-flight
+        bound (which also caps the placement policy).  ``fault_plan``
+        (a :class:`repro.serving.FaultPlan`) scripts deterministic
+        worker failures -- the chaos-test hook; leave it ``None`` in
+        production.  Both apply to multi-worker targets only.
         """
         if (model is None) == (session is None):
             raise ValueError("pass exactly one of model= or session=")
@@ -343,9 +401,11 @@ class Scheduler:
             raise ValueError("max_batch must be >= 1")
         pool = placement = None
         if workers > 1:
-            pool = WorkerPool(session, workers, ctx=worker_ctx)
-            placement = PlacementPolicy(workers,
-                                        cost_model=session.cost_model)
+            pool = WorkerPool(session, workers, ctx=worker_ctx,
+                              recovery=recovery, fault_plan=fault_plan)
+            placement = PlacementPolicy(
+                workers, cost_model=session.cost_model,
+                max_in_flight=pool.recovery.max_in_flight_per_worker)
         served = ServedModel(name=name, session=session,
                              max_batch=max_batch, pool=pool,
                              placement=placement)
@@ -447,7 +507,8 @@ class Scheduler:
         with self._results_cond:
             stats = self._class_stats.setdefault(priority, {
                 "submitted": 0, "completed": 0, "deadline_hits": 0,
-                "deadline_misses": 0, "degraded": 0, "shed": 0})
+                "deadline_misses": 0, "degraded": 0, "shed": 0,
+                "failed": 0})
             stats[key] += amount
 
     # ------------------------------------------------------------------
@@ -570,11 +631,7 @@ class Scheduler:
             if model is None:
                 targets = self.sessions
             for served in targets:
-                while len(served.queue):
-                    completed.extend(self._execute(served, self.clock.now(),
-                                                   "forced"))
-                if wait:
-                    completed.extend(self._collect(served, block=True))
+                completed.extend(self._run_down(served, wait=wait))
         return completed
 
     def drain(self, timeout_ms=None):
@@ -583,24 +640,77 @@ class Scheduler:
 
         The deterministic end-of-stream operation: after it returns,
         no request is queued and no batch is in flight on any worker.
-        ``timeout_ms`` bounds the wait for worker replies
-        (``TimeoutError`` on expiry); ``None`` waits until the pool
-        answers or a worker death is detected.
+        Worker deaths during the drain are *recovered*, not raised --
+        stranded batches re-dispatch to survivors (respawned under the
+        supervision budget) and quarantined requests come back as
+        failed results.  ``timeout_ms`` bounds the whole per-target
+        run-down (``TimeoutError`` on expiry); ``None`` waits until
+        everything completes or fails cleanly.
         """
         completed = []
         with self._step_lock:
             for served in self.sessions:
-                while len(served.queue):
-                    completed.extend(self._execute(served, self.clock.now(),
-                                                   "forced"))
-                completed.extend(self._collect(served, block=True,
-                                               timeout_ms=timeout_ms))
+                completed.extend(self._run_down(served, wait=True,
+                                                timeout_ms=timeout_ms))
+        return completed
+
+    def _run_down(self, served, wait, timeout_ms=None):
+        """Dispatch/execute everything queued on ``served``; with
+        ``wait``, alternate dispatch and collect (recovery included)
+        until nothing is queued or in flight.
+
+        The alternation is what makes run-down converge under
+        failures: a dispatch round may find every eligible worker
+        saturated (shards bounce back to the queue) or lose a worker
+        mid-burst (recovery requeues its batches), and the following
+        collect frees capacity, respawns, or fails quarantined
+        requests -- the per-request retry budget bounds how often any
+        request can cycle, so the loop terminates.
+        """
+        completed = []
+        deadline = (None if timeout_ms is None
+                    else time.monotonic() + timeout_ms / 1e3)
+        while True:
+            progressed = False
+            while len(served.queue):
+                before = len(served.queue)
+                completed.extend(self._execute(served, self.clock.now(),
+                                               "forced"))
+                if len(served.queue) >= before:
+                    break           # saturated: shards bounced back
+                progressed = True
+            if not wait:
+                break
+            remaining_ms = (None if deadline is None else
+                            max(0.0, (deadline - time.monotonic()) * 1e3))
+            completed.extend(self._collect(
+                served, block=bool(served.pending),
+                timeout_ms=remaining_ms))
+            if not len(served.queue) and not served.pending:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"{len(served.pending)} in-flight batch(es) and "
+                    f"{len(served.queue)} queued request(s) on "
+                    f"{served.name!r} not completed in {timeout_ms} ms")
+            if not progressed and not served.pending:
+                # Queue blocked on a respawn backoff window: nothing in
+                # flight to wait on, so yield briefly instead of
+                # spinning until the supervisor may restart a worker.
+                time.sleep(0.005)
         return completed
 
     def _flush_reason(self, served, now):
         queue = served.queue
         pending_images = queue.pending_images
         if not pending_images:
+            return None
+        if not self._can_dispatch(served):
+            # Backpressure: every live worker is at its in-flight bound
+            # (or the fleet is mid-respawn).  Defer the flush -- the
+            # queue keeps absorbing arrivals and the next collect frees
+            # capacity.  A permanently-lost fleet does NOT defer: it
+            # falls through and flushes in-process (degraded mode).
             return None
         if pending_images >= served.max_batch:
             return "capacity"
@@ -618,6 +728,15 @@ class Scheduler:
             return "window"
         return None
 
+    def _can_dispatch(self, served):
+        """Whether a flush on ``served`` has somewhere to go: some live
+        worker under its in-flight bound, or the degraded in-process
+        path (no pool, or the fleet permanently lost)."""
+        if served.pool is None or served.pool.fleet_down:
+            return True
+        return any(served.placement.has_capacity(worker)
+                   for worker in served.pool.alive_workers())
+
     def _log_event(self, event):
         self.events.append(event)
         if (self.max_events is not None
@@ -630,7 +749,13 @@ class Scheduler:
                 self._results[item.request_id] = item
                 stats = self._class_stats.setdefault(item.priority, {
                     "submitted": 0, "completed": 0, "deadline_hits": 0,
-                    "deadline_misses": 0, "degraded": 0, "shed": 0})
+                    "deadline_misses": 0, "degraded": 0, "shed": 0,
+                    "failed": 0})
+                if item.failed:
+                    # Quarantined/shed by recovery: a clean failure is
+                    # not a completion, and it never judged a deadline.
+                    stats["failed"] += 1
+                    continue
                 stats["completed"] += 1
                 if item.deadline_ms is not None:
                     key = ("deadline_hits" if item.deadline_met
@@ -649,7 +774,7 @@ class Scheduler:
         """
         sessions = {}
         for served in self.sessions:
-            sessions[served.name] = {
+            entry = {
                 "queued_requests": len(served.queue),
                 "queued_images": served.queue.pending_images,
                 "priced_backlog_ms": served.priced_backlog_ms(),
@@ -658,7 +783,12 @@ class Scheduler:
                 "fidelity": served.fidelity,
                 "workers": (served.pool.num_workers
                             if served.pool is not None else 1),
+                "recovery": dict(served.recovery),
             }
+            if served.pool is not None:
+                entry["degraded"] = served.degraded
+                entry["fleet"] = served.pool.supervision_snapshot()
+            sessions[served.name] = entry
         reasons = {}
         with self._results_cond:
             classes = {}
@@ -688,7 +818,7 @@ class Scheduler:
             max_images=served.max_batch,
             latency_budget_ms=self.latency_budget_ms,
             batch_cost_ms=served.batch_cost_ms)
-        if served.pool is not None:
+        if served.pool is not None and not served.pool.fleet_down:
             return self._dispatch(served, requests, now, reason)
         try:
             result, slices = served.session.submit_many(
@@ -698,6 +828,11 @@ class Scheduler:
             for request in requests:
                 served.queue.push(request)
             raise
+        if served.pool is not None:
+            # The fleet is permanently lost; this flush ran in-process
+            # on the parent session (graceful degradation -- identical
+            # logits, reduced throughput).  Record it.
+            served.recovery["degraded_flushes"] += 1
         num_images = sum(r.num_images for r in requests)
         self._log_event(FlushEvent(
             time_ms=now, session=served.name, reason=reason,
@@ -747,32 +882,65 @@ class Scheduler:
     def _dispatch(self, served, requests, now, reason):
         """Fan a popped batch out across the worker pool, non-blocking.
 
-        Each shard goes to the worker with the lowest cost-model-
-        predicted completion time given its in-flight queue; replies
-        are reassembled by :meth:`_collect`.  Returns ``[]`` -- nothing
-        completes synchronously.
+        Each shard goes to the live, under-capacity worker with the
+        lowest cost-model-predicted completion time; replies are
+        reassembled by :meth:`_collect`.  Shards that find no eligible
+        worker (the fleet saturated or mid-respawn) -- or whose target
+        dies between placement and enqueue (:class:`WorkerDiedError`)
+        -- bounce back onto the queue, which re-sorts them into EDF
+        position; nothing is ever stranded on a dead worker's queue.
+        Returns ``[]`` -- nothing completes synchronously.
         """
-        for shard in self._shard_requests(requests,
-                                          served.pool.num_workers):
+        pool, policy = served.pool, served.pool.recovery
+        deferred = []
+        for shard in self._shard_requests(requests, pool.num_workers):
             num_images = sum(r.num_images for r in shard)
             raw_ms = served.batch_cost_ms(num_images)
-            ticket = served.placement.assign(raw_ms, now_ms=now,
-                                             num_images=num_images)
-            with self._results_cond:
-                task_id = self._next_task_id
-                self._next_task_id += 1
+            eligible = [worker for worker in pool.alive_workers()
+                        if served.placement.has_capacity(worker)]
+            if not eligible:
+                deferred.append(shard)
+                continue
+            ticket = None
             try:
-                served.pool.dispatch(task_id,
-                                     [r.images for r in shard],
-                                     ticket.worker)
-            except Exception:
+                ticket = served.placement.assign(
+                    raw_ms, now_ms=now, num_images=num_images,
+                    candidates=eligible)
+                with self._results_cond:
+                    task_id = self._next_task_id
+                    self._next_task_id += 1
+                incarnation = served.pool.dispatch(
+                    task_id, [r.images for r in shard], ticket.worker)
+            except LookupError:
+                deferred.append(shard)
+                continue
+            except WorkerDiedError:
+                # Died between the liveness snapshot and the enqueue;
+                # recovery will respawn it -- just redirect the shard.
                 served.placement.complete(ticket, now_ms=now)
-                for request in shard:
-                    served.queue.push(request)
+                deferred.append(shard)
+                continue
+            except Exception:
+                if ticket is not None:
+                    served.placement.complete(ticket, now_ms=now)
+                deferred.append(shard)
+                for waiting in deferred:
+                    for request in waiting:
+                        served.queue.push(request)
                 raise
+            # Hung-batch deadline: host time, scaled off the placement
+            # prediction so big batches get proportionally more rope,
+            # floored so estimator noise never kills healthy workers.
+            dispatched_s = time.monotonic()
+            predicted_s = max(ticket.completion_ms - now, 0.0) / 1e3
+            deadline_s = dispatched_s + max(
+                policy.min_dispatch_timeout_s,
+                policy.dispatch_timeout_factor * predicted_s)
             served.pending[task_id] = _InFlight(
                 requests=shard, ticket=ticket, reason=reason,
-                estimated_ms=ticket.predicted_ms)
+                estimated_ms=ticket.predicted_ms,
+                dispatched_s=dispatched_s, deadline_s=deadline_s,
+                incarnation=incarnation)
             self._log_event(FlushEvent(
                 time_ms=now, session=served.name, reason=reason,
                 request_ids=[r.request_id for r in shard],
@@ -780,94 +948,188 @@ class Scheduler:
                 estimated_ms=ticket.predicted_ms,
                 carried_requests=len(served.queue),
                 worker=ticket.worker))
+        for shard in deferred:
+            for request in shard:
+                served.queue.push(request)
         return []
 
     def _collect(self, served, block=False, timeout_ms=None):
         """Reassemble finished worker batches into request results.
 
-        Non-blocking by default (used by :meth:`step`); ``block=True``
-        waits until every in-flight batch of this target has reported
-        (used by :meth:`flush` / :meth:`drain`), raising if a worker
-        died with batches in flight or ``timeout_ms`` expires.
+        Every pass runs the recovery sweep (hung-worker termination,
+        lost-batch re-dispatch, supervision respawns) before polling,
+        so background serving heals on the non-blocking :meth:`step`
+        path too, not only in drains.  Non-blocking by default;
+        ``block=True`` waits until no batch of this target is in
+        flight (recovery may move its requests back to the queue --
+        the caller's run-down loop re-dispatches them), raising
+        ``TimeoutError`` when ``timeout_ms`` expires first.
         """
         completed = []
         if served.pool is None:
             return completed
         deadline = (None if timeout_ms is None
                     else time.monotonic() + timeout_ms / 1e3)
-        while served.pending:
-            replies = served.pool.poll(timeout_s=0.05 if block else 0.0)
+        while True:
+            completed.extend(self._recover_lost_workers(served))
+            replies = served.pool.poll(
+                timeout_s=0.05 if (block and served.pending) else 0.0)
+            for reply in replies:
+                completed.extend(self._finish_reply(served, reply))
+            if not served.pending:
+                break
             if not replies:
-                # Dead workers are checked on *every* empty poll --
-                # including the non-blocking step() path, so background
-                # serving surfaces a lost worker instead of letting
-                # its requests hang until a client timeout.
-                self._check_lost_workers(served)
                 if not block:
                     break
                 if deadline is not None and time.monotonic() > deadline:
                     raise TimeoutError(
                         f"{len(served.pending)} in-flight batch(es) on "
                         f"{served.name!r} not completed in {timeout_ms} ms")
-                continue
-            # Process every drained reply before surfacing any error:
-            # replies popped off the shared queue would otherwise be
-            # lost, stranding their pending entries forever.
-            first_error = None
-            for reply in replies:
-                try:
-                    completed.extend(self._finish_reply(served, reply))
-                except RuntimeError as exc:
-                    if first_error is None:
-                        first_error = exc
-            if first_error is not None:
-                raise first_error
         return completed
 
-    def _check_lost_workers(self, served):
-        """Surface worker deaths that strand in-flight batches.
+    def _recover_lost_workers(self, served):
+        """The recovery sweep: terminate hung workers, re-dispatch
+        batches stranded on dead ones, respawn under the supervision
+        budget.  Returns the failed results it produced (quarantined or
+        shed requests) -- never raises for a worker failure.
 
-        The lost batches' requests are pushed back on the queue (the
-        worker never completed them) and their placement tickets
-        released before raising -- but the pool itself has lost a
-        process, so callers should :meth:`shutdown` rather than
-        re-dispatch into it.
+        A batch is *lost* when its worker is dead **or** its slot has
+        moved to a newer incarnation -- supervision may respawn a dead
+        worker before this sweep ever saw the death (the respawn races
+        the sweep, including from a concurrent stepping thread), and
+        aliveness alone would then strand the dead incarnation's
+        batches until the hung deadline terminated the healthy
+        replacement.  Hung first: an in-flight batch past its
+        host-monotonic dispatch deadline means *the incarnation it was
+        dispatched to* took the task and went silent (``is_alive()``
+        cannot see it); that incarnation is terminated -- the kill is
+        incarnation-guarded, so a respawn that slipped in is never
+        executed for its predecessor's batch -- and it joins the dead
+        set this same sweep, its batches recovering through the one
+        path below.  Each stranded request pays one unit of its retry
+        budget; over budget is the **poison quarantine** -- the
+        request is failed cleanly to its caller (some batches *cause*
+        crashes, and re-dispatching one forever would grind the fleet
+        down worker by worker).  Expired sheddable requests fail
+        through the shed accounting instead of being silently served
+        late.
         """
-        alive = set(served.pool.alive_workers())
+        pool = served.pool
+        failed = []
+        if pool is None or pool.closed:
+            return failed
+        host_now = time.monotonic()
+        alive, incarnations = pool.liveness()
+
+        def is_lost(inflight):
+            worker = inflight.ticket.worker
+            return (worker not in alive
+                    or incarnations[worker] != inflight.incarnation)
+
+        hung = {(inflight.ticket.worker, inflight.incarnation)
+                for inflight in served.pending.values()
+                if (not is_lost(inflight)
+                    and inflight.deadline_s is not None
+                    and host_now > inflight.deadline_s)}
+        for worker, incarnation in sorted(hung):
+            pool.terminate_worker(worker, incarnation=incarnation)
+            served.recovery["hung_workers"] += 1
+        if hung:
+            alive, incarnations = pool.liveness()
         lost = [task_id for task_id, inflight in served.pending.items()
-                if inflight.ticket.worker not in alive]
-        if not lost:
-            return
-        now = self.clock.now()
-        for task_id in lost:
-            inflight = served.pending.pop(task_id)
-            served.placement.complete(inflight.ticket, now_ms=now)
-            for request in inflight.requests:
-                served.queue.push(request)
-        raise RuntimeError(
-            f"executor worker died with batch(es) {sorted(lost)} in "
-            f"flight on {served.name!r}; their requests were requeued "
-            f"-- shut the pool down")
+                if is_lost(inflight)]
+        if lost:
+            now = self.clock.now()
+            for task_id in sorted(lost):
+                inflight = served.pending.pop(task_id)
+                served.placement.complete(inflight.ticket, now_ms=now)
+                served.recovery["lost_batches"] += 1
+                failed.extend(self._requeue_recovered(
+                    served, inflight.requests, now,
+                    f"worker {inflight.ticket.worker} lost batch "
+                    f"{task_id} on {served.name!r}"))
+        respawned = pool.respawn_dead()
+        served.recovery["respawns"] += len(respawned)
+        return self._store(failed) if failed else failed
+
+    def _requeue_recovered(self, served, requests, now, why):
+        """Route one lost batch's requests: back onto the queue (the
+        push re-sorts them into EDF position) while their retry budget
+        lasts, else a clean failure; expired sheddable requests fail
+        through the shed accounting.  Returns the failed results (the
+        caller stores them)."""
+        policy = served.pool.recovery
+        failed = []
+        for request in requests:
+            request.retries += 1
+            if request.retries > policy.max_request_retries:
+                served.recovery["failed_requests"] += 1
+                failed.append(self._failed_result(
+                    served, request, now,
+                    f"{why}; re-dispatch budget "
+                    f"({policy.max_request_retries}) exhausted -- "
+                    f"poison-batch quarantine"))
+                continue
+            if (policy.shed_expired_on_recovery
+                    and request.priority > 0
+                    and request.deadline_ms is not None
+                    and now > request.deadline_ms):
+                self._count(request.priority, "shed")
+                served.recovery["shed_on_recovery"] += 1
+                failed.append(self._failed_result(
+                    served, request, now,
+                    f"{why}; deadline passed during recovery, shed"))
+                continue
+            served.queue.push(request)
+            served.recovery["redispatched_requests"] += 1
+        return failed
+
+    def _failed_result(self, served, request, now, error):
+        """A clean failure: the terminal answer recovery owes a caller
+        it cannot serve (poison quarantine / shed-on-recovery)."""
+        return RequestResult(
+            request_id=request.request_id, logits=None, latency_ms=None,
+            session=served.name, arrival_ms=request.arrival_ms,
+            completed_ms=now, deadline_ms=request.deadline_ms,
+            priority=request.priority, error=str(error))
 
     def _finish_reply(self, served, reply):
         inflight = served.pending.pop(reply.task_id, None)
         if inflight is None:
-            # A reply for a batch _check_lost_workers already retired:
-            # the worker managed to enqueue its reply before dying (or
-            # the pipe drained late).  The requests were requeued and
-            # will be (or were) re-executed -- results are bitwise
-            # reproducible, so the stale copy is simply dropped.
+            # At-most-once delivery: a duplicate of a reply already
+            # finished, or a stale reply for a batch recovery already
+            # retired (the worker enqueued it before dying, or the
+            # pipe drained late).  Either way the requests were (or
+            # will be) answered elsewhere -- results are bitwise
+            # reproducible, so the extra copy is simply dropped.
+            served.recovery["duplicate_replies"] += 1
             return []
         now = self.clock.now()
         if reply.kind == "error":
+            # The worker survived; the *batch* failed.  Absorb it into
+            # the retry budget instead of raising -- one poisoned
+            # execution must not kill the serving loop.
             served.placement.complete(inflight.ticket, now_ms=now)
-            # Never lose co-batched requests to one failing execution.
-            for request in inflight.requests:
-                served.queue.push(request)
-            raise RuntimeError(
+            served.recovery["worker_errors"] += 1
+            failed = self._requeue_recovered(
+                served, inflight.requests, now,
                 f"worker {reply.worker} failed executing batch "
-                f"{reply.task_id} on {served.name!r}: {reply.error}\n"
-                f"{reply.tb}")
+                f"{reply.task_id} on {served.name!r}: {reply.error}")
+            return self._store(failed) if failed else failed
+        expected = sum(r.num_images for r in inflight.requests)
+        rows = (None if reply.logits is None
+                else int(reply.logits.shape[0]))
+        if rows != expected:
+            # Malformed payload (truncated on the wire / fault
+            # injection): reject and retry, never deliver wrong rows.
+            served.placement.complete(inflight.ticket, now_ms=now)
+            served.recovery["corrupt_replies"] += 1
+            failed = self._requeue_recovered(
+                served, inflight.requests, now,
+                f"worker {reply.worker} returned a corrupt reply for "
+                f"batch {reply.task_id} on {served.name!r} "
+                f"({rows} logits rows, expected {expected})")
+            return self._store(failed) if failed else failed
         served.placement.complete(inflight.ticket, now_ms=now,
                                   measured_ms=reply.wall_time_s * 1e3)
         # Worker replies are measurements too: fold the shard's shape +

@@ -1,4 +1,5 @@
-"""Multi-process execution backend: a pool of executor workers.
+"""Multi-process execution backend: a self-healing pool of executor
+workers.
 
 A :class:`WorkerPool` spawns N OS processes, each owning a full
 :class:`repro.engine.InferenceSession` rebuilt in the child from a
@@ -6,26 +7,71 @@ A :class:`WorkerPool` spawns N OS processes, each owning a full
 road) or, for models a spec cannot describe, from the pickled session
 itself.  The parent dispatches flushed request batches to a chosen
 worker (see :class:`repro.serving.PlacementPolicy`) and collects
-replies from one shared result queue; each reply carries the worker's
-host-measured execution time, which feeds the placement policy's
-online calibration.
+replies from **per-worker reply pipes**; each reply carries the
+worker's host-measured execution time, which feeds the placement
+policy's online calibration.
+
+Reply transport is deliberately *not* a shared ``multiprocessing``
+queue.  A shared queue serializes writers through one cross-process
+write lock, and a worker that dies abruptly (``kill -9``, OOM, a
+scripted chaos kill) while its feeder thread holds that lock strands
+it forever -- every other worker, including freshly respawned ones,
+then wedges on its next reply and the whole fleet stalls behind one
+corpse.  Instead each worker owns a private pipe and writes
+length-prefixed pickled :class:`WorkerReply` frames; the parent reads
+every pipe non-blockingly and reassembles frames per worker.  A dying
+writer can at worst leave a *torn trailing frame in its own pipe*,
+which the parent discards when it retires the dead incarnation's
+reader -- no lock, no shared state, no cross-worker blast radius.
 
 Because every image's compute is independent of its batch neighbours
 (the engine's grouped-execution invariant), a batch executed by any
 worker returns logits bitwise identical to in-process execution --
 multi-worker serving changes *where* batches run, never *what* they
-compute.
+compute.  That invariant is also what makes **recovery** exact: a
+batch lost to a dead worker re-executes anywhere with bitwise-identical
+results.
 
-The pool is deliberately dumb: no queues of its own beyond transport,
-no policy.  Batch formation stays in the scheduler, placement in the
-policy, pricing in the cost model.
+Self-healing (the fleet side; batch re-dispatch lives in the
+scheduler):
+
+* **Supervision** -- dead workers are respawned from the original
+  payload, bounded per slot (``max_restarts``) and spaced by the
+  shared :class:`repro.serving.RetryPolicy` exponential backoff.  A
+  respawn re-snapshots the session's learned
+  :class:`repro.cost.OnlineCostModel` (when cost learning is on), so
+  the replacement prices batches from everything the fleet measured
+  before the crash instead of re-learning from scratch.
+* **Heartbeats** -- idle workers beat on their reply pipe every
+  ``heartbeat_s``; the pool tracks ``last_seen`` per worker.  A worker
+  that is *executing* cannot beat, so heartbeats are the idle-liveness
+  signal -- the scheduler's per-batch dispatch deadline (derived from
+  the cost model) is what catches a worker hung mid-batch.
+* **Liveness-checked dispatch** -- dispatching to a dead worker raises
+  :class:`WorkerDiedError` instead of burying the task in a queue no
+  process will ever read (respawns get a *fresh* task queue; anything
+  in the old one is gone by design -- the scheduler re-dispatches from
+  its own in-flight table).
+
+Deterministic failure for tests comes from
+:mod:`repro.serving.faults`: a :class:`~repro.serving.faults.FaultPlan`
+passed at construction scripts kills, hangs, delays, and corrupt or
+duplicate replies per worker incarnation.
+
+The pool stays deliberately dumb about *work*: no queues of its own
+beyond transport, no policy.  Batch formation stays in the scheduler,
+placement in the policy, pricing in the cost model -- the pool owns
+only its processes.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import queue as queue_module
+import select
+import struct
 import threading
 import time
 import traceback
@@ -33,15 +79,191 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["WorkerPool", "WorkerReply", "worker_payload"]
+from repro.serving.retry import RetryPolicy
+
+__all__ = ["WorkerPool", "WorkerReply", "WorkerDiedError",
+           "RecoveryPolicy", "worker_payload"]
 
 _SENTINEL = None
 _READY = "ready"
+_HEARTBEAT = "heartbeat"
 
 #: BLAS/threading knobs capped to 1 in spawned workers: N workers x M
 #: BLAS threads oversubscribes the host and ruins scaling.
 _THREAD_VARS = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
                 "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS")
+
+
+#: Reply wire format: a 4-byte big-endian length prefix, then that many
+#: bytes of pickled :class:`WorkerReply`.  Each pipe has exactly one
+#: writer (its worker's main loop), so frames never interleave; a
+#: writer that dies mid-write leaves at most one torn trailing frame,
+#: confined to its own pipe.
+_FRAME = struct.Struct(">I")
+
+
+def _write_frame(fd, payload, limit=None):
+    """Blocking write of one framed reply onto ``fd``.
+
+    ``limit`` is the fault-injection hook: write only the first
+    ``limit`` bytes of the frame (a torn frame, as an abrupt
+    mid-write death would leave) and return.
+    """
+    data = _FRAME.pack(len(payload)) + payload
+    if limit is not None:
+        data = data[:limit]
+    view = memoryview(data)
+    while view:
+        view = view[os.write(fd, view):]
+
+
+def _send_reply(conn, reply):
+    _write_frame(conn.fileno(),
+                 pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class _ReplyReader:
+    """Parent half of one worker's reply pipe.
+
+    The descriptor is non-blocking: :meth:`drain` reads whatever the
+    OS has buffered, reassembles complete frames, and never waits --
+    a worker that died mid-write can therefore stall nothing.  Its
+    torn trailing frame simply never completes and is dropped with
+    the reader.  ``eof`` flips once every write end is closed (the
+    worker exited and, under fork, so did any siblings that inherited
+    the descriptor); an ``eof`` reader with no complete frame left is
+    exhausted and can be closed.
+    """
+
+    def __init__(self, conn):
+        self._conn = conn
+        os.set_blocking(conn.fileno(), False)
+        self._buffer = bytearray()
+        self.eof = False
+
+    def fileno(self):
+        """File descriptor, so ``select`` can wait on readers."""
+        return self._conn.fileno()
+
+    def drain(self):
+        """Non-blocking: consume available bytes, return the complete
+        :class:`WorkerReply` frames they finish."""
+        while not self.eof:
+            try:
+                chunk = os.read(self._conn.fileno(), 1 << 16)
+            except BlockingIOError:
+                break
+            except (OSError, ValueError):     # pipe closed under us
+                self.eof = True
+                break
+            if not chunk:
+                self.eof = True
+                break
+            self._buffer.extend(chunk)
+        replies = []
+        while len(self._buffer) >= _FRAME.size:
+            size = _FRAME.unpack_from(self._buffer)[0]
+            if len(self._buffer) - _FRAME.size < size:
+                break                          # incomplete (or torn) frame
+            frame = bytes(self._buffer[_FRAME.size:_FRAME.size + size])
+            del self._buffer[:_FRAME.size + size]
+            try:
+                replies.append(pickle.loads(frame))
+            except Exception:                  # pragma: no cover
+                # A length-complete frame that does not unpickle means
+                # the writer is garbage; stop trusting the stream.
+                self.eof = True
+                self._buffer.clear()
+                break
+        return replies
+
+    def close(self):
+        try:
+            self._conn.close()
+        except OSError:                        # pragma: no cover
+            pass
+
+
+class WorkerDiedError(RuntimeError):
+    """Dispatch targeted a worker whose process has exited.
+
+    Raised under the pool's state lock *before* the task is enqueued,
+    so the batch is never stranded in a dead worker's queue -- the
+    caller redirects it (the scheduler requeues and triggers
+    recovery).
+    """
+
+    def __init__(self, worker, message=None):
+        super().__init__(message or f"worker {worker} is dead")
+        self.worker = worker
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How a serving target survives worker failures.
+
+    One policy covers both halves of self-healing: the pool side
+    (supervision cadence) and the scheduler side (re-dispatch budgets
+    and deadlines).  All defaults are production-shaped; chaos tests
+    tighten them.
+
+    Parameters
+    ----------
+    heartbeat_s: idle workers send a heartbeat reply this often
+        (liveness telemetry; see :class:`WorkerPool`).
+    max_worker_restarts: respawns allowed per worker slot before the
+        slot is abandoned.  When every slot is dead and exhausted the
+        pool reports :attr:`WorkerPool.fleet_down` and the scheduler
+        degrades to in-process execution.
+    restart_backoff: :class:`repro.serving.RetryPolicy` spacing
+        consecutive respawns of one slot (crash loops must not spin).
+    retry: :class:`repro.serving.RetryPolicy` whose ``retries`` is the
+        per-request re-dispatch budget after worker losses -- a request
+        whose batches have killed ``retries + 1`` workers is poisoned:
+        failed cleanly to its caller instead of retried forever.
+    dispatch_timeout_factor: a dispatched batch is declared *hung* when
+        no reply arrives within ``factor x`` its placement-predicted
+        completion time (cost-model-derived deadline; the hung worker
+        is terminated and the batch re-dispatched).
+    min_dispatch_timeout_s: floor under the dispatch deadline --
+        prediction noise on tiny batches must not declare healthy
+        workers hung.
+    max_in_flight_per_worker: bound on batches queued on one worker;
+        flushes defer (backpressure) rather than burying a slow worker,
+        which also caps how much work any single crash can strand.
+    shed_expired_on_recovery: requests recovered from a lost worker
+        whose deadline has already passed are shed (failed to their
+        callers, counted in the class's ``shed`` stats) instead of
+        silently re-executed late.  Premium class-0 requests are never
+        shed; they re-dispatch regardless.
+    """
+
+    heartbeat_s: float = 2.0
+    max_worker_restarts: int = 3
+    restart_backoff: RetryPolicy = RetryPolicy(
+        attempts=4, backoff_base_s=0.05, backoff_max_s=2.0)
+    retry: RetryPolicy = RetryPolicy(attempts=3)
+    dispatch_timeout_factor: float = 20.0
+    min_dispatch_timeout_s: float = 30.0
+    max_in_flight_per_worker: int = 8
+    shed_expired_on_recovery: bool = True
+
+    def __post_init__(self):
+        if self.heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be > 0")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+        if self.dispatch_timeout_factor <= 0:
+            raise ValueError("dispatch_timeout_factor must be > 0")
+        if self.min_dispatch_timeout_s <= 0:
+            raise ValueError("min_dispatch_timeout_s must be > 0")
+        if self.max_in_flight_per_worker < 1:
+            raise ValueError("max_in_flight_per_worker must be >= 1")
+
+    @property
+    def max_request_retries(self):
+        """Re-dispatches one request may consume after worker losses."""
+        return self.retry.retries
 
 
 class _single_thread_blas_env:
@@ -75,14 +297,16 @@ class _single_thread_blas_env:
 class WorkerReply:
     """One message from an executor worker.
 
-    ``kind`` is ``"ready"`` (startup handshake), ``"result"`` (a
-    completed batch) or ``"error"``.  Results carry the merged batch
-    arrays in submission order -- the parent re-slices them per request
-    -- plus the shard's shape and timing: ``num_images`` and
-    ``wall_time_s``, the worker's measured host execution time.  The
-    pair is the online-learning signal -- it feeds both the placement
-    policy's per-worker estimator and the parent session's
-    :class:`repro.cost.OnlineCostModel` (when cost learning is on).
+    ``kind`` is ``"ready"`` (startup handshake), ``"heartbeat"``
+    (idle liveness beat -- consumed by the pool, never surfaced to the
+    scheduler), ``"result"`` (a completed batch) or ``"error"``.
+    Results carry the merged batch arrays in submission order -- the
+    parent re-slices them per request -- plus the shard's shape and
+    timing: ``num_images`` and ``wall_time_s``, the worker's measured
+    host execution time.  The pair is the online-learning signal -- it
+    feeds both the placement policy's per-worker estimator and the
+    parent session's :class:`repro.cost.OnlineCostModel` (when cost
+    learning is on).
     """
 
     kind: str
@@ -113,51 +337,124 @@ def worker_payload(session):
         return session
 
 
-def _run_worker(worker_index, payload, task_queue,
-                result_queue):                       # pragma: no cover
+def _snapshot_payload(payload):
+    """A (re)spawn-safe copy of ``payload`` carrying the *current*
+    learned cost state.
+
+    Pickling a live :class:`repro.cost.OnlineCostModel` while the
+    scheduler thread is folding measurements into it is a data race
+    (dict mutation mid-pickle); spec payloads instead ship a clone
+    rebuilt from ``snapshot()`` taken synchronously here.  This is
+    also the supervision re-seed: a worker respawned after minutes of
+    serving inherits every coefficient the fleet learned, so placement
+    and flush pricing do not regress to the static prior.
+
+    Non-spec payloads (pickled sessions) pass through unchanged --
+    their cost model is pickled live, the pre-existing fallback
+    behavior.
+    """
+    from repro.cost import OnlineCostModel
+
+    cost = getattr(payload, "cost_model", None)
+    if hasattr(payload, "with_cost_model") and isinstance(cost,
+                                                          OnlineCostModel):
+        clone = OnlineCostModel.from_snapshot(cost.prior, cost.snapshot())
+        return payload.with_cost_model(clone)
+    return payload
+
+
+def _run_worker(worker_index, incarnation, payload, task_queue,
+                reply_conn, heartbeat_s=None,
+                fault=None):                         # pragma: no cover
     """Executor-worker main loop (module-level: spawn must import it).
 
     Rebuilds the session, signals readiness, then serves tasks until
-    the ``None`` sentinel arrives.  Every task failure is reported as
-    an error reply -- the worker itself survives to serve the next
-    batch.
+    the ``None`` sentinel arrives, heartbeating on its reply pipe
+    whenever ``heartbeat_s`` passes without work.  Every task failure
+    is reported as an error reply -- the worker itself survives to
+    serve the next batch.  ``fault`` is the resolved
+    :class:`repro.serving.faults.FaultSpec` for this incarnation
+    (test-only; ``None`` in production).
+
+    Replies go over this worker's private pipe (see module docstring);
+    a broken pipe means the parent is gone or closed the pool, so the
+    worker simply exits.
 
     (no-cover: this body runs inside child processes, outside the
-    parent's coverage tracer; ``tests/serving/test_workers.py``
-    exercises every branch through real pools.)
+    parent's coverage tracer; ``tests/serving/test_workers.py`` and
+    ``tests/serving/test_faults.py`` exercise every branch through
+    real pools.)
     """
+    def send(reply):
+        try:
+            _send_reply(reply_conn, reply)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
     try:
         session = (payload.build() if hasattr(payload, "build")
                    else payload)
     except Exception as exc:                             # pragma: no cover
-        result_queue.put(WorkerReply(
+        send(WorkerReply(
             kind="error", worker=worker_index,
             error=f"worker startup failed: {exc!r}",
             tb=traceback.format_exc()))
         return
-    result_queue.put(WorkerReply(kind=_READY, worker=worker_index))
+    if not send(WorkerReply(kind=_READY, worker=worker_index)):
+        return
+    batch_count = 0
     while True:
-        task = task_queue.get()
+        try:
+            task = task_queue.get(timeout=heartbeat_s)
+        except queue_module.Empty:
+            if not send(WorkerReply(kind=_HEARTBEAT,
+                                    worker=worker_index)):
+                return
+            continue
         if task is _SENTINEL:
             break
         task_id, image_groups = task
+        batch_count += 1
+        if fault is not None and fault.should_kill(batch_count):
+            os._exit(13)
+        if fault is not None and fault.should_hang(batch_count):
+            while True:                 # wedged: alive, silent forever
+                time.sleep(60.0)
         try:
             result, _ = session.submit_many(image_groups)
-            result_queue.put(WorkerReply(
+            logits = result.logits
+            if fault is not None and fault.should_corrupt(batch_count):
+                logits = logits[:-1]    # truncated payload on the wire
+            reply = WorkerReply(
                 kind="result", worker=worker_index, task_id=task_id,
-                logits=result.logits,
+                logits=logits,
                 tokens_per_stage=result.tokens_per_stage,
                 latency_ms=result.latency_ms,
                 wall_time_s=result.wall_time_s,
-                num_images=int(result.logits.shape[0])))
+                num_images=int(logits.shape[0]))
+            if fault is not None:
+                fault.apply_delay()
+            if fault is not None and fault.should_tear(batch_count):
+                # Abrupt death mid-reply: half a frame, then gone.
+                payload_bytes = pickle.dumps(
+                    reply, protocol=pickle.HIGHEST_PROTOCOL)
+                _write_frame(reply_conn.fileno(), payload_bytes,
+                             limit=_FRAME.size + len(payload_bytes) // 2)
+                os._exit(13)
+            if not send(reply):
+                return
+            if fault is not None and fault.should_duplicate(batch_count):
+                send(reply)
         except Exception as exc:
-            result_queue.put(WorkerReply(
-                kind="error", worker=worker_index, task_id=task_id,
-                error=repr(exc), tb=traceback.format_exc()))
+            if not send(WorkerReply(
+                    kind="error", worker=worker_index, task_id=task_id,
+                    error=repr(exc), tb=traceback.format_exc())):
+                return
 
 
 class WorkerPool:
-    """N executor processes fed per-worker task queues.
+    """N executor processes fed per-worker task queues, supervised.
 
     Parameters
     ----------
@@ -173,40 +470,83 @@ class WorkerPool:
         inherit the parent's already-initialized BLAS threading.
     startup_timeout_s: how long to wait for every worker's ready
         handshake before giving up.
+    recovery: :class:`RecoveryPolicy` for supervision (heartbeat
+        cadence, restart budget and backoff); default policy applies
+        when ``None``.
+    fault_plan: optional :class:`repro.serving.faults.FaultPlan`
+        scripting deterministic failures per worker incarnation
+        (test-only).
     """
 
     def __init__(self, session, num_workers, ctx="spawn",
-                 startup_timeout_s=120.0):
+                 startup_timeout_s=120.0, recovery=None, fault_plan=None):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
-        payload = (session if hasattr(session, "build")
-                   else worker_payload(session))
+        self._payload = (session if hasattr(session, "build")
+                         else worker_payload(session))
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        self._fault_plan = fault_plan
         self._ctx = multiprocessing.get_context(ctx)
         self.num_workers = int(num_workers)
         self._task_queues = [self._ctx.Queue()
                              for _ in range(self.num_workers)]
-        self._result_queue = self._ctx.Queue()
-        # Guards _closed against dispatch/poll racing close() from
-        # another thread (scheduler shutdown during background
-        # stepping): without it a dispatcher can observe _closed ==
-        # False, lose the CPU, and put on a queue close() has already
-        # released -- an unhandled ValueError/OSError deep in
-        # multiprocessing instead of the clean "pool is closed" error.
-        # RLock so close() can run under it end to end while its own
-        # helpers re-enter.
+        # One reply pipe per worker (crash isolation -- see module
+        # docstring), plus a graveyard of dead incarnations' readers
+        # still holding completed replies, drained until EOF.
+        self._reply_readers = [None] * self.num_workers
+        self._retired_readers = []
+        # Guards _closed (and the process/queue tables, which respawns
+        # mutate) against dispatch/poll racing close() from another
+        # thread (scheduler shutdown during background stepping):
+        # without it a dispatcher can observe _closed == False, lose
+        # the CPU, and put on a queue close() has already released --
+        # an unhandled ValueError/OSError deep in multiprocessing
+        # instead of the clean "pool is closed" error.  RLock so
+        # close() can run under it end to end while its own helpers
+        # re-enter.
         self._state_lock = threading.RLock()
         self._closed = False
-        self._processes = [
-            self._ctx.Process(
-                target=_run_worker,
-                args=(index, payload, self._task_queues[index],
-                      self._result_queue),
-                name=f"repro-serving-worker-{index}", daemon=True)
-            for index in range(self.num_workers)]
+        self._incarnations = [0] * self.num_workers
+        self._restarts = [0] * self.num_workers
+        self._next_restart_at = [0.0] * self.num_workers
+        now = time.monotonic()
+        self._last_seen = [now] * self.num_workers
+        self._processes = []
+        child_conns = []
+        for index in range(self.num_workers):
+            process, child_conn = self._make_process(index)
+            self._processes.append(process)
+            child_conns.append(child_conn)
         with _single_thread_blas_env():
             for process in self._processes:
                 process.start()
+        # Drop the parent's copies of the write ends: after this, each
+        # pipe's only writer is its worker, and EOF on a reader means
+        # that worker (and, under fork, any sibling that inherited the
+        # descriptor) is gone.
+        for conn in child_conns:
+            conn.close()
         self._await_ready(startup_timeout_s)
+
+    def _make_process(self, index):
+        """Build (but do not start) a process for the slot's current
+        incarnation, wiring a fresh reply pipe into
+        ``_reply_readers[index]``.  Returns ``(process, child_conn)``;
+        the caller starts the process and then closes ``child_conn``
+        (the parent's copy of the write end)."""
+        incarnation = self._incarnations[index]
+        fault = (None if self._fault_plan is None
+                 else self._fault_plan.for_worker(index, incarnation))
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        self._reply_readers[index] = _ReplyReader(recv_conn)
+        process = self._ctx.Process(
+            target=_run_worker,
+            args=(index, incarnation, _snapshot_payload(self._payload),
+                  self._task_queues[index], send_conn,
+                  self.recovery.heartbeat_s, fault),
+            name=(f"repro-serving-worker-{index}.{incarnation}"),
+            daemon=True)
+        return process, send_conn
 
     def _await_ready(self, timeout_s):
         deadline = time.monotonic() + timeout_s
@@ -218,27 +558,39 @@ class WorkerPool:
                 raise RuntimeError(
                     f"worker pool startup timed out; ready: "
                     f"{sorted(ready)} of {self.num_workers}")
-            try:
-                reply = self._result_queue.get(timeout=min(remaining, 0.2))
-            except queue_module.Empty:
+            replies = self._collect_raw(min(remaining, 0.2))
+            if not replies:
                 dead = [p.name for p in self._processes
                         if not p.is_alive() and p.exitcode not in (0, None)]
-                if dead:
+                if dead and self._fault_plan is None:
                     self.close()
                     raise RuntimeError(
                         f"worker(s) died during startup: {dead}")
                 continue
-            if reply.kind == "error":
-                self.close()
-                raise RuntimeError(
-                    f"worker {reply.worker} failed to start: "
-                    f"{reply.error}\n{reply.tb}")
-            ready.add(reply.worker)
+            for reply in replies:
+                if reply.kind == "error":
+                    self.close()
+                    raise RuntimeError(
+                        f"worker {reply.worker} failed to start: "
+                        f"{reply.error}\n{reply.tb}")
+                self._last_seen[reply.worker] = time.monotonic()
+                ready.add(reply.worker)
 
     # ------------------------------------------------------------------
     def dispatch(self, task_id, image_groups, worker):
         """Send one batch (a list of per-request image arrays) to
         ``worker``.  Non-blocking: the reply arrives via :meth:`poll`.
+
+        Returns the worker's current *incarnation* -- the one whose
+        queue the task landed on, read under the same lock as the
+        enqueue.  Loss detection keys on it: a batch whose worker slot
+        has since moved to a newer incarnation is stranded (the respawn
+        swapped in a fresh queue), however alive the slot looks.
+
+        Raises :class:`WorkerDiedError` when the target process has
+        exited -- checked under the state lock, so the task is never
+        enqueued onto a queue no process will read (respawns start
+        from a fresh queue).  Callers redirect the batch instead.
         """
         if not 0 <= worker < self.num_workers:
             raise ValueError(f"worker index {worker} out of range "
@@ -246,40 +598,230 @@ class WorkerPool:
         with self._state_lock:
             if self._closed:
                 raise RuntimeError("worker pool is closed")
+            if not self._processes[worker].is_alive():
+                raise WorkerDiedError(
+                    worker,
+                    f"worker {worker} "
+                    f"(incarnation {self._incarnations[worker]}) is "
+                    f"dead; redirect the batch")
             self._task_queues[worker].put((task_id, list(image_groups)))
+            return self._incarnations[worker]
 
     def poll(self, timeout_s=0.0):
-        """Collect available replies; waits at most ``timeout_s`` for
-        the first one, then drains without blocking."""
+        """Collect available result/error replies; waits at most
+        ``timeout_s`` for the first one, then drains without blocking.
+
+        Heartbeat and (re)spawn-ready replies are consumed here --
+        they update the per-worker ``last_seen`` clock and are never
+        returned to the caller.
+        """
+        return [reply for reply in self._collect_raw(timeout_s)
+                if self._note(reply)]
+
+    def _collect_raw(self, timeout_s):
+        """Drain every reply pipe -- live and retired -- without
+        blocking; when nothing is buffered, wait up to ``timeout_s``
+        for readability and drain once more.  Raw: ready/heartbeat
+        replies are included (``_await_ready`` needs them)."""
+        with self._state_lock:
+            if self._closed:
+                return []
+            replies = self._drain_readers()
+        if replies or timeout_s <= 0:
+            return replies
+        # The wait happens *outside* the lock so a concurrent close()
+        # is never stalled behind it; the post-wait drain re-checks
+        # _closed.
+        self._wait_readable(timeout_s)
+        with self._state_lock:
+            if self._closed:
+                return []
+            return self._drain_readers()
+
+    def _drain_readers(self):
+        """Drain all reply pipes (caller holds the state lock).
+        Exhausted retired readers -- EOF with no complete frame left,
+        any torn trailing frame discarded -- are closed and dropped."""
         replies = []
-        block = timeout_s > 0
-        while True:
-            try:
-                with self._state_lock:
-                    if self._closed:
-                        break
-                    if not block:
-                        replies.append(self._result_queue.get_nowait())
-                        continue
-                # Blocking wait happens *outside* the lock so a
-                # concurrent close() is never stalled behind it; the
-                # post-wait drain re-checks _closed above.
-                replies.append(self._result_queue.get(timeout=timeout_s))
-            except queue_module.Empty:
-                break
-            except (ValueError, OSError):     # queue released mid-wait
-                break
-            block = False
+        for reader in self._reply_readers:
+            if reader is not None:
+                replies.extend(reader.drain())
+        kept = []
+        for reader in self._retired_readers:
+            replies.extend(reader.drain())
+            if reader.eof:
+                reader.close()
+            else:
+                kept.append(reader)
+        self._retired_readers = kept
         return replies
+
+    def _wait_readable(self, timeout_s):
+        """Block until some reply pipe has data, or ``timeout_s``."""
+        with self._state_lock:
+            if self._closed:
+                return
+            readers = [reader for reader in self._reply_readers
+                       if reader is not None and not reader.eof]
+            readers += [reader for reader in self._retired_readers
+                        if not reader.eof]
+        try:
+            if readers:
+                select.select(readers, [], [], timeout_s)
+            else:
+                time.sleep(timeout_s)
+        except (OSError, ValueError):     # descriptor closed mid-wait
+            pass
+
+    def _note(self, reply):
+        """Record liveness; returns whether the reply is for the caller."""
+        if 0 <= reply.worker < self.num_workers:
+            self._last_seen[reply.worker] = time.monotonic()
+        return reply.kind not in (_READY, _HEARTBEAT)
 
     def alive_workers(self):
         """Indices of workers whose processes are still running."""
         return [index for index, process in enumerate(self._processes)
                 if process.is_alive()]
 
+    def liveness(self):
+        """Atomic ``(alive_set, incarnations)`` snapshot.
+
+        Loss detection needs the pair from one instant: checking
+        aliveness alone races supervision -- a worker that dies and is
+        respawned between two looks is alive both times, with the dead
+        incarnation's batches stranded in between.  The incarnation
+        numbers disambiguate: a batch dispatched to incarnation *k* of
+        a slot now running incarnation *k+1* is lost, however alive
+        the slot is.
+        """
+        with self._state_lock:
+            return ({index for index, process in enumerate(self._processes)
+                     if process.is_alive()},
+                    tuple(self._incarnations))
+
+    def last_seen(self, worker):
+        """Host-monotonic time of the worker's last reply or heartbeat."""
+        return self._last_seen[worker]
+
+    @property
+    def restarts(self):
+        """Per-slot respawn counts (supervision telemetry)."""
+        return tuple(self._restarts)
+
     @property
     def closed(self):
         return self._closed
+
+    # ------------------------------------------------------------------
+    # Supervision: respawn dead workers, terminate hung ones
+    # ------------------------------------------------------------------
+    def can_respawn(self, worker):
+        """Whether the slot has restart budget left (now or after its
+        backoff window)."""
+        return (not self._closed
+                and self._restarts[worker] < self.recovery.max_worker_restarts)
+
+    @property
+    def fleet_down(self):
+        """No process alive and no slot can ever respawn: the pool is
+        permanently lost and the serving target should degrade to
+        in-process execution."""
+        with self._state_lock:
+            if self._closed:
+                return True
+            return (not any(p.is_alive() for p in self._processes)
+                    and not any(self.can_respawn(w)
+                                for w in range(self.num_workers)))
+
+    def terminate_worker(self, worker, incarnation=None):
+        """Forcibly kill one worker (the hung-worker remedy).  The
+        slot becomes eligible for supervision like any other death.
+
+        When ``incarnation`` is given the kill only lands if the slot
+        still runs that incarnation -- a respawn that slipped in
+        between blame assignment and the terminate call must not be
+        executed for its predecessor's hung batch.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            if (incarnation is not None
+                    and self._incarnations[worker] != incarnation):
+                return
+            process = self._processes[worker]
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+
+    def respawn_dead(self):
+        """Supervise: restart every dead worker whose slot has restart
+        budget and whose backoff window has passed.
+
+        Each respawn gets a **fresh task queue** (anything buffered for
+        the dead incarnation is dropped -- the scheduler re-dispatches
+        lost batches from its own in-flight table) and a payload
+        re-snapshotted from the parent session, so a learned cost
+        model's current fit rides along.  Non-blocking beyond process
+        start: readiness arrives as a reply consumed by :meth:`poll`.
+        Returns the respawned worker indices.
+        """
+        respawned = []
+        with self._state_lock:
+            if self._closed:
+                return respawned
+            now = time.monotonic()
+            for index, process in enumerate(self._processes):
+                if process.is_alive():
+                    continue
+                if not self.can_respawn(index):
+                    continue
+                if now < self._next_restart_at[index]:
+                    continue
+                process.join(timeout=1.0)
+                old_queue = self._task_queues[index]
+                self._task_queues[index] = self._ctx.Queue()
+                try:
+                    old_queue.close()
+                    old_queue.cancel_join_thread()
+                except (ValueError, OSError):         # pragma: no cover
+                    pass
+                # Retire (don't close) the dead incarnation's reply
+                # pipe: results it completed before dying are still
+                # buffered there and remain deliverable; poll() drains
+                # the retired reader to EOF and then discards it --
+                # along with any torn trailing frame the death left.
+                old_reader = self._reply_readers[index]
+                if old_reader is not None:
+                    self._retired_readers.append(old_reader)
+                attempt = self._restarts[index]
+                self._restarts[index] += 1
+                self._next_restart_at[index] = (
+                    now + self.recovery.restart_backoff.delay_s(
+                        attempt, seed=index))
+                self._incarnations[index] += 1
+                self._last_seen[index] = now
+                replacement, child_conn = self._make_process(index)
+                with _single_thread_blas_env():
+                    replacement.start()
+                child_conn.close()
+                self._processes[index] = replacement
+                respawned.append(index)
+        return respawned
+
+    def supervision_snapshot(self):
+        """Telemetry: per-slot incarnation/restart/liveness state
+        (what ``Scheduler.stats()`` reports per pooled target)."""
+        with self._state_lock:
+            now = time.monotonic()
+            return {
+                "alive": self.alive_workers(),
+                "incarnations": tuple(self._incarnations),
+                "restarts": tuple(self._restarts),
+                "heartbeat_age_s": tuple(now - seen
+                                         for seen in self._last_seen),
+                "fleet_down": self.fleet_down,
+            }
 
     # ------------------------------------------------------------------
     def close(self, timeout_s=30.0):
@@ -302,21 +844,30 @@ class WorkerPool:
                     except (ValueError, OSError):     # pragma: no cover
                         pass
         deadline = time.monotonic() + timeout_s
-        # Keep the reply pipe drained while the workers wind down: a
-        # worker with more buffered replies than the pipe holds blocks
-        # in its feeder thread and never reaches the sentinel, so an
-        # undrained close would stall the full timeout and then
-        # terminate a healthy worker.  Discarding is correct here --
-        # close() is end of life; callers that want the results drain
-        # before closing (Scheduler.shutdown does).
+        # Keep the reply pipes drained while the workers wind down: a
+        # worker with more buffered replies than its pipe holds blocks
+        # mid-write and never reaches the sentinel, so an undrained
+        # close would stall the full timeout and then terminate a
+        # healthy worker.  Discarding is correct here -- close() is
+        # end of life; callers that want the results drain before
+        # closing (Scheduler.shutdown does).
         while (any(process.is_alive() for process in self._processes)
                and time.monotonic() < deadline):
+            with self._state_lock:
+                readers = [reader for reader in self._reply_readers
+                           if reader is not None and not reader.eof]
+                readers += [reader for reader in self._retired_readers
+                            if not reader.eof]
             try:
-                self._result_queue.get(timeout=0.05)
-            except queue_module.Empty:
+                if readers:
+                    select.select(readers, [], [], 0.05)
+                else:
+                    time.sleep(0.05)
+            except (OSError, ValueError):         # pragma: no cover
                 pass
-            except (ValueError, OSError):         # pragma: no cover
-                break
+            with self._state_lock:
+                for reader in readers:
+                    reader.drain()
         for process in self._processes:
             process.join(timeout=max(0.0, deadline - time.monotonic()))
             if process.is_alive():                # pragma: no cover
@@ -326,8 +877,10 @@ class WorkerPool:
             for task_queue in self._task_queues:
                 task_queue.close()
                 task_queue.cancel_join_thread()
-            self._result_queue.close()
-            self._result_queue.cancel_join_thread()
+            for reader in self._reply_readers + self._retired_readers:
+                if reader is not None:
+                    reader.close()
+            self._retired_readers = []
 
     def __enter__(self):
         return self
@@ -338,4 +891,5 @@ class WorkerPool:
     def __repr__(self):
         state = "closed" if self._closed else "open"
         return (f"WorkerPool(workers={self.num_workers}, {state}, "
-                f"ctx={self._ctx.get_start_method()!r})")
+                f"ctx={self._ctx.get_start_method()!r}, "
+                f"restarts={sum(self._restarts)})")

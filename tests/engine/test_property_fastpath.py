@@ -119,7 +119,12 @@ class TestFusedLayerNormProperties:
         out = np.empty_like(x)
         ws = Workspace(np.float64) if use_ws else None
         fused_layer_norm(x, weight, bias, 1e-6, out=out, ws=ws)
-        np.testing.assert_allclose(out, ref, rtol=0, atol=1e-12)
+        # Constant (zero-variance) rows normalize by 1/sqrt(eps) = 1e3,
+        # amplifying the two implementations' differently-ordered
+        # mean subtraction to ~|x| * eps_machine * 1e3 ~ 7e-12 at the
+        # strategy's +/-30 bound -- the tolerance must clear that
+        # cancellation floor.
+        np.testing.assert_allclose(out, ref, rtol=0, atol=1e-10)
 
     @given(x=token_batches(), use_ws=st.booleans())
     @settings(max_examples=60, deadline=None)
@@ -131,7 +136,7 @@ class TestFusedLayerNormProperties:
         out = np.empty_like(x)
         ws = Workspace(np.float64) if use_ws else None
         fused_layer_norm(x, None, None, 1e-6, out=out, ws=ws)
-        np.testing.assert_allclose(out, ref, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(out, ref, rtol=0, atol=1e-10)
 
 
 class TestGeluKernels:

@@ -187,12 +187,14 @@ class TestPooledLearning:
         ids, results = run_traffic(scheduler, images, clock)
         assert sorted(results) == sorted(ids)
         # Every worker reply's (shape, wall) fed the parent's model...
+        # (replies, not requests: the in-flight bound may coalesce
+        # deferred flushes into fewer, larger batches)
         batch_samples, _ = served.cost_model.samples()
-        assert batch_samples >= len(images)
+        assert batch_samples > 0
         assert served.cost_model.confident()
-        # ...and the per-worker placement estimators.
+        # ...and the per-worker placement estimators, one sample each.
         learned = served.placement.snapshot()["learned"]
-        assert sum(entry["samples"] for entry in learned) >= len(images)
+        assert sum(entry["samples"] for entry in learned) == batch_samples
         # Execution semantics unchanged: same keep decisions and
         # engine-tolerance logits as a static in-process session.
         reference = InferenceSession(model, batch_size=8,

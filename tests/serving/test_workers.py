@@ -160,21 +160,24 @@ class TestWorkerPoolDirect:
             pool.dispatch(0, [], 0)
         pool.close()                                  # idempotent
 
-    def test_worker_death_detected_on_drain(self, served_model, images):
+    def test_worker_death_heals_on_drain(self, served_model, images):
+        """A dead worker no longer sinks the target: dispatch avoids
+        it, drain completes every request on the survivor, and the
+        supervisor respawns the slot (recorded in stats)."""
         scheduler = Scheduler(clock=VirtualClock())
         scheduler.register("tiny", served_model, batch_size=16,
                            workers=2, worker_ctx="fork")
         pool = scheduler.sessions[0].pool
         try:
-            # Kill one worker, then route a batch to it: the reply can
-            # never arrive, and a blocking drain must say so instead of
-            # hanging.
             victim = pool._processes[0]
             victim.terminate()
             victim.join(timeout=30)
-            submit_all(scheduler, images[:4])
-            with pytest.raises(RuntimeError, match="died with batch"):
-                scheduler.drain()
+            ids = submit_all(scheduler, images[:4])
+            drained = scheduler.drain(timeout_ms=120_000)
+            assert sorted(r.request_id for r in drained) == sorted(ids)
+            assert all(not r.failed for r in drained)
+            recovery = scheduler.stats()["sessions"]["tiny"]["recovery"]
+            assert recovery["respawns"] >= 1
         finally:
             scheduler.shutdown(drain=False)
 
@@ -197,15 +200,49 @@ class _StubPool:
     """A fake WorkerPool for deterministic _collect edge cases."""
 
     def __init__(self, reply_batches, alive=(0, 1)):
+        from repro.serving import RecoveryPolicy
+
         self.num_workers = 2
+        self.recovery = RecoveryPolicy()
+        self.closed = False
+        self.fleet_down = False
+        self.respawned = []
+        self.terminated = []
         self._reply_batches = [list(batch) for batch in reply_batches]
         self._alive = list(alive)
+        self._incarnations = [0] * self.num_workers
 
     def poll(self, timeout_s=0.0):
         return self._reply_batches.pop(0) if self._reply_batches else []
 
     def alive_workers(self):
         return list(self._alive)
+
+    def liveness(self):
+        return set(self._alive), tuple(self._incarnations)
+
+    def terminate_worker(self, worker, incarnation=None):
+        if (incarnation is not None
+                and self._incarnations[worker] != incarnation):
+            return
+        self.terminated.append(worker)
+        if worker in self._alive:
+            self._alive.remove(worker)
+
+    def respawn_dead(self):
+        dead = [w for w in range(self.num_workers)
+                if w not in self._alive]
+        for worker in dead:
+            self._incarnations[worker] += 1
+        self._alive = sorted(self._alive + dead)
+        self.respawned.extend(dead)
+        return dead
+
+    def supervision_snapshot(self):
+        return {"alive": self.alive_workers(),
+                "restarts": tuple(), "incarnations": tuple(),
+                "heartbeat_age_s": tuple(),
+                "fleet_down": self.fleet_down}
 
 
 def _pooled_served(scheduler, name, model, images, per_request=1):
@@ -230,11 +267,12 @@ def _pooled_served(scheduler, name, model, images, per_request=1):
 
 
 class TestCollectEdgeCases:
-    def test_error_reply_does_not_drop_sibling_results(
+    def test_error_reply_absorbed_sibling_results_survive(
             self, served_model, images):
         """An error reply drained in the same poll() as a result reply
-        must not lose the result: both are processed, the error raises
-        afterwards, and the failed batch's requests are requeued."""
+        must not lose the result -- and must not raise either: the
+        failed batch's requests go back on the queue with one unit of
+        retry budget spent, and the error is recorded."""
         from repro.serving import WorkerReply
 
         scheduler = Scheduler(clock=VirtualClock())
@@ -248,17 +286,50 @@ class TestCollectEdgeCases:
                                  logits=result.logits,
                                  tokens_per_stage=result.tokens_per_stage,
                                  latency_ms=result.latency_ms,
-                                 wall_time_s=result.wall_time_s)
+                                 wall_time_s=result.wall_time_s,
+                                 num_images=1)
         served.pool = _StubPool([[error_reply, good_reply]])
-        with pytest.raises(RuntimeError, match="boom"):
-            scheduler._collect(served, block=False)
+        scheduler._collect(served, block=False)       # no raise
         # The sibling result survived and is retrievable...
         completed = scheduler.pop_result(requests[1].request_id)
         assert completed is not None
         np.testing.assert_array_equal(completed.logits, result.logits)
-        # ...and the failed batch's requests went back on the queue.
+        # ...and the failed batch's requests went back on the queue,
+        # one retry consumed, the error absorbed into telemetry.
         assert len(served.queue) == 1
+        assert requests[0].retries == 1
         assert served.pending == {}
+        assert served.recovery["worker_errors"] == 1
+        assert served.recovery["redispatched_requests"] == 1
+
+    def test_duplicate_reply_dropped_at_most_once(
+            self, served_model, images):
+        """Two copies of one task's reply in the same drain: the first
+        completes the batch, the second is dropped -- the result is
+        delivered exactly once and counted once."""
+        from repro.serving import WorkerReply
+
+        scheduler = Scheduler(clock=VirtualClock())
+        served, requests = _pooled_served(scheduler, "tiny", served_model,
+                                          images)
+        session = InferenceSession(served_model, batch_size=4)
+        results = [session.submit(r.images) for r in requests]
+        replies = []
+        for task_id, result in zip((100, 101), results):
+            replies.append(WorkerReply(
+                kind="result", worker=task_id - 100, task_id=task_id,
+                logits=result.logits,
+                tokens_per_stage=result.tokens_per_stage,
+                latency_ms=result.latency_ms,
+                wall_time_s=result.wall_time_s, num_images=1))
+        served.pool = _StubPool([[replies[0], replies[0], replies[1]]])
+        completed = scheduler._collect(served, block=False)
+        assert sorted(r.request_id for r in completed) \
+            == sorted(r.request_id for r in requests)
+        assert served.recovery["duplicate_replies"] == 1
+        assert served.pending == {}
+        stats = scheduler.stats()["classes"][requests[0].priority]
+        assert stats["completed"] == 2                # not 3
 
     def test_stale_reply_for_retired_batch_is_dropped(
             self, served_model, images):
@@ -277,30 +348,35 @@ class TestCollectEdgeCases:
                             tokens_per_stage=result.tokens_per_stage,
                             latency_ms=result.latency_ms,
                             wall_time_s=result.wall_time_s)
-        # First poll: empty while worker 0 is dead -> batch retired.
+        # First poll: empty while worker 0 is dead -> batch retired,
+        # its request requeued (no raise), the slot respawned.
         served.pool = _StubPool([[], [stale]], alive=[1])
-        with pytest.raises(RuntimeError, match="died with batch"):
-            scheduler._collect(served, block=False)
+        scheduler._collect(served, block=False)
         assert 100 not in served.pending
         assert len(served.queue) == 1
+        assert served.pool.respawned == [0]
         # Second collect drains the stale reply: dropped silently.
         assert scheduler._collect(served, block=False) == []
         assert scheduler.pop_result(requests[0].request_id) is None
         assert list(served.pending) == [101]
+        assert served.recovery["duplicate_replies"] == 1
 
-    def test_step_surfaces_dead_worker(self, served_model, images):
+    def test_step_recovers_dead_worker(self, served_model, images):
         """Non-blocking collection (the background-thread path) must
-        detect a dead worker instead of stranding its requests."""
+        recover a dead worker's batch instead of stranding its requests
+        -- and instead of raising into the stepping thread."""
         scheduler = Scheduler(clock=VirtualClock())
         served, requests = _pooled_served(scheduler, "tiny", served_model,
                                           images)
         served.pool = _StubPool([], alive=[1])       # worker 0 died
-        with pytest.raises(RuntimeError, match="died with batch"):
-            scheduler.step()
-        # The dead worker's batch was requeued; worker 1's is still
-        # legitimately in flight.
+        scheduler.step()                             # no raise
+        # The dead worker's batch was requeued for re-dispatch and the
+        # slot respawned; worker 1's is still legitimately in flight.
         assert len(served.queue) == 1
         assert list(served.pending) == [101]
+        assert served.recovery["lost_batches"] == 1
+        assert served.recovery["redispatched_requests"] == 1
+        assert served.recovery["respawns"] == 1
 
 
 class TestShardRequests:
@@ -499,6 +575,37 @@ class TestDispatchCloseRace:
         stop_polling.set()
         drainer.join()
         assert unexpected == []
+        assert pool.closed
+        assert pool.alive_workers() == []
+
+    def test_concurrent_poll_and_close(self, served_model, images):
+        """A blocked poll() racing close(): the poller must return
+        cleanly (empty or with real replies), never raise from
+        multiprocessing internals on the released queue."""
+        session = InferenceSession(served_model, batch_size=4)
+        pool = WorkerPool(session, 1, ctx="fork")
+        errors = []
+        polled = threading.Event()
+
+        def poller():
+            try:
+                for _ in range(1000):
+                    pool.poll(timeout_s=0.02)
+                    polled.set()
+                    if pool.closed:
+                        return
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=poller) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        assert polled.wait(timeout=30.0)
+        pool.dispatch(0, [images[:1]], 0)
+        pool.close()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert errors == []
         assert pool.closed
         assert pool.alive_workers() == []
 
